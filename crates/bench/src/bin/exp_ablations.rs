@@ -1,0 +1,5 @@
+//! Design-choice ablations (DESIGN.md §3).
+fn main() {
+    let scale = airshare_bench::ExpScale::from_env();
+    airshare_bench::ablations(&scale);
+}

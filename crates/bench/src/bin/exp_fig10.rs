@@ -1,0 +1,5 @@
+//! Regenerates Figure 10 of the paper (see airshare_bench::fig10).
+fn main() {
+    let scale = airshare_bench::ExpScale::from_env();
+    airshare_bench::fig10(&scale);
+}

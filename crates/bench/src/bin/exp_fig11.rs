@@ -1,0 +1,5 @@
+//! Regenerates Figure 11 of the paper (see airshare_bench::fig11).
+fn main() {
+    let scale = airshare_bench::ExpScale::from_env();
+    airshare_bench::fig11(&scale);
+}

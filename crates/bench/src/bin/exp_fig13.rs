@@ -1,0 +1,5 @@
+//! Regenerates Figure 13 of the paper (see airshare_bench::fig13).
+fn main() {
+    let scale = airshare_bench::ExpScale::from_env();
+    airshare_bench::fig13(&scale);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 14 of the paper (see airshare_bench::fig14).
+fn main() {
+    let scale = airshare_bench::ExpScale::from_env();
+    airshare_bench::fig14(&scale);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 15 of the paper (see airshare_bench::fig15).
+fn main() {
+    let scale = airshare_bench::ExpScale::from_env();
+    airshare_bench::fig15(&scale);
+}

@@ -1,0 +1,5 @@
+//! The access-latency headline: sharing vs the pure on-air baseline.
+fn main() {
+    let scale = airshare_bench::ExpScale::from_env();
+    airshare_bench::latency(&scale);
+}

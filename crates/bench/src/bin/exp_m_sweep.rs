@@ -1,0 +1,4 @@
+//! (1, m) air-index replication sweep (Figure 2 behaviour).
+fn main() {
+    airshare_bench::m_sweep();
+}

@@ -1,0 +1,5 @@
+//! Lemma 3.2 validation: predicted correctness vs empirical accuracy.
+fn main() {
+    let scale = airshare_bench::ExpScale::from_env();
+    airshare_bench::probability_calibration(&scale);
+}

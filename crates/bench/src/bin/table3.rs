@@ -1,0 +1,5 @@
+//! Prints the Table 3 parameter sets (paper values + scaled values).
+fn main() {
+    let scale = airshare_bench::ExpScale::from_env();
+    airshare_bench::table3(&scale);
+}

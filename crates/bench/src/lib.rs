@@ -1,0 +1,664 @@
+//! Experiment harness: one function per paper table/figure.
+//!
+//! Every experiment sweeps a parameter exactly as §4.2/§4.3 describe and
+//! prints the series the corresponding figure plots. Absolute runtime is
+//! controlled by [`ExpScale`]:
+//!
+//! * default — density-preserving scaled worlds sized for a laptop;
+//! * `AIRSHARE_QUICK=1` — a fast smoke configuration (CI);
+//! * `AIRSHARE_FULL=1` — the paper's full 20 mi × 20 mi, 10-hour runs
+//!   (days of CPU; provided for completeness).
+//!
+//! All functions return their rows so tests and the `cargo bench` driver
+//! can assert on trends, and print them in a fixed, grep-friendly format.
+
+#![forbid(unsafe_code)]
+
+use airshare_cache::ReplacementPolicy;
+use airshare_core::VrPolicy;
+use airshare_sim::{params, MobilityModel, ParamSet, QueryKind, SimConfig, SimReport, Simulation};
+
+/// Sizing of every experiment run.
+#[derive(Clone, Copy, Debug)]
+pub struct ExpScale {
+    /// Area scale factor applied to each Table 3 parameter set.
+    pub area: f64,
+    /// Warm-up minutes for kNN workloads.
+    pub knn_warm: f64,
+    /// Measured minutes for kNN workloads.
+    pub knn_measure: f64,
+    /// Warm-up minutes for window workloads (they converge more slowly:
+    /// coverage needs accumulated window history).
+    pub win_warm: f64,
+    /// Measured minutes for window workloads.
+    pub win_measure: f64,
+    /// Use the paper's full sweep grids instead of the coarse ones.
+    pub full_grids: bool,
+}
+
+impl ExpScale {
+    /// Reads `AIRSHARE_QUICK` / `AIRSHARE_FULL` from the environment.
+    pub fn from_env() -> Self {
+        if std::env::var_os("AIRSHARE_FULL").is_some() {
+            ExpScale {
+                area: 1.0,
+                knn_warm: 60.0,
+                knn_measure: 600.0,
+                win_warm: 60.0,
+                win_measure: 600.0,
+                full_grids: true,
+            }
+        } else if std::env::var_os("AIRSHARE_QUICK").is_some() {
+            ExpScale {
+                area: 0.002,
+                knn_warm: 45.0,
+                knn_measure: 20.0,
+                win_warm: 120.0,
+                win_measure: 40.0,
+                full_grids: false,
+            }
+        } else {
+            ExpScale {
+                area: 0.01,
+                knn_warm: 120.0,
+                knn_measure: 40.0,
+                win_warm: 150.0,
+                win_measure: 40.0,
+                full_grids: false,
+            }
+        }
+    }
+
+    fn config(&self, p: ParamSet, kind: QueryKind, seed: u64) -> SimConfig {
+        let scaled = if self.area < 1.0 { p.scaled(self.area) } else { p };
+        let mut cfg = SimConfig::paper_defaults(scaled, kind, seed);
+        match kind {
+            QueryKind::Knn => {
+                cfg.warmup_min = self.knn_warm;
+                cfg.measure_min = self.knn_measure;
+            }
+            QueryKind::Window => {
+                cfg.warmup_min = self.win_warm;
+                cfg.measure_min = self.win_measure;
+            }
+        }
+        cfg
+    }
+
+    fn tx_grid(&self) -> Vec<f64> {
+        if self.full_grids {
+            (1..=10).map(|i| 20.0 * i as f64).collect()
+        } else {
+            vec![10.0, 50.0, 100.0, 150.0, 200.0]
+        }
+    }
+
+    fn cache_grid(&self) -> Vec<usize> {
+        vec![6, 12, 18, 24, 30]
+    }
+
+    fn k_grid(&self) -> Vec<usize> {
+        vec![3, 6, 9, 12, 15]
+    }
+
+    fn window_grid(&self) -> Vec<f64> {
+        vec![1.0, 2.0, 3.0, 4.0, 5.0]
+    }
+}
+
+/// One figure data point.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Parameter set name.
+    pub set: &'static str,
+    /// Swept parameter value (range, cache size, k, window %…).
+    pub x: f64,
+    /// % solved by SBNN / SBWQ (verified).
+    pub pct_peers: f64,
+    /// % solved by approximate SBNN (kNN only).
+    pub pct_approx: f64,
+    /// % solved by the broadcast channel.
+    pub pct_broadcast: f64,
+}
+
+fn run(cfg: SimConfig) -> SimReport {
+    Simulation::new(cfg).run()
+}
+
+/// Runs a batch of independent sweep points, optionally in parallel.
+///
+/// `AIRSHARE_THREADS=N` fans the points out over `N` OS threads
+/// (crossbeam scoped threads feeding a `parking_lot`-guarded result
+/// vector); the default is sequential, which is also the best choice on
+/// single-core machines. Results come back in input order either way, so
+/// output is deterministic regardless of the thread count.
+fn run_points(points: Vec<(&'static str, f64, SimConfig)>) -> Vec<Row> {
+    let threads: usize = std::env::var("AIRSHARE_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    if threads <= 1 {
+        return points
+            .into_iter()
+            .map(|(set, x, cfg)| row(set, x, &run(cfg)))
+            .collect();
+    }
+    let slots: parking_lot::Mutex<Vec<Option<Row>>> =
+        parking_lot::Mutex::new(vec![None; points.len()]);
+    let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    let points_ref = &points;
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(points_ref.len()) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some((set, x, cfg)) = points_ref.get(i) else {
+                    break;
+                };
+                let r = row(set, *x, &run(cfg.clone()));
+                slots.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    slots
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every point computed"))
+        .collect()
+}
+
+fn row(set: &'static str, x: f64, r: &SimReport) -> Row {
+    Row {
+        set,
+        x,
+        pct_peers: r.queries.pct_peers(),
+        pct_approx: r.queries.pct_approx(),
+        pct_broadcast: r.queries.pct_broadcast(),
+    }
+}
+
+fn print_rows(title: &str, xlabel: &str, approx_col: bool, rows: &[Row]) {
+    println!("\n## {title}");
+    if approx_col {
+        println!("{:<20} {:>10} {:>8} {:>8} {:>10}", "set", xlabel, "SBNN%", "apprx%", "bcast%");
+        for r in rows {
+            println!(
+                "{:<20} {:>10} {:>8.1} {:>8.1} {:>10.1}",
+                r.set, r.x, r.pct_peers, r.pct_approx, r.pct_broadcast
+            );
+        }
+    } else {
+        println!("{:<20} {:>10} {:>8} {:>10}", "set", xlabel, "SBWQ%", "bcast%");
+        for r in rows {
+            println!(
+                "{:<20} {:>10} {:>8.1} {:>10.1}",
+                r.set, r.x, r.pct_peers, r.pct_broadcast
+            );
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Table 3
+// ----------------------------------------------------------------------
+
+/// Prints the Table 3 parameter sets (verbatim paper values plus the
+/// scaled values actually used at this [`ExpScale`]).
+pub fn table3(scale: &ExpScale) {
+    println!("\n## Table 3 — simulation parameter sets");
+    println!(
+        "{:<16} {:>10} {:>10} {:>8} {:>12} {:>10} {:>6} {:>8} {:>9}",
+        "set", "POIs", "MHs", "CSize", "Query/min", "TxRange", "kNN", "window%", "dist(mi)"
+    );
+    for p in params::all() {
+        println!(
+            "{:<16} {:>10} {:>10} {:>8} {:>12.0} {:>10.0} {:>6} {:>8.0} {:>9.2}",
+            p.name, p.poi_number, p.mh_number, p.cache_size, p.query_rate, p.tx_range_m,
+            p.knn_k, p.window_pct, p.distance_mi
+        );
+    }
+    if scale.area < 1.0 {
+        println!("-- scaled ×{} (densities preserved):", scale.area);
+        for p in params::all() {
+            let s = p.scaled(scale.area);
+            println!(
+                "{:<16} {:>10} {:>10} {:>8} {:>12.1} {:>10.0} {:>6} {:>8.0} {:>9.2}",
+                s.name, s.poi_number, s.mh_number, s.cache_size, s.query_rate, s.tx_range_m,
+                s.knn_k, s.window_pct, s.distance_mi
+            );
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// kNN figures (10, 11, 12)
+// ----------------------------------------------------------------------
+
+/// Figure 10: % of kNN queries resolved vs wireless transmission range.
+pub fn fig10(scale: &ExpScale) -> Vec<Row> {
+    let mut points = Vec::new();
+    for p in params::all() {
+        for range in scale.tx_grid() {
+            let mut cfg = scale.config(p, QueryKind::Knn, 10);
+            cfg.params.tx_range_m = range;
+            points.push((p.name, range, cfg));
+        }
+    }
+    let rows = run_points(points);
+    print_rows(
+        "Figure 10 — kNN queries resolved vs transmission range (m)",
+        "range(m)",
+        true,
+        &rows,
+    );
+    rows
+}
+
+/// Figure 11: % of kNN queries resolved vs cache capacity.
+pub fn fig11(scale: &ExpScale) -> Vec<Row> {
+    let mut points = Vec::new();
+    for p in params::all() {
+        for cs in scale.cache_grid() {
+            let mut cfg = scale.config(p, QueryKind::Knn, 11);
+            cfg.params.cache_size = cs;
+            points.push((p.name, cs as f64, cfg));
+        }
+    }
+    let rows = run_points(points);
+    print_rows(
+        "Figure 11 — kNN queries resolved vs cache capacity (POIs)",
+        "cache",
+        true,
+        &rows,
+    );
+    rows
+}
+
+/// Figure 12: % of kNN queries resolved vs the number of neighbors `k`.
+pub fn fig12(scale: &ExpScale) -> Vec<Row> {
+    let mut points = Vec::new();
+    for p in params::all() {
+        for k in scale.k_grid() {
+            let mut cfg = scale.config(p, QueryKind::Knn, 12);
+            cfg.params.knn_k = k;
+            points.push((p.name, k as f64, cfg));
+        }
+    }
+    let rows = run_points(points);
+    print_rows(
+        "Figure 12 — kNN queries resolved vs k",
+        "k",
+        true,
+        &rows,
+    );
+    rows
+}
+
+// ----------------------------------------------------------------------
+// Window figures (13, 14, 15)
+// ----------------------------------------------------------------------
+
+/// Figure 13: % of window queries resolved vs transmission range.
+pub fn fig13(scale: &ExpScale) -> Vec<Row> {
+    let mut points = Vec::new();
+    for p in params::all() {
+        for range in scale.tx_grid() {
+            let mut cfg = scale.config(p, QueryKind::Window, 13);
+            cfg.params.tx_range_m = range;
+            points.push((p.name, range, cfg));
+        }
+    }
+    let rows = run_points(points);
+    print_rows(
+        "Figure 13 — window queries resolved vs transmission range (m)",
+        "range(m)",
+        false,
+        &rows,
+    );
+    rows
+}
+
+/// Figure 14: % of window queries resolved vs cache capacity.
+pub fn fig14(scale: &ExpScale) -> Vec<Row> {
+    let mut points = Vec::new();
+    for p in params::all() {
+        for cs in scale.cache_grid() {
+            let mut cfg = scale.config(p, QueryKind::Window, 14);
+            cfg.params.cache_size = cs;
+            points.push((p.name, cs as f64, cfg));
+        }
+    }
+    let rows = run_points(points);
+    print_rows(
+        "Figure 14 — window queries resolved vs cache capacity (POIs)",
+        "cache",
+        false,
+        &rows,
+    );
+    rows
+}
+
+/// Figure 15: % of window queries resolved vs query window size.
+pub fn fig15(scale: &ExpScale) -> Vec<Row> {
+    let mut points = Vec::new();
+    for p in params::all() {
+        for pct in scale.window_grid() {
+            let mut cfg = scale.config(p, QueryKind::Window, 15);
+            cfg.params.window_pct = pct;
+            points.push((p.name, pct, cfg));
+        }
+    }
+    let rows = run_points(points);
+    print_rows(
+        "Figure 15 — window queries resolved vs window size (% of space)",
+        "window%",
+        false,
+        &rows,
+    );
+    rows
+}
+
+// ----------------------------------------------------------------------
+// Latency / tuning headline (§1, §5)
+// ----------------------------------------------------------------------
+
+/// One latency-comparison row.
+#[derive(Clone, Debug)]
+pub struct LatencyRow {
+    /// Parameter set name.
+    pub set: &'static str,
+    /// Mean access latency with sharing (ticks; peer-solved ≈ 0).
+    pub shared_latency: f64,
+    /// Mean access latency of the pure on-air baseline (ticks).
+    pub baseline_latency: f64,
+    /// Mean tuning time of broadcast-solved queries (ticks).
+    pub shared_tuning: f64,
+    /// Mean tuning time of the baseline (ticks).
+    pub baseline_tuning: f64,
+    /// % of queries that avoided the channel entirely.
+    pub pct_avoided: f64,
+}
+
+/// The paper's headline: access-latency reduction from sharing ("up to
+/// 80 % in a dense urban area").
+pub fn latency(scale: &ExpScale) -> Vec<LatencyRow> {
+    let mut rows = Vec::new();
+    println!("\n## Access latency & tuning: sharing vs pure on-air baseline");
+    println!(
+        "{:<20} {:>12} {:>12} {:>9} {:>12} {:>12}",
+        "set", "shared lat", "on-air lat", "saved%", "tuning(bc)", "tuning(base)"
+    );
+    for p in params::all() {
+        let cfg = scale.config(p, QueryKind::Knn, 42);
+        let r = run(cfg);
+        let shared = r.overall_mean_latency();
+        let base = r.baseline_latency.mean();
+        let saved = if base > 0.0 { 100.0 * (1.0 - shared / base) } else { 0.0 };
+        println!(
+            "{:<20} {:>12.1} {:>12.1} {:>9.1} {:>12.1} {:>12.1}",
+            p.name,
+            shared,
+            base,
+            saved,
+            r.broadcast_tuning.mean(),
+            r.baseline_tuning.mean()
+        );
+        rows.push(LatencyRow {
+            set: p.name,
+            shared_latency: shared,
+            baseline_latency: base,
+            shared_tuning: r.broadcast_tuning.mean(),
+            baseline_tuning: r.baseline_tuning.mean(),
+            pct_avoided: r.queries.pct_peers() + r.queries.pct_approx(),
+        });
+    }
+    rows
+}
+
+// ----------------------------------------------------------------------
+// Lemma 3.2 calibration (§3.3.2)
+// ----------------------------------------------------------------------
+
+/// Calibration bin: predicted correctness vs empirical accuracy.
+#[derive(Clone, Copy, Debug)]
+pub struct CalibrationBin {
+    /// Bin lower edge (predicted probability).
+    pub lo: f64,
+    /// Bin upper edge.
+    pub hi: f64,
+    /// Approximate answers falling in the bin.
+    pub count: usize,
+    /// Fraction that were actually fully correct.
+    pub accuracy: f64,
+}
+
+/// Validates Lemma 3.2: bucket approximate answers by their predicted
+/// correctness probability and compare against ground truth.
+pub fn probability_calibration(scale: &ExpScale) -> Vec<CalibrationBin> {
+    let p = params::la_city();
+    let mut bins = Vec::new();
+    for clip in [false, true] {
+        let mut cfg = scale.config(p, QueryKind::Knn, 77);
+        cfg.validate = true;
+        cfg.min_correctness = 0.05; // accept almost everything: we *want* risky answers
+        cfg.clip_domain = clip;
+        let r = run(cfg);
+        let edges = [0.05, 0.3, 0.5, 0.7, 0.85, 0.95, 1.000001];
+        println!(
+            "\n## Lemma 3.2 calibration — predicted e^(-λu) vs empirical accuracy ({})",
+            if clip {
+                "clipped to the bounded world"
+            } else {
+                "paper's unbounded-field estimator"
+            }
+        );
+        println!("{:>14} {:>8} {:>10}", "predicted", "n", "actual%");
+        for w in edges.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            let in_bin: Vec<bool> = r
+                .calibration
+                .iter()
+                .filter(|(p, _)| *p >= lo && *p < hi)
+                .map(|&(_, ok)| ok)
+                .collect();
+            let count = in_bin.len();
+            let accuracy = if count == 0 {
+                0.0
+            } else {
+                in_bin.iter().filter(|&&b| b).count() as f64 / count as f64
+            };
+            println!(
+                "{:>6.2} – {:<5.2} {:>8} {:>10.1}",
+                lo,
+                hi.min(1.0),
+                count,
+                100.0 * accuracy
+            );
+            if clip {
+                bins.push(CalibrationBin { lo, hi, count, accuracy });
+            }
+        }
+        println!(
+            "(exact answers validated: {} mismatches out of {} queries)",
+            r.exact_mismatches, r.queries.total
+        );
+    }
+    bins
+}
+
+// ----------------------------------------------------------------------
+// Ablations (DESIGN.md §3)
+// ----------------------------------------------------------------------
+
+/// One ablation row: a configuration label and its key metrics.
+#[derive(Clone, Debug)]
+pub struct AblationRow {
+    /// Configuration label.
+    pub label: String,
+    /// % solved without the channel.
+    pub pct_peers_total: f64,
+    /// Mean buckets downloaded per broadcast-solved query.
+    pub mean_buckets: f64,
+    /// Mean broadcast tuning time.
+    pub mean_tuning: f64,
+    /// Ground-truth mismatches (only meaningful for the VR ablation).
+    pub mismatches: u64,
+}
+
+fn ablation_run(label: &str, cfg: SimConfig, rows: &mut Vec<AblationRow>) {
+    let r = run(cfg);
+    let row = AblationRow {
+        label: label.to_string(),
+        pct_peers_total: r.queries.pct_peers() + r.queries.pct_approx(),
+        mean_buckets: r.broadcast_buckets.mean(),
+        mean_tuning: r.broadcast_tuning.mean(),
+        mismatches: r.exact_mismatches,
+    };
+    println!(
+        "{:<34} {:>9.1} {:>9.2} {:>9.1} {:>9}",
+        row.label, row.pct_peers_total, row.mean_buckets, row.mean_tuning, row.mismatches
+    );
+    rows.push(row);
+}
+
+/// Runs every design-choice ablation DESIGN.md calls out, on the
+/// suburbia set (mid density).
+pub fn ablations(scale: &ExpScale) -> Vec<AblationRow> {
+    let p = params::synthetic_suburbia();
+    let mut rows = Vec::new();
+    println!("\n## Ablations (Synthetic Suburbia, kNN unless noted)");
+    println!(
+        "{:<34} {:>9} {:>9} {:>9} {:>9}",
+        "config", "peers%", "buckets", "tuning", "wrong"
+    );
+
+    let base = |seed: u64| {
+        let mut c = scale.config(p, QueryKind::Knn, seed);
+        c.validate = true;
+        // A tight cache so replacement actually happens — at CSize = 50
+        // the scaled world rarely evicts and every policy looks alike.
+        c.params.cache_size = 8;
+        c
+    };
+
+    ablation_run("baseline (paper defaults)", base(1), &mut rows);
+
+    let mut c = base(1);
+    c.use_bound_filtering = false;
+    ablation_run("bound filtering OFF (§3.3.3)", c, &mut rows);
+
+    let mut c = base(1);
+    c.policy = ReplacementPolicy::DistanceOnly;
+    ablation_run("cache policy: distance only", c, &mut rows);
+
+    let mut c = base(1);
+    c.policy = ReplacementPolicy::Lru;
+    ablation_run("cache policy: LRU", c, &mut rows);
+
+    let mut c = base(1);
+    c.use_own_cache = false;
+    ablation_run("own cache excluded from MVR", c, &mut rows);
+
+    let mut c = base(1);
+    c.subsume_overlap = 1.0;
+    ablation_run("anti-fragmentation OFF", c, &mut rows);
+
+    let mut c = base(1);
+    c.vr_policy = VrPolicy::CircumscribedMbr;
+    ablation_run("UNSOUND circumscribed-MBR VRs", c, &mut rows);
+
+    let mut c = base(1);
+    c.mobility = MobilityModel::GridRoads { spacing_milli_mi: 250 };
+    ablation_run("grid-road mobility", c, &mut rows);
+
+    let mut c = base(1);
+    c.p2p_hops = 2;
+    ablation_run("2-hop sharing (extension)", c, &mut rows);
+
+    // Window-reduction ablation runs the window workload.
+    let mut c = scale.config(p, QueryKind::Window, 1);
+    c.validate = true;
+    ablation_run("window: reduction ON (§3.4.2)", c, &mut rows);
+    let mut c = scale.config(p, QueryKind::Window, 1);
+    c.validate = true;
+    c.use_window_reduction = false;
+    ablation_run("window: reduction OFF", c, &mut rows);
+
+    rows
+}
+
+// ----------------------------------------------------------------------
+// (1, m) sweep (Figure 2 behaviour)
+// ----------------------------------------------------------------------
+
+/// One `(1, m)` sweep row.
+#[derive(Clone, Copy, Debug)]
+pub struct MSweepRow {
+    /// Replication factor.
+    pub m: usize,
+    /// Cycle length (ticks).
+    pub cycle: u64,
+    /// Mean wait for the next index segment.
+    pub probe_wait: f64,
+    /// Mean kNN access latency.
+    pub latency: f64,
+    /// Mean kNN tuning time.
+    pub tuning: f64,
+}
+
+/// Sweeps the `(1, m)` replication factor on a static channel (no
+/// mobility needed), reproducing the Figure 2 trade-off.
+pub fn m_sweep() -> Vec<MSweepRow> {
+    use airshare_broadcast::{AirIndex, OnAirClient, Poi, Schedule};
+    use airshare_geom::{Point, Rect};
+    use airshare_hilbert::Grid;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    let world = Rect::from_coords(0.0, 0.0, 20.0, 20.0);
+    let mut rng = SmallRng::seed_from_u64(2);
+    let pois: Vec<Poi> = (0..2750)
+        .map(|i| {
+            Poi::new(
+                i,
+                Point::new(rng.gen_range(0.0..20.0), rng.gen_range(0.0..20.0)),
+            )
+        })
+        .collect();
+    let index = AirIndex::build(pois, Grid::new(world, 8), 10);
+    let q = Point::new(10.0, 10.0);
+
+    let mut rows = Vec::new();
+    println!("\n## (1, m) index replication sweep (LA City data file)");
+    println!(
+        "{:>4} {:>8} {:>12} {:>10} {:>8}",
+        "m", "cycle", "probe wait", "latency", "tuning"
+    );
+    for m in [1usize, 2, 4, 8, 16] {
+        let schedule = Schedule::new(index.data_buckets(), index.index_buckets(), m);
+        let client = OnAirClient::new(&index, &schedule);
+        let cycle = schedule.cycle_len();
+        let samples = 512u64;
+        let (mut probe, mut lat, mut tun) = (0u64, 0u64, 0u64);
+        for i in 0..samples {
+            let t = i * cycle / samples;
+            probe += schedule.next_index_start(t) - t;
+            let res = client.knn(t, q, 5).expect("enough POIs");
+            lat += res.stats.latency;
+            tun += res.stats.tuning;
+        }
+        let r = MSweepRow {
+            m,
+            cycle,
+            probe_wait: probe as f64 / samples as f64,
+            latency: lat as f64 / samples as f64,
+            tuning: tun as f64 / samples as f64,
+        };
+        println!(
+            "{:>4} {:>8} {:>12.1} {:>10.1} {:>8.1}",
+            r.m, r.cycle, r.probe_wait, r.latency, r.tuning
+        );
+        rows.push(r);
+    }
+    rows
+}

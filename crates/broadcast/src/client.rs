@@ -1,0 +1,378 @@
+//! The client access protocol and the on-air spatial query baselines.
+
+use crate::{AirIndex, BucketId, Poi, Schedule};
+use airshare_geom::{Point, Rect};
+
+/// Broadcast-access cost of one operation, in ticks.
+///
+/// * `latency` — from tuning in to holding the last needed bucket
+///   (*access latency*; what the user waits).
+/// * `tuning` — ticks spent actively listening (*tuning time*; what the
+///   battery pays): one probe tick, each index segment read, and each
+///   data bucket downloaded.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AccessStats {
+    /// Access latency in ticks.
+    pub latency: u64,
+    /// Tuning time in ticks.
+    pub tuning: u64,
+    /// Number of data buckets downloaded.
+    pub buckets: u64,
+}
+
+impl AccessStats {
+    /// Component-wise sum (for multi-step protocols).
+    pub fn merge(self, other: AccessStats) -> AccessStats {
+        AccessStats {
+            latency: self.latency + other.latency,
+            tuning: self.tuning + other.tuning,
+            buckets: self.buckets + other.buckets,
+        }
+    }
+}
+
+/// Result of an on-air kNN query.
+#[derive(Clone, Debug)]
+pub struct OnAirKnnResult {
+    /// The exact k nearest POIs, ascending by distance.
+    pub neighbors: Vec<Poi>,
+    /// The search MBR whose cells were fully retrieved. Every POI inside
+    /// it is now known to the client — a sound verified region.
+    pub verified_mbr: Rect,
+    /// Every POI the client now knows in the search area (downloaded
+    /// buckets merged with prior knowledge) — the payload for caching the
+    /// verified region.
+    pub retrieved: Vec<Poi>,
+    /// Broadcast-access cost.
+    pub stats: AccessStats,
+}
+
+/// Result of an on-air window query.
+#[derive(Clone, Debug)]
+pub struct OnAirWindowResult {
+    /// POIs inside the query window.
+    pub pois: Vec<Poi>,
+    /// Broadcast-access cost.
+    pub stats: AccessStats,
+}
+
+/// A client of the broadcast channel: owns no state beyond references to
+/// the public air organization (every mobile host sees the same channel).
+///
+/// The access protocol follows the paper's three steps: **initial probe**
+/// (wait for the next index segment), **index search** (translate the
+/// spatial predicate to bucket arrival times), **data retrieval**
+/// (download the buckets as they come around).
+#[derive(Clone, Copy, Debug)]
+pub struct OnAirClient<'a> {
+    index: &'a AirIndex,
+    schedule: &'a Schedule,
+}
+
+impl<'a> OnAirClient<'a> {
+    /// Creates a client for a channel.
+    pub fn new(index: &'a AirIndex, schedule: &'a Schedule) -> Self {
+        debug_assert_eq!(index.data_buckets(), schedule.data_buckets());
+        Self { index, schedule }
+    }
+
+    /// Runs the raw access protocol for an explicit bucket set, returning
+    /// the downloaded POIs and the access cost.
+    ///
+    /// `tune_in` is the absolute tick at which the client poses the
+    /// query. Buckets already past in the current cycle are caught on the
+    /// next one — the sequential-access limitation the paper's P2P
+    /// sharing exists to mitigate.
+    pub fn retrieve(&self, tune_in: u64, buckets: &[BucketId]) -> (Vec<Poi>, AccessStats) {
+        let idx_start = self.schedule.next_index_start(tune_in);
+        let idx_done = idx_start + self.schedule.index_buckets() as u64;
+        let mut last = idx_done;
+        let mut pois = Vec::new();
+        for &b in buckets {
+            let done = self.schedule.bucket_completion_after(b, idx_done);
+            last = last.max(done);
+            pois.extend(self.index.buckets()[b].pois.iter().copied());
+        }
+        let stats = AccessStats {
+            latency: last - tune_in,
+            tuning: 1 + self.schedule.index_buckets() as u64 + buckets.len() as u64,
+            buckets: buckets.len() as u64,
+        };
+        (pois, stats)
+    }
+
+    /// The on-air kNN baseline (paper Figure 4, after Zheng et al.):
+    /// scan the index to bound a search circle certain to hold ≥ k
+    /// objects, retrieve every bucket covering the circle's MBR, then
+    /// rank by exact distance.
+    ///
+    /// Returns `None` when the data file holds fewer than `k` POIs.
+    pub fn knn(&self, tune_in: u64, q: Point, k: usize) -> Option<OnAirKnnResult> {
+        let radius = self.index.knn_search_radius(q, k)?;
+        let buckets = self.index.buckets_for_knn(q, radius);
+        let (pois, stats) = self.retrieve(tune_in, &buckets);
+        let neighbors = top_k_by_distance(pois.clone(), q, k);
+        debug_assert_eq!(neighbors.len(), k);
+        let verified_mbr = clip_to_world(Rect::centered_square(q, radius), self.index);
+        Some(OnAirKnnResult {
+            neighbors,
+            verified_mbr,
+            retrieved: pois,
+            stats,
+        })
+    }
+
+    /// Bound-filtered kNN completion (§3.3.3): the client already holds
+    /// `known` POIs — everything within `inner` of `q` is verified — and
+    /// needs the exact top `k`. `outer` caps the search (the distance of
+    /// the last heap entry when the heap is full, i.e. the paper's upper
+    /// bound), falling back to the index-scan radius when absent.
+    ///
+    /// Buckets entirely inside the inner circle are skipped; their POIs
+    /// are reconstructed from `known`.
+    pub fn knn_filtered(
+        &self,
+        tune_in: u64,
+        q: Point,
+        k: usize,
+        known: &[Poi],
+        inner: Option<f64>,
+        outer: Option<f64>,
+    ) -> Option<OnAirKnnResult> {
+        // Both the caller's upper bound and the index-scan radius are
+        // valid search caps (each is ≥ the true k-th NN distance); take
+        // the tighter so filtering can never fetch more than a cold
+        // query.
+        let outer = match (outer, self.index.knn_search_radius(q, k)) {
+            (Some(o), Some(r)) => o.min(r),
+            (Some(o), None) => o,
+            (None, Some(r)) => r,
+            (None, None) => return None,
+        };
+        let buckets = self.index.buckets_for_knn_filtered(q, outer, inner);
+        let (mut pois, stats) = self.retrieve(tune_in, &buckets);
+        // Merge peer knowledge, deduplicating by id.
+        pois.extend(known.iter().copied());
+        pois.sort_by_key(|p| p.id);
+        pois.dedup_by_key(|p| p.id);
+        let neighbors = top_k_by_distance(pois.clone(), q, k);
+        if neighbors.len() < k {
+            return None; // outer bound too tight for the data (degenerate)
+        }
+        let verified_mbr = clip_to_world(Rect::centered_square(q, outer), self.index);
+        Some(OnAirKnnResult {
+            neighbors,
+            verified_mbr,
+            retrieved: pois,
+            stats,
+        })
+    }
+
+    /// The on-air window query baseline (paper Figure 8): intervals along
+    /// the curve for the window's cells, the buckets covering them, then
+    /// an exact containment filter.
+    pub fn window(&self, tune_in: u64, w: &Rect) -> OnAirWindowResult {
+        let buckets = self.index.buckets_for_window(w);
+        let (pois, stats) = self.retrieve(tune_in, &buckets);
+        let pois = pois.into_iter().filter(|p| w.contains(p.pos)).collect();
+        OnAirWindowResult { pois, stats }
+    }
+
+    /// Reduced-window retrieval (§3.4.2): one on-air pass over the union
+    /// of the reduced windows `w′`, returning POIs inside any of them.
+    pub fn window_reduced(&self, tune_in: u64, windows: &[Rect]) -> OnAirWindowResult {
+        let buckets = self.index.buckets_for_windows(windows);
+        let (pois, stats) = self.retrieve(tune_in, &buckets);
+        let pois = pois
+            .into_iter()
+            .filter(|p| windows.iter().any(|w| w.contains(p.pos)))
+            .collect();
+        OnAirWindowResult { pois, stats }
+    }
+}
+
+/// Exact top-k by Euclidean distance, ascending.
+fn top_k_by_distance(mut pois: Vec<Poi>, q: Point, k: usize) -> Vec<Poi> {
+    pois.sort_by(|a, b| {
+        a.pos
+            .distance_sq(q)
+            .total_cmp(&b.pos.distance_sq(q))
+            .then(a.id.cmp(&b.id))
+    });
+    pois.truncate(k);
+    pois
+}
+
+fn clip_to_world(r: Rect, index: &AirIndex) -> Rect {
+    r.intersection(&index.grid().world()).unwrap_or(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airshare_hilbert::Grid;
+
+    fn scatter(n: usize) -> Vec<Poi> {
+        let mut state = 7u64;
+        (0..n)
+            .map(|i| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let x = (state >> 16 & 0xFFFF) as f64 / 1024.0;
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let y = (state >> 16 & 0xFFFF) as f64 / 1024.0;
+                Poi::new(i as u32, Point::new(x, y))
+            })
+            .collect()
+    }
+
+    fn channel(n: usize, m: usize) -> (AirIndex, Schedule) {
+        let world = Rect::from_coords(0.0, 0.0, 64.0, 64.0);
+        let index = AirIndex::build(scatter(n), Grid::new(world, 5), 8);
+        let schedule = Schedule::new(index.data_buckets(), index.index_buckets(), m);
+        (index, schedule)
+    }
+
+    #[test]
+    fn knn_is_exact_against_brute_force() {
+        let (index, schedule) = channel(500, 4);
+        let client = OnAirClient::new(&index, &schedule);
+        let q = Point::new(20.0, 40.0);
+        for k in [1, 3, 7, 15] {
+            let res = client.knn(0, q, k).unwrap();
+            assert_eq!(res.neighbors.len(), k);
+            let mut brute = scatter(500);
+            brute.sort_by(|a, b| a.pos.distance_sq(q).total_cmp(&b.pos.distance_sq(q)));
+            for (got, want) in res.neighbors.iter().zip(&brute) {
+                assert!(
+                    (got.distance_to(q) - want.distance_to(q)).abs() < 1e-9,
+                    "k={k}: {} vs {}",
+                    got.distance_to(q),
+                    want.distance_to(q)
+                );
+            }
+            // All returned POIs lie inside the verified MBR.
+            for p in &res.neighbors {
+                assert!(res.verified_mbr.contains(p.pos));
+            }
+        }
+    }
+
+    #[test]
+    fn window_query_is_exact() {
+        let (index, schedule) = channel(500, 2);
+        let client = OnAirClient::new(&index, &schedule);
+        let w = Rect::from_coords(5.0, 5.0, 20.0, 18.0);
+        let res = client.window(0, &w);
+        let mut got: Vec<u32> = res.pois.iter().map(|p| p.id).collect();
+        got.sort_unstable();
+        let mut want: Vec<u32> = scatter(500)
+            .into_iter()
+            .filter(|p| w.contains(p.pos))
+            .map(|p| p.id)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+        assert!(res.stats.latency > 0);
+    }
+
+    #[test]
+    fn retrieval_counts_costs_sanely() {
+        let (index, schedule) = channel(200, 1);
+        let client = OnAirClient::new(&index, &schedule);
+        let (pois, stats) = client.retrieve(0, &[0, 1]);
+        assert_eq!(stats.buckets, 2);
+        assert_eq!(
+            stats.tuning,
+            1 + schedule.index_buckets() as u64 + 2
+        );
+        assert!(!pois.is_empty());
+        // Latency at least index + both buckets.
+        assert!(stats.latency >= schedule.index_buckets() as u64 + 2);
+        // Empty bucket set: latency is just the index wait.
+        let (none, s0) = client.retrieve(0, &[]);
+        assert!(none.is_empty());
+        assert_eq!(s0.buckets, 0);
+        assert_eq!(s0.latency, schedule.index_buckets() as u64);
+    }
+
+    #[test]
+    fn m_trades_probe_wait_for_cycle_growth() {
+        // (1, m)'s contract: index replication shrinks the wait for the
+        // next index segment by ~m, while the cycle grows by (m-1)·I.
+        // Single-bucket access latency may therefore rise slightly with
+        // m, but never by more than the added index overhead.
+        let (index, _) = channel(400, 1);
+        let stats = |m: usize| {
+            let schedule = Schedule::new(index.data_buckets(), index.index_buckets(), m);
+            let client = OnAirClient::new(&index, &schedule);
+            let cl = schedule.cycle_len();
+            let mut lat = 0u64;
+            let mut probe = 0u64;
+            for t in 0..cl {
+                lat += client.retrieve(t, &[3]).1.latency;
+                probe += schedule.next_index_start(t) - t;
+            }
+            (lat as f64 / cl as f64, probe as f64 / cl as f64, schedule)
+        };
+        let (lat1, probe1, s1) = stats(1);
+        let (lat8, probe8, s8) = stats(8);
+        // Probe wait must shrink markedly.
+        assert!(probe8 < probe1 / 2.0, "probe {probe8} !< {probe1}/2");
+        // Latency penalty bounded by the cycle growth.
+        let growth = (s8.cycle_len() - s1.cycle_len()) as f64;
+        assert!(lat8 <= lat1 + growth, "{lat8} > {lat1} + {growth}");
+        // Tuning time is independent of m for a fixed bucket set.
+        let c1 = OnAirClient::new(&index, &s1);
+        let c8 = OnAirClient::new(&index, &s8);
+        assert_eq!(c1.retrieve(0, &[3]).1.tuning, c8.retrieve(0, &[3]).1.tuning);
+    }
+
+    #[test]
+    fn filtered_knn_matches_unfiltered_given_inner_knowledge() {
+        let (index, schedule) = channel(600, 4);
+        let client = OnAirClient::new(&index, &schedule);
+        let q = Point::new(32.0, 32.0);
+        let k = 8;
+        let base = client.knn(0, q, k).unwrap();
+        // Suppose peers verified everything within radius 6.
+        let inner = 6.0;
+        let known: Vec<Poi> = scatter(600)
+            .into_iter()
+            .filter(|p| p.distance_to(q) <= inner)
+            .collect();
+        let outer = base.neighbors.last().unwrap().distance_to(q) + 1.0;
+        let filt = client
+            .knn_filtered(0, q, k, &known, Some(inner), Some(outer))
+            .unwrap();
+        for (a, b) in base.neighbors.iter().zip(&filt.neighbors) {
+            assert!((a.distance_to(q) - b.distance_to(q)).abs() < 1e-9);
+        }
+        // Filtering must not download more buckets.
+        assert!(filt.stats.buckets <= base.stats.buckets);
+    }
+
+    #[test]
+    fn knn_too_large_returns_none() {
+        let (index, schedule) = channel(5, 1);
+        let client = OnAirClient::new(&index, &schedule);
+        assert!(client.knn(0, Point::ORIGIN, 10).is_none());
+    }
+
+    #[test]
+    fn reduced_windows_return_union_contents() {
+        let (index, schedule) = channel(500, 2);
+        let client = OnAirClient::new(&index, &schedule);
+        let w1 = Rect::from_coords(0.0, 0.0, 10.0, 10.0);
+        let w2 = Rect::from_coords(40.0, 40.0, 55.0, 50.0);
+        let res = client.window_reduced(0, &[w1, w2]);
+        let mut got: Vec<u32> = res.pois.iter().map(|p| p.id).collect();
+        got.sort_unstable();
+        let mut want: Vec<u32> = scatter(500)
+            .into_iter()
+            .filter(|p| w1.contains(p.pos) || w2.contains(p.pos))
+            .map(|p| p.id)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,304 @@
+//! The server-side air index: POIs in Hilbert order, packed into buckets.
+
+use crate::{Bucket, BucketId, Poi};
+use airshare_geom::{Point, Rect};
+use airshare_hilbert::Grid;
+
+/// The broadcast server's data organization.
+///
+/// POIs are sorted by the Hilbert value of their grid cell and packed
+/// into fixed-capacity [`Bucket`]s in curve order. The index that ships
+/// in every index segment is, conceptually, the list of
+/// `(hilbert_range, arrival offset)` pairs per bucket; clients use it to
+/// translate curve intervals into bucket sets and arrival times.
+#[derive(Clone, Debug)]
+pub struct AirIndex {
+    grid: Grid,
+    buckets: Vec<Bucket>,
+    /// Sorted `(hilbert value, poi index in broadcast order)` — the
+    /// per-object index used by the on-air kNN first scan.
+    values: Vec<(u64, Point)>,
+    /// Number of index buckets an index segment occupies on air.
+    index_buckets: usize,
+}
+
+/// How many bucket descriptors fit in one index bucket. The descriptor is
+/// a few words (range + offset), so a generous fan-out is realistic.
+const INDEX_FANOUT: usize = 64;
+
+impl AirIndex {
+    /// Builds the broadcast organization for a POI set.
+    ///
+    /// * `grid` — the Hilbert grid over the service area.
+    /// * `bucket_capacity` — POIs per bucket (≥ 1).
+    pub fn build(mut pois: Vec<Poi>, grid: Grid, bucket_capacity: usize) -> Self {
+        assert!(bucket_capacity >= 1, "bucket capacity must be positive");
+        pois.sort_by_key(|p| grid.value_of(p.pos));
+        let values: Vec<(u64, Point)> =
+            pois.iter().map(|p| (grid.value_of(p.pos), p.pos)).collect();
+        let mut buckets = Vec::with_capacity(pois.len().div_ceil(bucket_capacity));
+        for (i, chunk) in pois.chunks(bucket_capacity).enumerate() {
+            let vals: Vec<u64> = chunk.iter().map(|p| grid.value_of(p.pos)).collect();
+            buckets.push(Bucket::build(i, chunk.to_vec(), &vals));
+        }
+        let index_buckets = buckets.len().div_ceil(INDEX_FANOUT).max(1);
+        Self {
+            grid,
+            buckets,
+            values,
+            index_buckets,
+        }
+    }
+
+    /// The Hilbert grid.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// All data buckets in broadcast order.
+    pub fn buckets(&self) -> &[Bucket] {
+        &self.buckets
+    }
+
+    /// Number of data buckets.
+    pub fn data_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Airtime of one index segment, in buckets (ticks).
+    pub fn index_buckets(&self) -> usize {
+        self.index_buckets
+    }
+
+    /// Total number of POIs.
+    pub fn poi_count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Buckets (sorted, deduplicated) whose Hilbert ranges intersect any
+    /// of the given inclusive curve intervals.
+    pub fn buckets_for_intervals(&self, intervals: &[(u64, u64)]) -> Vec<BucketId> {
+        let mut out = Vec::new();
+        for &(lo, hi) in intervals {
+            // Binary search for the first bucket whose range may reach lo.
+            let start = self
+                .buckets
+                .partition_point(|b| b.hilbert_range.1 < lo);
+            for b in &self.buckets[start..] {
+                if b.hilbert_range.0 > hi {
+                    break;
+                }
+                out.push(b.id);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Buckets needed for a world-space window query.
+    pub fn buckets_for_window(&self, w: &Rect) -> Vec<BucketId> {
+        let intervals = self.grid.intervals_for_world_rect(w);
+        self.buckets_for_intervals(&intervals)
+    }
+
+    /// The on-air kNN *first scan*: from the index alone (Hilbert values
+    /// of all objects), find a Euclidean radius around `q` certain to
+    /// contain at least `k` objects.
+    ///
+    /// The client takes the `k` objects whose Hilbert values are closest
+    /// to `q`'s value (curve-distance approximation of spatial
+    /// proximity), reconstructs their cell positions, and returns the
+    /// maximum Euclidean distance plus half a cell diagonal — the index
+    /// stores cell-resolution positions, so the slack guarantees the
+    /// circle truly encloses ≥ k objects. Returns `None` when the data
+    /// file holds fewer than `k` POIs.
+    pub fn knn_search_radius(&self, q: Point, k: usize) -> Option<f64> {
+        if k == 0 || self.values.len() < k {
+            return None;
+        }
+        let hq = self.grid.value_of(q);
+        // Two-pointer expansion around the insertion point of hq.
+        let mut lo = self.values.partition_point(|&(v, _)| v < hq);
+        let mut hi = lo; // [lo, hi) selected
+        while hi - lo < k {
+            let take_left = if lo == 0 {
+                false
+            } else if hi == self.values.len() {
+                true
+            } else {
+                // Choose the side whose value is closer along the curve.
+                hq - self.values[lo - 1].0 <= self.values[hi].0 - hq
+            };
+            if take_left {
+                lo -= 1;
+            } else {
+                hi += 1;
+            }
+        }
+        let (cw, ch) = self.grid.cell_size();
+        let half_diag = 0.5 * cw.hypot(ch);
+        let max_d = self.values[lo..hi]
+            .iter()
+            .map(|&(_, pos)| pos.distance(q))
+            .fold(0.0_f64, f64::max);
+        Some(max_d + half_diag)
+    }
+
+    /// Buckets needed to answer a kNN query exactly, given the search
+    /// radius from [`AirIndex::knn_search_radius`]: all buckets covering
+    /// the MBR of the search circle (the paper's Figure 4 range).
+    pub fn buckets_for_knn(&self, q: Point, radius: f64) -> Vec<BucketId> {
+        let mbr = Rect::centered_square(q, radius);
+        self.buckets_for_window(&mbr)
+    }
+
+    /// Bound-filtered bucket set (§3.3.3): buckets covering the outer
+    /// search MBR, *minus* buckets whose MBR lies entirely within the
+    /// verified inner circle `C_i` of radius `inner` around `q` — their
+    /// contents are already known to the client.
+    pub fn buckets_for_knn_filtered(
+        &self,
+        q: Point,
+        outer: f64,
+        inner: Option<f64>,
+    ) -> Vec<BucketId> {
+        let base = self.buckets_for_knn(q, outer);
+        match inner {
+            None => base,
+            Some(r_in) => base
+                .into_iter()
+                .filter(|&id| {
+                    let b = &self.buckets[id];
+                    b.mbr.max_distance_to_point(q) > r_in
+                })
+                .collect(),
+        }
+    }
+
+    /// Bucket set for a collection of reduced windows (§3.4.2): the union
+    /// of the buckets of each window `w′`.
+    pub fn buckets_for_windows(&self, windows: &[Rect]) -> Vec<BucketId> {
+        let mut out: Vec<BucketId> = windows
+            .iter()
+            .flat_map(|w| self.buckets_for_window(w))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(n: usize, cap: usize) -> AirIndex {
+        let world = Rect::from_coords(0.0, 0.0, 64.0, 64.0);
+        let grid = Grid::new(world, 5);
+        // Deterministic scatter.
+        let mut state = 99u64;
+        let pois: Vec<Poi> = (0..n)
+            .map(|i| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let x = (state >> 16 & 0xFFFF) as f64 / 1024.0;
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let y = (state >> 16 & 0xFFFF) as f64 / 1024.0;
+                Poi::new(i as u32, Point::new(x, y))
+            })
+            .collect();
+        AirIndex::build(pois, grid, cap)
+    }
+
+    #[test]
+    fn buckets_are_hilbert_ordered_and_sized() {
+        let idx = setup(300, 10);
+        assert_eq!(idx.data_buckets(), 30);
+        assert_eq!(idx.poi_count(), 300);
+        let mut prev_hi = 0;
+        for (i, b) in idx.buckets().iter().enumerate() {
+            assert_eq!(b.id, i);
+            assert!(b.pois.len() <= 10);
+            assert!(b.hilbert_range.0 >= prev_hi || i == 0);
+            prev_hi = b.hilbert_range.1;
+        }
+    }
+
+    #[test]
+    fn window_buckets_cover_all_window_pois() {
+        let idx = setup(500, 8);
+        let w = Rect::from_coords(10.0, 10.0, 30.0, 25.0);
+        let chosen = idx.buckets_for_window(&w);
+        // Every POI inside the window must live in a chosen bucket.
+        let chosen_pois: Vec<u32> = chosen
+            .iter()
+            .flat_map(|&id| idx.buckets()[id].pois.iter().map(|p| p.id))
+            .collect();
+        for b in idx.buckets() {
+            for p in &b.pois {
+                if w.contains(p.pos) {
+                    assert!(chosen_pois.contains(&p.id), "missed poi {}", p.id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn knn_radius_guarantees_k_objects() {
+        let idx = setup(400, 8);
+        let q = Point::new(32.0, 32.0);
+        for k in [1, 3, 10, 25] {
+            let r = idx.knn_search_radius(q, k).unwrap();
+            let count = idx
+                .buckets()
+                .iter()
+                .flat_map(|b| &b.pois)
+                .filter(|p| p.distance_to(q) <= r)
+                .count();
+            assert!(count >= k, "radius {r} holds {count} < {k} POIs");
+        }
+    }
+
+    #[test]
+    fn knn_radius_none_when_insufficient_data() {
+        let idx = setup(5, 2);
+        assert!(idx.knn_search_radius(Point::ORIGIN, 6).is_none());
+        assert!(idx.knn_search_radius(Point::ORIGIN, 0).is_none());
+    }
+
+    #[test]
+    fn filtered_buckets_drop_fully_verified_ones() {
+        let idx = setup(500, 4);
+        let q = Point::new(32.0, 32.0);
+        let outer = 20.0;
+        let all = idx.buckets_for_knn_filtered(q, outer, None);
+        let filt = idx.buckets_for_knn_filtered(q, outer, Some(10.0));
+        assert!(filt.len() <= all.len());
+        // Dropped buckets are exactly those fully inside the inner circle.
+        for id in &all {
+            let inside = idx.buckets()[*id].mbr.max_distance_to_point(q) <= 10.0;
+            assert_eq!(!filt.contains(id), inside);
+        }
+    }
+
+    #[test]
+    fn empty_poi_set_builds() {
+        let world = Rect::from_coords(0.0, 0.0, 1.0, 1.0);
+        let idx = AirIndex::build(Vec::new(), Grid::new(world, 3), 4);
+        assert_eq!(idx.data_buckets(), 0);
+        assert!(idx
+            .buckets_for_window(&Rect::from_coords(0.0, 0.0, 1.0, 1.0))
+            .is_empty());
+    }
+
+    #[test]
+    fn buckets_for_intervals_dedups_and_sorts() {
+        let idx = setup(100, 5);
+        let max_h = idx.buckets().last().unwrap().hilbert_range.1;
+        let a = idx.buckets_for_intervals(&[(0, max_h), (0, max_h)]);
+        assert_eq!(a.len(), idx.data_buckets());
+        for w in a.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! The wireless broadcast substrate: `(1, m)` air indexing over a Hilbert
+//! curve, channel timing, and the on-air spatial query baselines.
+//!
+//! In the paper's environment (Figure 3) a base station cyclically
+//! broadcasts every POI on a public channel. Clients never transmit to
+//! the server; they *tune in*, read an **index segment**, predict when the
+//! buckets they need will be on air, sleep, and wake to download them.
+//! Two metrics characterize the model (Imielinski et al., the paper’s
+//! ref \[10\]):
+//!
+//! * **access latency** — wall-clock from posing the query to holding the
+//!   data, dominated by waiting for the right part of the cycle;
+//! * **tuning time** — how long the receiver is actually listening, a
+//!   proxy for client power consumption.
+//!
+//! This crate implements that machinery from scratch:
+//!
+//! * [`Poi`] — the broadcast data item (a point of interest).
+//! * [`AirIndex`] — the server-side organization: POIs sorted in Hilbert
+//!   order and packed into fixed-capacity [`Bucket`]s (Zheng et al.).
+//! * [`Schedule`] — `(1, m)` index allocation: the full index repeats `m`
+//!   times per cycle, preceding each `1/m` of the data file (Figure 2).
+//! * [`OnAirClient`] — the client access protocol (initial probe → index
+//!   search → data retrieval) and the two baseline algorithms the paper
+//!   improves on: the on-air kNN query (Figure 4) and the on-air window
+//!   query (Figure 8), plus the *bound-filtered* variants that SBNN/SBWQ
+//!   use to shrink retrieval after partial peer verification (§3.3.3 and
+//!   §3.4.2).
+//!
+//! Time is measured in **ticks**, one tick being the airtime of one
+//! bucket. Multiply by (bucket bytes ÷ channel bit-rate) for seconds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bucket;
+mod client;
+mod index;
+mod poi;
+mod schedule;
+pub mod wire;
+
+pub use bucket::{Bucket, BucketId};
+pub use client::{AccessStats, OnAirClient, OnAirKnnResult, OnAirWindowResult};
+pub use index::AirIndex;
+pub use poi::{Poi, PoiCategory, PoiId};
+pub use schedule::Schedule;

@@ -1,0 +1,73 @@
+//! Points of interest — the broadcast data items.
+
+use airshare_geom::Point;
+
+/// Unique POI identifier, assigned by the server.
+pub type PoiId = u32;
+
+/// POI category ("data type" in the paper's cache-capacity discussion:
+/// gas stations, hospitals, restaurants, … — caches are sized *per data
+/// type*).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct PoiCategory(pub u8);
+
+impl PoiCategory {
+    /// The default category used when an experiment models a single POI
+    /// type (the paper uses gas stations throughout §4).
+    pub const GAS_STATION: PoiCategory = PoiCategory(0);
+}
+
+/// A point of interest: the unit of data on the broadcast channel, in
+/// peer caches, and in query results.
+///
+/// Per the paper's notation, "we use the object identifier to represent
+/// its position coordinates" — a POI is identified by `id` and carries
+/// its exact location.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Poi {
+    /// Server-assigned identifier.
+    pub id: PoiId,
+    /// Exact position (miles).
+    pub pos: Point,
+    /// Data type.
+    pub category: PoiCategory,
+}
+
+impl Poi {
+    /// Creates a POI in the default category.
+    pub fn new(id: PoiId, pos: Point) -> Self {
+        Self {
+            id,
+            pos,
+            category: PoiCategory::default(),
+        }
+    }
+
+    /// Creates a POI with an explicit category.
+    pub fn with_category(id: PoiId, pos: Point, category: PoiCategory) -> Self {
+        Self { id, pos, category }
+    }
+
+    /// Euclidean distance from this POI to `p`.
+    pub fn distance_to(&self, p: Point) -> f64 {
+        self.pos.distance(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_matches_point_distance() {
+        let poi = Poi::new(7, Point::new(3.0, 4.0));
+        assert!((poi.distance_to(Point::ORIGIN) - 5.0).abs() < 1e-12);
+        assert_eq!(poi.category, PoiCategory::GAS_STATION);
+    }
+
+    #[test]
+    fn category_constructor() {
+        let p = Poi::with_category(1, Point::ORIGIN, PoiCategory(3));
+        assert_eq!(p.category, PoiCategory(3));
+    }
+}

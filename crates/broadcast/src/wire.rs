@@ -1,0 +1,154 @@
+//! Bucket wire format.
+//!
+//! The simulator's timing model charges one tick per bucket; this module
+//! pins down what a bucket physically carries so tick counts translate
+//! to real airtime. Each POI record is 21 bytes (`id: u32`, `x: f64`,
+//! `y: f64`, `category: u8`), and a bucket frame is a 16-byte header
+//! (bucket id, Hilbert range lo/hi as deltas would shrink this further —
+//! kept plain for clarity) followed by the records.
+//!
+//! Encoding uses the `bytes` crate's `BufMut`/`Buf` so frames can be
+//! assembled into transmit buffers without intermediate copies.
+
+use crate::{Bucket, Poi, PoiCategory};
+use airshare_geom::Point;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Bytes per serialized POI record.
+pub const POI_RECORD_BYTES: usize = 4 + 8 + 8 + 1;
+
+/// Bytes of the bucket frame header.
+pub const BUCKET_HEADER_BYTES: usize = 4 + 8 + 2;
+
+/// Serialized size of a bucket with `n` POIs.
+pub fn bucket_frame_bytes(n: usize) -> usize {
+    BUCKET_HEADER_BYTES + n * POI_RECORD_BYTES
+}
+
+/// Errors from [`decode_bucket`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame ended before the declared record count was read.
+    Truncated,
+    /// The declared record count disagrees with the payload length.
+    LengthMismatch,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "bucket frame truncated"),
+            WireError::LengthMismatch => write!(f, "record count does not match payload"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encodes a bucket into its on-air frame.
+pub fn encode_bucket(bucket: &Bucket) -> Bytes {
+    let mut buf = BytesMut::with_capacity(bucket_frame_bytes(bucket.pois.len()));
+    buf.put_u32(bucket.id as u32);
+    buf.put_u64(bucket.hilbert_range.0);
+    // Record count; u16 suffices for any realistic bucket capacity.
+    buf.put_u16(bucket.pois.len() as u16);
+    for poi in &bucket.pois {
+        buf.put_u32(poi.id);
+        buf.put_f64(poi.pos.x);
+        buf.put_f64(poi.pos.y);
+        buf.put_u8(poi.category.0);
+    }
+    buf.freeze()
+}
+
+/// Decodes an on-air frame back into `(bucket id, hilbert lo, POIs)`.
+pub fn decode_bucket(mut frame: Bytes) -> Result<(usize, u64, Vec<Poi>), WireError> {
+    if frame.len() < BUCKET_HEADER_BYTES {
+        return Err(WireError::Truncated);
+    }
+    let id = frame.get_u32() as usize;
+    let h_lo = frame.get_u64();
+    let n = frame.get_u16() as usize;
+    if frame.len() != n * POI_RECORD_BYTES {
+        return Err(WireError::LengthMismatch);
+    }
+    let mut pois = Vec::with_capacity(n);
+    for _ in 0..n {
+        let id = frame.get_u32();
+        let x = frame.get_f64();
+        let y = frame.get_f64();
+        let cat = frame.get_u8();
+        pois.push(Poi::with_category(id, Point::new(x, y), PoiCategory(cat)));
+    }
+    Ok((id, h_lo, pois))
+}
+
+/// Converts a tick count to seconds for a given bucket payload size and
+/// channel bit-rate (e.g. `ticks_to_seconds(n, 64, 1_000_000.0)` for
+/// 64-POI buckets on a 1 Mbps channel).
+pub fn ticks_to_seconds(ticks: u64, bucket_capacity: usize, bits_per_second: f64) -> f64 {
+    let bits = (bucket_frame_bytes(bucket_capacity) * 8) as f64;
+    ticks as f64 * bits / bits_per_second
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AirIndex;
+    use airshare_geom::Rect;
+    use airshare_hilbert::Grid;
+
+    fn sample_bucket() -> Bucket {
+        let world = Rect::from_coords(0.0, 0.0, 8.0, 8.0);
+        let pois = vec![
+            Poi::new(3, Point::new(1.0, 2.0)),
+            Poi::with_category(9, Point::new(2.5, 2.5), PoiCategory(4)),
+        ];
+        let index = AirIndex::build(pois, Grid::new(world, 3), 8);
+        index.buckets()[0].clone()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let b = sample_bucket();
+        let frame = encode_bucket(&b);
+        assert_eq!(frame.len(), bucket_frame_bytes(b.pois.len()));
+        let (id, h_lo, pois) = decode_bucket(frame).unwrap();
+        assert_eq!(id, b.id);
+        assert_eq!(h_lo, b.hilbert_range.0);
+        assert_eq!(pois.len(), b.pois.len());
+        for (a, e) in pois.iter().zip(&b.pois) {
+            assert_eq!(a.id, e.id);
+            assert_eq!(a.pos, e.pos);
+            assert_eq!(a.category, e.category);
+        }
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected() {
+        let b = sample_bucket();
+        let frame = encode_bucket(&b);
+        let short = frame.slice(0..BUCKET_HEADER_BYTES - 1);
+        assert_eq!(decode_bucket(short), Err(WireError::Truncated));
+        let clipped = frame.slice(0..frame.len() - 3);
+        assert_eq!(decode_bucket(clipped), Err(WireError::LengthMismatch));
+    }
+
+    #[test]
+    fn tick_conversion_matches_arithmetic() {
+        // 10-POI buckets: 14 + 210 = 224 bytes = 1792 bits.
+        let secs = ticks_to_seconds(100, 10, 1_000_000.0);
+        assert!((secs - 100.0 * 1792.0 / 1e6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_bucket_frame() {
+        let world = Rect::from_coords(0.0, 0.0, 8.0, 8.0);
+        let pois = vec![Poi::new(0, Point::new(1.0, 1.0))];
+        let index = AirIndex::build(pois, Grid::new(world, 3), 4);
+        let mut b = index.buckets()[0].clone();
+        b.pois.clear();
+        let (_, _, decoded) = decode_bucket(encode_bucket(&b)).unwrap();
+        assert!(decoded.is_empty());
+    }
+}

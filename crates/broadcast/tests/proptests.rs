@@ -1,0 +1,166 @@
+//! Property tests for the broadcast substrate: schedule timing
+//! invariants, on-air query exactness against brute force, and wire
+//! format roundtrips.
+
+use airshare_broadcast::wire::{decode_bucket, encode_bucket};
+use airshare_broadcast::{AirIndex, OnAirClient, Poi, Schedule};
+use airshare_geom::{Point, Rect};
+use airshare_hilbert::Grid;
+use proptest::prelude::*;
+
+const SIDE: f64 = 32.0;
+
+fn build(coords: &[(f64, f64)], cap: usize, m: usize) -> (AirIndex, Schedule) {
+    let pois: Vec<Poi> = coords
+        .iter()
+        .enumerate()
+        .map(|(i, &(x, y))| Poi::new(i as u32, Point::new(x, y)))
+        .collect();
+    let grid = Grid::new(Rect::from_coords(0.0, 0.0, SIDE, SIDE), 5);
+    let index = AirIndex::build(pois, grid, cap);
+    let schedule = Schedule::new(index.data_buckets(), index.index_buckets(), m);
+    (index, schedule)
+}
+
+fn arb_coords() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec((0.0..SIDE, 0.0..SIDE), 20..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn schedule_offsets_are_unique_and_in_cycle(
+        data in 1usize..300,
+        idx in 1usize..8,
+        m in 1usize..16,
+    ) {
+        let s = Schedule::new(data, idx, m);
+        let mut offsets: Vec<u64> = (0..data).map(|b| s.bucket_offset(b)).collect();
+        // Strictly increasing in bucket id and inside the cycle.
+        for w in offsets.windows(2) {
+            prop_assert!(w[1] > w[0]);
+        }
+        prop_assert!(offsets.pop().unwrap() < s.cycle_len());
+        // next_index_start is idempotent and never in the past.
+        for t in [0u64, 1, s.cycle_len() / 2, s.cycle_len(), 3 * s.cycle_len() + 7] {
+            let n = s.next_index_start(t);
+            prop_assert!(n >= t);
+            prop_assert_eq!(s.next_index_start(n), n);
+        }
+    }
+
+    #[test]
+    fn bucket_completion_monotone_in_time(
+        data in 1usize..100,
+        m in 1usize..8,
+        b in 0usize..100,
+        t1 in 0u64..10_000,
+        dt in 0u64..1_000,
+    ) {
+        let s = Schedule::new(data, 2, m);
+        let b = b % data;
+        let c1 = s.bucket_completion_after(b, t1);
+        let c2 = s.bucket_completion_after(b, t1 + dt);
+        prop_assert!(c1 > t1);
+        prop_assert!(c2 >= c1);
+        // A bucket repeats every cycle: completion within one cycle.
+        prop_assert!(c1 - t1 <= s.cycle_len() + 1);
+    }
+
+    #[test]
+    fn onair_knn_matches_brute_force(
+        coords in arb_coords(),
+        qx in 0.0..SIDE, qy in 0.0..SIDE,
+        k in 1usize..10,
+        cap in 1usize..16,
+        tune in 0u64..2_000,
+    ) {
+        let (index, schedule) = build(&coords, cap, 4);
+        let client = OnAirClient::new(&index, &schedule);
+        let q = Point::new(qx, qy);
+        prop_assume!(coords.len() >= k);
+        let res = client.knn(tune, q, k).expect("enough POIs");
+        let mut dists: Vec<f64> = coords
+            .iter()
+            .map(|&(x, y)| Point::new(x, y).distance(q))
+            .collect();
+        dists.sort_by(f64::total_cmp);
+        for (got, want) in res.neighbors.iter().zip(&dists) {
+            prop_assert!((got.distance_to(q) - want).abs() < 1e-9);
+        }
+        // Latency ≥ index read; tuning counts probe + index + buckets.
+        prop_assert!(res.stats.latency >= schedule.index_buckets() as u64);
+        prop_assert_eq!(
+            res.stats.tuning,
+            1 + schedule.index_buckets() as u64 + res.stats.buckets
+        );
+    }
+
+    #[test]
+    fn onair_window_matches_brute_force(
+        coords in arb_coords(),
+        wx in 0.0..SIDE - 4.0, wy in 0.0..SIDE - 4.0,
+        ww in 0.1..4.0f64, wh in 0.1..4.0f64,
+        cap in 1usize..16,
+        tune in 0u64..2_000,
+    ) {
+        let (index, schedule) = build(&coords, cap, 2);
+        let client = OnAirClient::new(&index, &schedule);
+        let w = Rect::from_coords(wx, wy, wx + ww, wy + wh);
+        let res = client.window(tune, &w);
+        let mut got: Vec<u32> = res.pois.iter().map(|p| p.id).collect();
+        got.sort_unstable();
+        let mut want: Vec<u32> = coords
+            .iter()
+            .enumerate()
+            .filter(|(_, &(x, y))| w.contains(Point::new(x, y)))
+            .map(|(i, _)| i as u32)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn wire_roundtrip_any_bucket(coords in arb_coords(), cap in 1usize..32) {
+        let (index, _) = build(&coords, cap, 1);
+        for b in index.buckets() {
+            let (id, h_lo, pois) = decode_bucket(encode_bucket(b)).expect("roundtrip");
+            prop_assert_eq!(id, b.id);
+            prop_assert_eq!(h_lo, b.hilbert_range.0);
+            prop_assert_eq!(pois.len(), b.pois.len());
+            for (a, e) in pois.iter().zip(&b.pois) {
+                prop_assert_eq!(a.id, e.id);
+                prop_assert_eq!(a.pos, e.pos);
+            }
+        }
+    }
+
+    #[test]
+    fn filtered_knn_with_consistent_knowledge_is_exact(
+        coords in arb_coords(),
+        qx in 0.0..SIDE, qy in 0.0..SIDE,
+        k in 1usize..6,
+        inner in 0.0..10.0f64,
+    ) {
+        prop_assume!(coords.len() >= k);
+        let (index, schedule) = build(&coords, 4, 4);
+        let client = OnAirClient::new(&index, &schedule);
+        let q = Point::new(qx, qy);
+        // Knowledge: everything within `inner` of q (a sound inner circle).
+        let known: Vec<Poi> = coords
+            .iter()
+            .enumerate()
+            .filter(|(_, &(x, y))| Point::new(x, y).distance(q) <= inner)
+            .map(|(i, &(x, y))| Poi::new(i as u32, Point::new(x, y)))
+            .collect();
+        let cold = client.knn(0, q, k).expect("enough POIs");
+        let filt = client
+            .knn_filtered(0, q, k, &known, Some(inner), None)
+            .expect("enough POIs");
+        for (a, b) in cold.neighbors.iter().zip(&filt.neighbors) {
+            prop_assert!((a.distance_to(q) - b.distance_to(q)).abs() < 1e-9);
+        }
+        prop_assert!(filt.stats.buckets <= cold.stats.buckets);
+    }
+}

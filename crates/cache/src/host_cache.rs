@@ -1,0 +1,314 @@
+//! The per-host cache.
+
+use crate::{RegionEntry, ReplacementPolicy};
+use airshare_broadcast::{Poi, PoiCategory};
+use airshare_geom::{Point, Rect};
+use std::collections::HashMap;
+
+/// Host state a replacement decision depends on.
+#[derive(Clone, Copy, Debug)]
+pub struct CacheContext {
+    /// The host's current position.
+    pub pos: Point,
+    /// Unit heading, `None` while paused.
+    pub heading: Option<(f64, f64)>,
+    /// Simulation time (minutes).
+    pub now: f64,
+}
+
+/// A mobile host's query-result cache.
+///
+/// Storage is organized per POI category ("data type"); the capacity
+/// (`CSize` in Table 4) bounds the number of *POIs* cached per category.
+/// Entries are whole [`RegionEntry`]s and are evicted whole, so the
+/// verified-region invariant can never be broken by partial eviction.
+#[derive(Clone, Debug)]
+pub struct HostCache {
+    capacity_per_category: usize,
+    max_regions: usize,
+    /// Fraction of an existing region that must be covered by an
+    /// incoming region for the old entry to be dropped as redundant.
+    /// 1.0 = only full containment (strict subsumption).
+    subsume_overlap: f64,
+    policy: ReplacementPolicy,
+    entries: HashMap<PoiCategory, Vec<RegionEntry>>,
+}
+
+impl HostCache {
+    /// Creates a cache with the given per-category POI capacity. The
+    /// number of cached *regions* per category is also bounded (by the
+    /// same figure): verified regions that happen to contain zero POIs
+    /// are useful knowledge but must not accumulate without limit.
+    pub fn new(capacity_per_category: usize, policy: ReplacementPolicy) -> Self {
+        Self {
+            capacity_per_category,
+            max_regions: capacity_per_category,
+            subsume_overlap: 1.0,
+            policy,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Enables *anti-fragmentation* subsumption: an existing entry is
+    /// dropped when the incoming region covers at least `fraction` of its
+    /// area (always sound — dropping an entry only forgets knowledge).
+    /// Hosts that query the same neighborhood repeatedly otherwise
+    /// accumulate stacks of near-identical regions that bloat share
+    /// replies without adding coverage.
+    pub fn with_subsume_overlap(mut self, fraction: f64) -> Self {
+        self.subsume_overlap = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Overrides the per-category bound on the number of cached regions
+    /// (default: the POI capacity).
+    pub fn with_max_regions(mut self, max_regions: usize) -> Self {
+        self.max_regions = max_regions.max(1);
+        self
+    }
+
+    /// The per-category bound on the number of cached regions.
+    pub fn max_regions(&self) -> usize {
+        self.max_regions
+    }
+
+    /// The per-category capacity in POIs.
+    pub fn capacity(&self) -> usize {
+        self.capacity_per_category
+    }
+
+    /// The configured replacement policy.
+    pub fn policy(&self) -> ReplacementPolicy {
+        self.policy
+    }
+
+    /// Cached POI count for a category.
+    pub fn poi_count(&self, category: PoiCategory) -> usize {
+        self.entries
+            .get(&category)
+            .map(|v| v.iter().map(RegionEntry::len).sum())
+            .unwrap_or(0)
+    }
+
+    /// The verified regions currently cached for a category.
+    pub fn regions(&self, category: PoiCategory) -> &[RegionEntry] {
+        self.entries
+            .get(&category)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Inserts a verified entry for `category`, evicting per policy until
+    /// the capacity holds. An entry larger than the whole capacity is
+    /// shrunk around the host position first.
+    ///
+    /// Entries whose region is contained in the new entry's region are
+    /// dropped (subsumed: their POIs are a subset by the completeness
+    /// invariant).
+    pub fn insert(&mut self, category: PoiCategory, entry: RegionEntry, ctx: &CacheContext) {
+        if self.capacity_per_category == 0 {
+            return;
+        }
+        let entry = entry.shrink_to_fit(ctx.pos, self.capacity_per_category);
+        let list = self.entries.entry(category).or_default();
+        let threshold = self.subsume_overlap;
+        list.retain(|e| {
+            if entry.vr.contains_rect(&e.vr) {
+                return false;
+            }
+            if threshold < 1.0 && e.vr.area() > 0.0 {
+                if let Some(i) = entry.vr.intersection(&e.vr) {
+                    if i.area() >= threshold * e.vr.area() {
+                        return false;
+                    }
+                }
+            }
+            true
+        });
+        // Evict worst-scored existing entries until the new entry fits.
+        // The new entry itself is never a victim: it answers the query
+        // in flight.
+        let budget = self.capacity_per_category.saturating_sub(entry.len());
+        while !list.is_empty()
+            && (list.iter().map(RegionEntry::len).sum::<usize>() > budget
+                || list.len() + 1 > self.max_regions)
+        {
+            let (worst, _) = list
+                .iter()
+                .enumerate()
+                .map(|(i, e)| (i, self.policy.score(e, ctx.pos, ctx.heading, ctx.now)))
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("non-empty list");
+            list.swap_remove(worst);
+        }
+        list.push(entry);
+    }
+
+    /// Marks entries intersecting `area` as used at `now` (LRU upkeep).
+    pub fn touch(&mut self, category: PoiCategory, area: &Rect, now: f64) {
+        if let Some(list) = self.entries.get_mut(&category) {
+            for e in list {
+                if e.vr.intersects(area) {
+                    e.last_used = now;
+                }
+            }
+        }
+    }
+
+    /// The share snapshot a peer receives on request: every verified
+    /// region with its POIs (the paper's `⟨p.VR, p.O⟩` reply).
+    pub fn share_snapshot(&self, category: PoiCategory) -> Vec<(Rect, Vec<Poi>)> {
+        self.regions(category)
+            .iter()
+            .map(|e| (e.vr, e.pois.clone()))
+            .collect()
+    }
+
+    /// Drops everything (e.g. on simulation reset).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CAT: PoiCategory = PoiCategory::GAS_STATION;
+
+    fn ctx(x: f64, y: f64) -> CacheContext {
+        CacheContext {
+            pos: Point::new(x, y),
+            heading: Some((1.0, 0.0)),
+            now: 0.0,
+        }
+    }
+
+    fn entry(cx: f64, cy: f64, n: u32, id0: u32) -> RegionEntry {
+        let vr = Rect::centered_square(Point::new(cx, cy), 1.0);
+        let pois = (0..n).map(|i| {
+            Poi::new(
+                id0 + i,
+                Point::new(cx - 0.5 + i as f64 * 0.9 / n.max(1) as f64, cy),
+            )
+        });
+        RegionEntry::new(vr, pois, 0.0)
+    }
+
+    #[test]
+    fn insert_within_capacity_keeps_everything() {
+        let mut c = HostCache::new(10, ReplacementPolicy::default());
+        c.insert(CAT, entry(0.0, 0.0, 4, 0), &ctx(0.0, 0.0));
+        c.insert(CAT, entry(5.0, 0.0, 4, 10), &ctx(0.0, 0.0));
+        assert_eq!(c.poi_count(CAT), 8);
+        assert_eq!(c.regions(CAT).len(), 2);
+    }
+
+    #[test]
+    fn eviction_respects_capacity() {
+        let mut c = HostCache::new(6, ReplacementPolicy::DistanceOnly);
+        c.insert(CAT, entry(0.0, 0.0, 4, 0), &ctx(0.0, 0.0));
+        c.insert(CAT, entry(10.0, 0.0, 4, 10), &ctx(0.0, 0.0));
+        assert!(c.poi_count(CAT) <= 6);
+        // The far region was evicted? No: the far region was just
+        // inserted (protected); the near one got evicted instead.
+        assert_eq!(c.regions(CAT).len(), 1);
+        assert!(c.regions(CAT)[0].vr.contains(Point::new(10.0, 0.0)));
+    }
+
+    #[test]
+    fn direction_policy_evicts_region_behind() {
+        let mut c = HostCache::new(8, ReplacementPolicy::DirectionDistance);
+        // Host at origin heading east.
+        c.insert(CAT, entry(5.0, 0.0, 4, 0), &ctx(0.0, 0.0)); // ahead
+        c.insert(CAT, entry(-5.0, 0.0, 4, 10), &ctx(0.0, 0.0)); // behind
+        // Third insert forces eviction of one old entry.
+        c.insert(CAT, entry(0.0, 3.0, 4, 20), &ctx(0.0, 0.0));
+        assert!(c.poi_count(CAT) <= 8);
+        let kept_ahead = c
+            .regions(CAT)
+            .iter()
+            .any(|e| e.vr.contains(Point::new(5.0, 0.0)));
+        let kept_behind = c
+            .regions(CAT)
+            .iter()
+            .any(|e| e.vr.contains(Point::new(-5.0, 0.0)));
+        assert!(kept_ahead && !kept_behind);
+    }
+
+    #[test]
+    fn oversized_entry_is_shrunk_not_rejected() {
+        let mut c = HostCache::new(5, ReplacementPolicy::default());
+        c.insert(CAT, entry(0.0, 0.0, 20, 0), &ctx(0.0, 0.0));
+        assert!(c.poi_count(CAT) <= 5);
+        assert_eq!(c.regions(CAT).len(), 1);
+        // The shrunk region still covers the host's position (clamped).
+        assert!(c.regions(CAT)[0].vr.contains(Point::new(0.0, 0.0)));
+    }
+
+    #[test]
+    fn subsumed_regions_are_dropped() {
+        let mut c = HostCache::new(20, ReplacementPolicy::default());
+        let small = RegionEntry::new(
+            Rect::from_coords(0.0, 0.0, 1.0, 1.0),
+            [Poi::new(0, Point::new(0.5, 0.5))],
+            0.0,
+        );
+        let big = RegionEntry::new(
+            Rect::from_coords(-1.0, -1.0, 2.0, 2.0),
+            [Poi::new(0, Point::new(0.5, 0.5)), Poi::new(1, Point::new(1.5, 1.5))],
+            1.0,
+        );
+        c.insert(CAT, small, &ctx(0.0, 0.0));
+        c.insert(CAT, big, &ctx(0.0, 0.0));
+        assert_eq!(c.regions(CAT).len(), 1);
+        assert_eq!(c.poi_count(CAT), 2);
+    }
+
+    #[test]
+    fn categories_are_isolated() {
+        let mut c = HostCache::new(4, ReplacementPolicy::default());
+        c.insert(PoiCategory(0), entry(0.0, 0.0, 4, 0), &ctx(0.0, 0.0));
+        c.insert(PoiCategory(1), entry(5.0, 5.0, 4, 10), &ctx(0.0, 0.0));
+        assert_eq!(c.poi_count(PoiCategory(0)), 4);
+        assert_eq!(c.poi_count(PoiCategory(1)), 4);
+    }
+
+    #[test]
+    fn zero_capacity_caches_nothing() {
+        let mut c = HostCache::new(0, ReplacementPolicy::default());
+        c.insert(CAT, entry(0.0, 0.0, 3, 0), &ctx(0.0, 0.0));
+        assert_eq!(c.poi_count(CAT), 0);
+        assert!(c.share_snapshot(CAT).is_empty());
+    }
+
+    #[test]
+    fn snapshot_matches_contents() {
+        let mut c = HostCache::new(10, ReplacementPolicy::default());
+        c.insert(CAT, entry(2.0, 2.0, 3, 0), &ctx(2.0, 2.0));
+        let snap = c.share_snapshot(CAT);
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].1.len(), 3);
+        for p in &snap[0].1 {
+            assert!(snap[0].0.contains(p.pos));
+        }
+    }
+
+    #[test]
+    fn lru_touch_protects_hot_entries() {
+        let mut c = HostCache::new(8, ReplacementPolicy::Lru);
+        c.insert(CAT, entry(0.0, 0.0, 4, 0), &ctx(0.0, 0.0));
+        c.insert(CAT, entry(10.0, 10.0, 4, 10), &ctx(0.0, 0.0));
+        // Touch the first region, then overflow: second should go.
+        let hot = Rect::centered_square(Point::new(0.0, 0.0), 0.5);
+        c.touch(CAT, &hot, 5.0);
+        let mut ctx2 = ctx(0.0, 0.0);
+        ctx2.now = 6.0;
+        c.insert(CAT, entry(20.0, 20.0, 4, 20), &ctx2);
+        let kept_hot = c
+            .regions(CAT)
+            .iter()
+            .any(|e| e.vr.contains(Point::new(0.0, 0.0)));
+        assert!(kept_hot, "recently touched entry evicted under LRU");
+    }
+}

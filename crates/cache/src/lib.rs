@@ -1,0 +1,30 @@
+//! Mobile-host result caches with *verified-region* semantics.
+//!
+//! The currency of the paper's P2P sharing is the pair `⟨p.VR, p.O⟩`: a
+//! peer's **verified region** (an MBR within which the peer knows *every*
+//! POI, because the data came from the authoritative broadcast) together
+//! with the POIs inside it. Lemma 3.1's soundness rests entirely on that
+//! invariant — if a cache could hold a region while missing one of its
+//! POIs, SBNN would certify wrong answers. This crate therefore treats
+//! the *(region, POI-set)* pair as the atomic cache entry:
+//!
+//! * [`RegionEntry`] — one verified region and exactly the POIs inside it.
+//! * [`HostCache`] — per-category storage under a POI-count capacity
+//!   (`CSize` of Table 4), with whole-entry eviction so soundness can
+//!   never be violated by partial eviction. Oversized incoming entries
+//!   are *shrunk around the host* (region scaled down until its POI count
+//!   fits), preserving the invariant.
+//! * [`ReplacementPolicy`] — the paper's direction + distance policy
+//!   (after Ren & Dunham's semantic caching), plus distance-only and LRU
+//!   baselines for the ablation benchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod entry;
+mod host_cache;
+mod policy;
+
+pub use entry::RegionEntry;
+pub use host_cache::{CacheContext, HostCache};
+pub use policy::ReplacementPolicy;

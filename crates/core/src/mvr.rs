@@ -1,0 +1,288 @@
+//! The merged verified region and the peer data behind it.
+
+use airshare_broadcast::Poi;
+use airshare_geom::{Point, Rect, RectUnion, Segment};
+use airshare_p2p::PeerReply;
+
+/// Peer knowledge merged for one query: the region union
+/// `MVR = p₁.VR ∪ … ∪ pⱼ.VR` plus the deduplicated POIs inside it.
+///
+/// By the cache invariant every POI located inside the MVR is present in
+/// `pois` — the completeness that Lemma 3.1 and the §3.3.3 search bounds
+/// rely on.
+#[derive(Clone, Debug)]
+pub struct MergedRegion {
+    region: RectUnion,
+    pois: Vec<Poi>,
+}
+
+impl MergedRegion {
+    /// Merges peer replies (the `MapOverlay` step of Algorithm 1,
+    /// specialized to MBRs). POIs are deduplicated by id.
+    pub fn from_replies(replies: &[PeerReply]) -> Self {
+        let region = RectUnion::from_rects(
+            replies
+                .iter()
+                .flat_map(|r| r.regions.iter().map(|(vr, _)| *vr)),
+        );
+        let mut pois: Vec<Poi> = replies
+            .iter()
+            .flat_map(|r| r.regions.iter().flat_map(|(_, ps)| ps.iter().copied()))
+            .collect();
+        pois.sort_by_key(|p| p.id);
+        pois.dedup_by_key(|p| p.id);
+        Self { region, pois }
+    }
+
+    /// Builds directly from `(VR, POIs)` pairs (used in tests and by
+    /// hosts merging their *own* cache with peer data).
+    pub fn from_regions(regions: impl IntoIterator<Item = (Rect, Vec<Poi>)>) -> Self {
+        let mut rects = Vec::new();
+        let mut pois = Vec::new();
+        for (vr, ps) in regions {
+            rects.push(vr);
+            pois.extend(ps);
+        }
+        pois.sort_by_key(|p: &Poi| p.id);
+        pois.dedup_by_key(|p| p.id);
+        Self {
+            region: RectUnion::from_rects(rects),
+            pois,
+        }
+    }
+
+    /// The union geometry.
+    pub fn region(&self) -> &RectUnion {
+        &self.region
+    }
+
+    /// All known POIs (deduplicated), unordered.
+    pub fn pois(&self) -> &[Poi] {
+        &self.pois
+    }
+
+    /// No peer contributed any region.
+    pub fn is_empty(&self) -> bool {
+        self.region.is_empty()
+    }
+
+    /// `q` lies inside the MVR — the precondition of Lemma 3.1.
+    pub fn contains(&self, q: Point) -> bool {
+        self.region.contains(q)
+    }
+
+    /// Distance from `q` to the nearest MVR boundary edge `e_s`, with the
+    /// edge itself. `None` when the MVR is empty.
+    pub fn nearest_edge(&self, q: Point) -> Option<(f64, Segment)> {
+        self.region.distance_to_boundary(q)
+    }
+
+    /// POIs within `rect`, by reference.
+    pub fn pois_in_rect<'a>(&'a self, rect: &'a Rect) -> impl Iterator<Item = &'a Poi> + 'a {
+        self.pois.iter().filter(move |p| rect.contains(p.pos))
+    }
+
+    /// Restricts the merged region to the rectangles intersecting the
+    /// disk `D(q, radius)` and the POIs within `radius` of `q`.
+    ///
+    /// This is *exact* for every question confined to the disk: for any
+    /// ball `B(q, r)` with `r ≤ radius`, `B ⊆ full-union ⟺ B ⊆
+    /// pruned-union` (any member rectangle covering part of `B`
+    /// intersects the disk and is therefore kept). Hence the Lemma-3.1
+    /// boundary distance (capped at `radius`), candidate verification,
+    /// and Lemma-3.2 unverified areas for candidates within `radius` are
+    /// unchanged — while the geometry shrinks from *all* peer regions to
+    /// the handful near the query, which is what keeps NNV fast when
+    /// peers carry dozens of cached regions each.
+    pub fn pruned_to_disk(&self, q: Point, radius: f64) -> MergedRegion {
+        if !radius.is_finite() {
+            return self.clone();
+        }
+        let r_sq = radius * radius;
+        let region = RectUnion::from_rects(
+            self.region
+                .rects()
+                .iter()
+                .filter(|r| r.distance_sq_to_point(q) <= r_sq)
+                .copied(),
+        );
+        // Every POI lives inside some member rectangle; POIs within the
+        // radius therefore lie in kept rectangles.
+        let pois = self
+            .pois
+            .iter()
+            .filter(|p| p.pos.distance_sq(q) <= r_sq)
+            .copied()
+            .collect();
+        MergedRegion { region, pois }
+    }
+
+    /// A sound verified region a host may adopt after answering a query
+    /// purely from peers: the largest axis-aligned square centred on `q`
+    /// inside the MVR (every POI inside the MVR is known, so any
+    /// sub-rectangle is verified). `max_half` caps the search.
+    pub fn adoptable_region(&self, q: Point, max_half: f64) -> Option<Rect> {
+        self.region.largest_inscribed_square(q, max_half)
+    }
+
+    /// `min(‖q, e_s‖, cap)` — the boundary distance of Lemma 3.1, exact
+    /// whenever it is below `cap`. Returns `None` when `q` is outside the
+    /// region (or the region is empty).
+    ///
+    /// Computed by expanding prune: boundary points of the union pruned
+    /// to `D(q, r)` that lie closer than `r` are genuine boundary points
+    /// of the full union (any rectangle covering their far side would
+    /// intersect the disk and be kept), so the first prune radius whose
+    /// boundary distance falls below it gives the exact answer — without
+    /// ever sweeping the full region set.
+    pub fn boundary_distance_capped(&self, q: Point, cap: f64) -> Option<f64> {
+        if cap <= 0.0 || !self.contains(q) {
+            return None;
+        }
+        let mut r = (cap / 16.0).max(1e-6);
+        loop {
+            let r_probe = r.min(cap);
+            let pruned = RectUnion::from_rects(
+                self.region
+                    .rects()
+                    .iter()
+                    .filter(|rect| rect.distance_sq_to_point(q) <= r_probe * r_probe)
+                    .copied(),
+            );
+            let (d, _) = pruned.distance_to_boundary(q)?;
+            if d < r_probe {
+                return Some(d.min(cap));
+            }
+            if r_probe >= cap {
+                // Even the cap-radius ball is covered.
+                return Some(cap);
+            }
+            r *= 4.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reply(peer: usize, vr: Rect, pois: Vec<Poi>) -> PeerReply {
+        PeerReply {
+            peer,
+            regions: vec![(vr, pois)],
+        }
+    }
+
+    #[test]
+    fn merge_dedups_pois_across_peers() {
+        let shared = Poi::new(1, Point::new(0.5, 0.5));
+        let a = reply(
+            0,
+            Rect::from_coords(0.0, 0.0, 1.0, 1.0),
+            vec![shared, Poi::new(2, Point::new(0.2, 0.2))],
+        );
+        let b = reply(1, Rect::from_coords(0.0, 0.0, 2.0, 2.0), vec![shared]);
+        let m = MergedRegion::from_replies(&[a, b]);
+        assert_eq!(m.pois().len(), 2);
+        assert!(m.contains(Point::new(1.5, 1.5)));
+        assert!(!m.contains(Point::new(3.0, 3.0)));
+    }
+
+    #[test]
+    fn empty_when_no_replies() {
+        let m = MergedRegion::from_replies(&[]);
+        assert!(m.is_empty());
+        assert_eq!(m.nearest_edge(Point::ORIGIN), None);
+        assert_eq!(m.adoptable_region(Point::ORIGIN, 1.0), None);
+    }
+
+    #[test]
+    fn nearest_edge_across_merged_regions() {
+        // Two abutting squares: from the seam, the nearest boundary is
+        // the outer rim, not the (interior) shared edge.
+        let a = reply(0, Rect::from_coords(0.0, 0.0, 1.0, 2.0), vec![]);
+        let b = reply(1, Rect::from_coords(1.0, 0.0, 2.0, 2.0), vec![]);
+        let m = MergedRegion::from_replies(&[a, b]);
+        let (d, _) = m.nearest_edge(Point::new(1.0, 1.0)).unwrap();
+        assert!((d - 1.0).abs() < 1e-9, "expected 1.0, got {d}");
+    }
+
+    #[test]
+    fn boundary_distance_capped_is_exact_below_cap() {
+        // L-shape; q deep in the wide arm: true boundary distance 0.5.
+        let a = reply(0, Rect::from_coords(0.0, 0.0, 4.0, 1.0), vec![]);
+        let b = reply(1, Rect::from_coords(0.0, 0.0, 1.0, 4.0), vec![]);
+        let m = MergedRegion::from_replies(&[a, b]);
+        let q = Point::new(2.0, 0.5);
+        let d = m.boundary_distance_capped(q, 10.0).unwrap();
+        assert!((d - 0.5).abs() < 1e-9, "d = {d}");
+        // Cap below the true distance: returns the cap (ball of that
+        // radius is proven covered).
+        let capped = m.boundary_distance_capped(q, 0.2).unwrap();
+        assert!((capped - 0.2).abs() < 1e-9);
+        // Outside the region: no distance.
+        assert_eq!(m.boundary_distance_capped(Point::new(9.0, 9.0), 1.0), None);
+        assert_eq!(m.boundary_distance_capped(q, 0.0), None);
+    }
+
+    #[test]
+    fn boundary_distance_capped_agrees_with_full_sweep() {
+        // Random-ish cluster; compare against the exhaustive boundary.
+        let rects = [
+            Rect::from_coords(0.0, 0.0, 3.0, 2.0),
+            Rect::from_coords(2.0, 1.0, 5.0, 4.0),
+            Rect::from_coords(1.0, 1.5, 2.5, 3.5),
+        ];
+        let m = MergedRegion::from_regions(rects.iter().map(|r| (*r, Vec::<Poi>::new())));
+        for q in [
+            Point::new(1.0, 1.0),
+            Point::new(2.5, 2.0),
+            Point::new(4.0, 3.0),
+            Point::new(2.2, 1.7),
+        ] {
+            let fast = m.boundary_distance_capped(q, 100.0).unwrap();
+            let (slow, _) = m.region().distance_to_boundary(q).unwrap();
+            assert!((fast - slow).abs() < 1e-9, "{q:?}: {fast} vs {slow}");
+        }
+    }
+
+    #[test]
+    fn pruned_region_answers_match_full_within_radius() {
+        let rects = [
+            Rect::from_coords(0.0, 0.0, 2.0, 2.0),
+            Rect::from_coords(1.5, 0.0, 4.0, 2.0),
+            Rect::from_coords(20.0, 20.0, 22.0, 22.0), // far away
+        ];
+        let pois = [
+            Poi::new(0, Point::new(1.0, 1.0)),
+            Poi::new(1, Point::new(3.0, 1.0)),
+            Poi::new(2, Point::new(21.0, 21.0)),
+        ];
+        let m = MergedRegion::from_regions(
+            rects
+                .iter()
+                .map(|r| (*r, pois.iter().filter(|p| r.contains(p.pos)).copied().collect())),
+        );
+        let q = Point::new(1.2, 1.0);
+        let pruned = m.pruned_to_disk(q, 2.5);
+        // The far rect and its POI are gone…
+        assert_eq!(pruned.pois().len(), 2);
+        assert_eq!(pruned.region().rects().len(), 2);
+        // …but near-field geometry is identical.
+        let (d_full, _) = m.nearest_edge(q).unwrap();
+        let (d_pruned, _) = pruned.nearest_edge(q).unwrap();
+        assert!((d_full - d_pruned).abs() < 1e-9);
+        // Infinite radius is a no-op clone.
+        let all = m.pruned_to_disk(q, f64::INFINITY);
+        assert_eq!(all.pois().len(), 3);
+    }
+
+    #[test]
+    fn adoptable_region_is_inside_mvr() {
+        let a = reply(0, Rect::from_coords(0.0, 0.0, 4.0, 4.0), vec![]);
+        let m = MergedRegion::from_replies(&[a]);
+        let r = m.adoptable_region(Point::new(2.0, 2.0), 10.0).unwrap();
+        assert!(Rect::from_coords(-1e-6, -1e-6, 4.0 + 1e-6, 4.0 + 1e-6).contains_rect(&r));
+        assert!(r.width() > 3.9);
+    }
+}

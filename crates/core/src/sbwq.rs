@@ -1,0 +1,224 @@
+//! Sharing-based window queries (Algorithm 3, §3.4).
+
+use crate::MergedRegion;
+use airshare_broadcast::{AccessStats, OnAirClient, Poi};
+use airshare_geom::{Rect, RectUnion};
+
+use crate::ResolvedBy;
+
+/// Configuration of one SBWQ query.
+#[derive(Clone, Copy, Debug)]
+pub struct SbwqConfig {
+    /// Reduce the query window to the uncovered remainder before going on
+    /// air (§3.4.2). Disable for the ablation (the fallback then fetches
+    /// the whole window).
+    pub use_window_reduction: bool,
+}
+
+impl Default for SbwqConfig {
+    fn default() -> Self {
+        Self {
+            use_window_reduction: true,
+        }
+    }
+}
+
+/// A resolved window query.
+#[derive(Clone, Debug)]
+pub struct SbwqResult {
+    /// All POIs inside the query window (exact).
+    pub pois: Vec<Poi>,
+    /// How the query was answered. Window queries have no approximate
+    /// tier: either the MVR covers the window, or the channel fills the
+    /// gaps.
+    pub resolved_by: ResolvedBy,
+    /// The reduced windows `w′` that had to be fetched on air (empty when
+    /// peers covered everything).
+    pub reduced_windows: Vec<Rect>,
+    /// Fraction of the window's area covered by the MVR at query time.
+    pub coverage: f64,
+    /// Broadcast cost when the channel was used.
+    pub air: Option<AccessStats>,
+}
+
+/// Outcome of [`sbwq`].
+#[derive(Clone, Debug)]
+pub enum SbwqOutcome {
+    /// The query was answered exactly.
+    Resolved(SbwqResult),
+    /// Peers covered only part of the window and no channel was
+    /// available; carries the partial POIs and the missing windows.
+    Unresolved {
+        /// POIs known inside the covered part of the window.
+        partial: Vec<Poi>,
+        /// The uncovered remainder.
+        missing: Vec<Rect>,
+    },
+}
+
+impl SbwqOutcome {
+    /// The result, if resolved.
+    pub fn resolved(self) -> Option<SbwqResult> {
+        match self {
+            SbwqOutcome::Resolved(r) => Some(r),
+            SbwqOutcome::Unresolved { .. } => None,
+        }
+    }
+}
+
+/// Algorithm 3 — the sharing-based window query.
+///
+/// 1. Merge peer verified regions into the MVR.
+/// 2. If the window `w` is entirely covered, return the known POIs inside
+///    `w` (exact, `PeersVerified`).
+/// 3. Otherwise compute the reduced windows `w′ = w \ MVR` and fetch only
+///    those on air, merging with the POIs already known in `w ∩ MVR`.
+pub fn sbwq(
+    w: &Rect,
+    cfg: &SbwqConfig,
+    mvr: &MergedRegion,
+    air: Option<(&OnAirClient<'_>, u64)>,
+) -> SbwqOutcome {
+    let missing = mvr.region().rect_difference(w);
+    let covered_area = (w.area() - missing.iter().map(Rect::area).sum::<f64>()).max(0.0);
+    let coverage = if w.area() > 0.0 {
+        covered_area / w.area()
+    } else {
+        1.0
+    };
+
+    let known_in_window: Vec<Poi> = mvr.pois_in_rect(w).copied().collect();
+
+    if missing.is_empty() {
+        return SbwqOutcome::Resolved(SbwqResult {
+            pois: known_in_window,
+            resolved_by: ResolvedBy::PeersVerified,
+            reduced_windows: Vec::new(),
+            coverage: 1.0,
+            air: None,
+        });
+    }
+
+    let Some((client, tune_in)) = air else {
+        return SbwqOutcome::Unresolved {
+            partial: known_in_window,
+            missing,
+        };
+    };
+
+    let (fetched, reduced_windows) = if cfg.use_window_reduction {
+        (client.window_reduced(tune_in, &missing), missing)
+    } else {
+        (client.window(tune_in, w), vec![*w])
+    };
+    let stats = fetched.stats;
+
+    // Merge: known POIs in the covered part + fetched POIs in the
+    // remainder, deduplicated by id (a fetched bucket may repeat POIs the
+    // peers already supplied when reduction is off).
+    let mut pois = known_in_window;
+    pois.extend(fetched.pois.into_iter().filter(|p| w.contains(p.pos)));
+    pois.sort_by_key(|p| p.id);
+    pois.dedup_by_key(|p| p.id);
+
+    SbwqOutcome::Resolved(SbwqResult {
+        pois,
+        resolved_by: ResolvedBy::Broadcast,
+        reduced_windows,
+        coverage,
+        air: Some(stats),
+    })
+}
+
+/// The verified region a host may cache after a window query: the window
+/// itself when resolved (it is then fully known), regardless of how the
+/// gaps were filled.
+pub fn adoptable_window_region(w: &Rect, result: &SbwqResult) -> (Rect, Vec<Poi>) {
+    debug_assert!({
+        // All POIs lie inside w.
+        result.pois.iter().all(|p| w.contains(p.pos))
+    });
+    (*w, result.pois.clone())
+}
+
+/// Convenience for tests and diagnostics: the fraction of `w` covered by
+/// a region union.
+pub fn window_coverage(w: &Rect, region: &RectUnion) -> f64 {
+    if w.area() <= 0.0 {
+        return 1.0;
+    }
+    let missing: f64 = region.rect_difference(w).iter().map(Rect::area).sum();
+    ((w.area() - missing) / w.area()).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airshare_geom::Point;
+
+    fn mvr(pairs: Vec<(Rect, Vec<Poi>)>) -> MergedRegion {
+        MergedRegion::from_regions(pairs)
+    }
+
+    fn poi(id: u32, x: f64, y: f64) -> Poi {
+        Poi::new(id, Point::new(x, y))
+    }
+
+    #[test]
+    fn fully_covered_window_resolves_from_peers() {
+        // Paper Figure 9, WQ1: the window falls inside the MVR.
+        let m = mvr(vec![(
+            Rect::from_coords(0.0, 0.0, 10.0, 10.0),
+            vec![poi(1, 2.0, 2.0), poi(4, 3.0, 3.0), poi(9, 9.0, 9.0)],
+        )]);
+        let w = Rect::from_coords(1.0, 1.0, 4.0, 4.0);
+        let res = sbwq(&w, &SbwqConfig::default(), &m, None)
+            .resolved()
+            .expect("covered window resolves");
+        assert_eq!(res.resolved_by, ResolvedBy::PeersVerified);
+        assert_eq!(res.coverage, 1.0);
+        let mut ids: Vec<u32> = res.pois.iter().map(|p| p.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 4]);
+    }
+
+    #[test]
+    fn partial_coverage_without_channel_is_unresolved() {
+        let m = mvr(vec![(
+            Rect::from_coords(0.0, 0.0, 2.0, 4.0),
+            vec![poi(1, 1.0, 2.0)],
+        )]);
+        let w = Rect::from_coords(1.0, 1.0, 5.0, 3.0);
+        match sbwq(&w, &SbwqConfig::default(), &m, None) {
+            SbwqOutcome::Unresolved { partial, missing } => {
+                assert_eq!(partial.len(), 1);
+                assert!(!missing.is_empty());
+                let miss_area: f64 = missing.iter().map(Rect::area).sum();
+                assert!((miss_area - 6.0).abs() < 1e-9, "missing {miss_area}");
+            }
+            SbwqOutcome::Resolved(_) => panic!("should be unresolved"),
+        }
+    }
+
+    #[test]
+    fn coverage_fraction_reported() {
+        let m = mvr(vec![(Rect::from_coords(0.0, 0.0, 2.0, 2.0), vec![])]);
+        let w = Rect::from_coords(0.0, 0.0, 4.0, 2.0);
+        match sbwq(&w, &SbwqConfig::default(), &m, None) {
+            SbwqOutcome::Unresolved { .. } => {}
+            _ => panic!(),
+        }
+        assert!((window_coverage(&w, m.region()) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_window_is_trivially_covered() {
+        let m = mvr(vec![]);
+        let w = Rect::from_coords(1.0, 1.0, 1.0, 5.0); // zero width
+        let res = sbwq(&w, &SbwqConfig::default(), &m, None)
+            .resolved()
+            .expect("degenerate window");
+        assert!(res.pois.is_empty());
+        assert_eq!(res.resolved_by, ResolvedBy::PeersVerified);
+    }
+}

@@ -1,0 +1,528 @@
+//! Unions of axis-aligned rectangles — the *merged verified region*.
+//!
+//! Each peer contributes its verified region as an MBR; SBNN/SBWQ operate
+//! on the union `MVR = VR₁ ∪ … ∪ VRⱼ`. The paper invokes the general
+//! `MapOverlay` algorithm of de Berg et al.; because every input is an
+//! axis-aligned rectangle, the overlay specializes to exact sweep-line
+//! interval algebra, which is what this module implements:
+//!
+//! * [`RectUnion::contains`] — is the query host inside the MVR?
+//!   (precondition of Lemma 3.1)
+//! * [`RectUnion::boundary_edges`] / [`RectUnion::distance_to_boundary`] —
+//!   the edge set `E` of the MVR and the nearest edge `e_s` whose distance
+//!   `‖q, e_s‖` is the verification radius of Lemma 3.1.
+//! * [`RectUnion::disjoint_rects`] / [`RectUnion::area`] — a disjoint slab
+//!   decomposition, which also powers the exact disk∩region areas behind
+//!   Lemma 3.2.
+//! * [`RectUnion::covers_rect`] / [`RectUnion::rect_difference`] — window
+//!   coverage and window reduction `w → w′` for SBWQ.
+//! * [`RectUnion::largest_inscribed_square`] — a sound verified region a
+//!   host may adopt for its own cache after answering a query from peers.
+
+use crate::{IntervalSet, Point, Rect, Segment, EPSILON};
+
+/// A union of axis-aligned rectangles in the plane.
+///
+/// The rectangle list is kept as provided (minus degenerate members);
+/// all queries are answered by sweeps over the list, so construction is
+/// O(n) and queries are O(n log n) in the number of rectangles — peers
+/// number in the tens, so this is far from hot.
+#[derive(Clone, Debug, Default)]
+pub struct RectUnion {
+    rects: Vec<Rect>,
+}
+
+impl RectUnion {
+    /// The empty region.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a region from rectangles, dropping degenerate ones.
+    pub fn from_rects<I: IntoIterator<Item = Rect>>(rects: I) -> Self {
+        Self {
+            rects: rects.into_iter().filter(|r| !r.is_degenerate()).collect(),
+        }
+    }
+
+    /// Adds one rectangle to the union (no-op when degenerate).
+    pub fn push(&mut self, r: Rect) {
+        if !r.is_degenerate() {
+            self.rects.push(r);
+        }
+    }
+
+    /// The member rectangles (possibly overlapping).
+    pub fn rects(&self) -> &[Rect] {
+        &self.rects
+    }
+
+    /// The region covers no area.
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+    }
+
+    /// MBR of the whole region, `None` when empty.
+    pub fn mbr(&self) -> Option<Rect> {
+        let mut it = self.rects.iter();
+        let first = *it.next()?;
+        Some(it.fold(first, |acc, r| acc.union_mbr(r)))
+    }
+
+    /// Closed containment: `p` lies in at least one member rectangle.
+    pub fn contains(&self, p: Point) -> bool {
+        self.rects.iter().any(|r| r.contains(p))
+    }
+
+    /// Strict containment in the *interior* of the union. A point on the
+    /// shared border of two abutting rectangles is interior to the union
+    /// even though it is on the boundary of both members, so this cannot
+    /// be answered per-rectangle; we test a ball of radius ε via the
+    /// boundary distance instead.
+    pub fn contains_interior(&self, p: Point) -> bool {
+        if !self.contains(p) {
+            return false;
+        }
+        match self.distance_to_boundary(p) {
+            Some((d, _)) => d > EPSILON,
+            None => false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Boundary extraction
+    // ------------------------------------------------------------------
+
+    /// All boundary edges of the union, as axis-aligned segments.
+    ///
+    /// An edge portion lies on the union boundary iff exactly one of its
+    /// two sides is interior to the union. For each candidate grid line we
+    /// build the interval sets covered on either side and keep their
+    /// symmetric difference.
+    pub fn boundary_edges(&self) -> Vec<Segment> {
+        let mut out = Vec::new();
+        self.boundary_sweep(true, &mut out);
+        self.boundary_sweep(false, &mut out);
+        out
+    }
+
+    /// One sweep direction: `vertical = true` emits vertical edges
+    /// (candidate lines are x-coordinates), otherwise horizontal edges.
+    fn boundary_sweep(&self, vertical: bool, out: &mut Vec<Segment>) {
+        let mut coords: Vec<f64> = self
+            .rects
+            .iter()
+            .flat_map(|r| {
+                if vertical {
+                    [r.x1, r.x2]
+                } else {
+                    [r.y1, r.y2]
+                }
+            })
+            .collect();
+        coords.sort_by(f64::total_cmp);
+        coords.dedup_by(|a, b| (*a - *b).abs() <= EPSILON);
+
+        for &c in &coords {
+            let mut before = Vec::new(); // interior just below / left of the line
+            let mut after = Vec::new(); // interior just above / right of the line
+            for r in &self.rects {
+                let (fixed_lo, fixed_hi, free_lo, free_hi) = if vertical {
+                    (r.x1, r.x2, r.y1, r.y2)
+                } else {
+                    (r.y1, r.y2, r.x1, r.x2)
+                };
+                if fixed_lo + EPSILON < c && fixed_hi >= c - EPSILON {
+                    before.push((free_lo, free_hi));
+                }
+                if fixed_hi - EPSILON > c && fixed_lo <= c + EPSILON {
+                    after.push((free_lo, free_hi));
+                }
+            }
+            let before = IntervalSet::from_intervals(before);
+            let after = IntervalSet::from_intervals(after);
+            for &(lo, hi) in before.symmetric_difference(&after).runs() {
+                out.push(if vertical {
+                    Segment::vertical(c, lo, hi)
+                } else {
+                    Segment::horizontal(c, lo, hi)
+                });
+            }
+        }
+    }
+
+    /// Distance from `p` to the nearest boundary edge, together with that
+    /// edge (the paper's `e_s`). `None` when the region is empty.
+    ///
+    /// When `p` is inside the union this is the verification radius of
+    /// Lemma 3.1: every POI closer to `p` than this distance is a
+    /// guaranteed (verified) nearest neighbor.
+    pub fn distance_to_boundary(&self, p: Point) -> Option<(f64, Segment)> {
+        self.boundary_edges()
+            .into_iter()
+            .map(|s| (s.distance_to_point(p), s))
+            .min_by(|a, b| a.0.total_cmp(&b.0))
+    }
+
+    // ------------------------------------------------------------------
+    // Disjoint decomposition / area
+    // ------------------------------------------------------------------
+
+    /// Decomposes the union into disjoint rectangles via a vertical-slab
+    /// sweep. The output rectangles tile the union exactly (shared borders
+    /// only) and are convenient for exact area integrals.
+    pub fn disjoint_rects(&self) -> Vec<Rect> {
+        let mut xs: Vec<f64> = self.rects.iter().flat_map(|r| [r.x1, r.x2]).collect();
+        xs.sort_by(f64::total_cmp);
+        xs.dedup_by(|a, b| (*a - *b).abs() <= EPSILON);
+
+        let mut out = Vec::new();
+        for w in xs.windows(2) {
+            let (xa, xb) = (w[0], w[1]);
+            if xb - xa <= EPSILON {
+                continue;
+            }
+            let covered = IntervalSet::from_intervals(
+                self.rects
+                    .iter()
+                    .filter(|r| r.x1 <= xa + EPSILON && r.x2 >= xb - EPSILON)
+                    .map(|r| (r.y1, r.y2)),
+            );
+            for &(lo, hi) in covered.runs() {
+                out.push(Rect::from_coords(xa, lo, xb, hi));
+            }
+        }
+        out
+    }
+
+    /// Exact area of the union.
+    pub fn area(&self) -> f64 {
+        self.disjoint_rects().iter().map(Rect::area).sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Coverage and difference (SBWQ)
+    // ------------------------------------------------------------------
+
+    /// `w` is entirely covered by the union (up to ε slivers). When this
+    /// holds, an SBWQ window query is fully answerable from peer caches.
+    pub fn covers_rect(&self, w: &Rect) -> bool {
+        self.rect_difference(w).is_empty()
+    }
+
+    /// The uncovered parts `w \ union`, as disjoint rectangles — SBWQ's
+    /// reduced query windows `w′`. Adjacent slabs with identical uncovered
+    /// spans are coalesced so the output stays small.
+    pub fn rect_difference(&self, w: &Rect) -> Vec<Rect> {
+        if w.is_degenerate() {
+            return Vec::new();
+        }
+        let mut xs: Vec<f64> = vec![w.x1, w.x2];
+        for r in &self.rects {
+            if r.intersects_interior(w) {
+                if r.x1 > w.x1 && r.x1 < w.x2 {
+                    xs.push(r.x1);
+                }
+                if r.x2 > w.x1 && r.x2 < w.x2 {
+                    xs.push(r.x2);
+                }
+            }
+        }
+        xs.sort_by(f64::total_cmp);
+        xs.dedup_by(|a, b| (*a - *b).abs() <= EPSILON);
+
+        let full = IntervalSet::single(w.y1, w.y2);
+        let mut out: Vec<Rect> = Vec::new();
+        // Open rectangles being extended across slabs, keyed by y-run.
+        let mut open: Vec<(f64, f64, usize)> = Vec::new(); // (ylo, yhi, index in out)
+        for win in xs.windows(2) {
+            let (xa, xb) = (win[0], win[1]);
+            if xb - xa <= EPSILON {
+                continue;
+            }
+            let covered = IntervalSet::from_intervals(
+                self.rects
+                    .iter()
+                    .filter(|r| r.x1 <= xa + EPSILON && r.x2 >= xb - EPSILON)
+                    .map(|r| (r.y1, r.y2)),
+            );
+            let uncovered = full.difference(&covered);
+            let mut next_open = Vec::with_capacity(uncovered.runs().len());
+            for &(lo, hi) in uncovered.runs() {
+                // Extend an open rect with the same y-run, else start one.
+                if let Some(&(plo, phi, idx)) = open
+                    .iter()
+                    .find(|&&(plo, phi, _)| (plo - lo).abs() <= EPSILON && (phi - hi).abs() <= EPSILON)
+                {
+                    out[idx].x2 = xb;
+                    next_open.push((plo, phi, idx));
+                } else {
+                    out.push(Rect::from_coords(xa, lo, xb, hi));
+                    next_open.push((lo, hi, out.len() - 1));
+                }
+            }
+            open = next_open;
+        }
+        out
+    }
+
+    /// Intersection of the union with `w`, as disjoint rectangles.
+    pub fn rect_intersection(&self, w: &Rect) -> Vec<Rect> {
+        self.disjoint_rects()
+            .into_iter()
+            .filter_map(|r| r.intersection(w))
+            .filter(|r| !r.is_degenerate())
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Inscribed verified regions
+    // ------------------------------------------------------------------
+
+    /// The largest axis-aligned square centred on `p` that fits inside the
+    /// union, found by binary search on the half-side up to `max_half`.
+    /// Returns `None` when `p` is not inside the union (no such square).
+    ///
+    /// Used when a host answers a query purely from peers: every POI
+    /// inside the MVR is known to the host, so any sub-rectangle of the
+    /// MVR is a *sound* verified region for its own cache.
+    pub fn largest_inscribed_square(&self, p: Point, max_half: f64) -> Option<Rect> {
+        if !self.contains(p) || max_half <= 0.0 {
+            return None;
+        }
+        // Fast path: the boundary distance bounds the inscribed square;
+        // a square of half-side h fits iff all of it is covered, and it
+        // certainly fits when h ≤ d/√2 … but coverage is not monotone in
+        // a simple closed form, so binary search on the coverage test.
+        let (d, _) = self.distance_to_boundary(p)?;
+        if d <= EPSILON {
+            return None;
+        }
+        let mut lo = 0.0_f64; // known to fit (degenerate)
+        let mut hi = max_half.min(
+            self.mbr()
+                .map(|m| m.width().max(m.height()))
+                .unwrap_or(max_half),
+        );
+        if self.covers_rect(&Rect::centered_square(p, hi)) {
+            return Some(Rect::centered_square(p, hi));
+        }
+        for _ in 0..48 {
+            let mid = 0.5 * (lo + hi);
+            if self.covers_rect(&Rect::centered_square(p, mid)) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        (lo > EPSILON).then(|| Rect::centered_square(p, lo))
+    }
+}
+
+impl From<Rect> for RectUnion {
+    fn from(r: Rect) -> Self {
+        RectUnion::from_rects([r])
+    }
+}
+
+impl FromIterator<Rect> for RectUnion {
+    fn from_iter<T: IntoIterator<Item = Rect>>(iter: T) -> Self {
+        RectUnion::from_rects(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn r(x1: f64, y1: f64, x2: f64, y2: f64) -> Rect {
+        Rect::from_coords(x1, y1, x2, y2)
+    }
+
+    #[test]
+    fn empty_region_answers_trivially() {
+        let u = RectUnion::new();
+        assert!(u.is_empty());
+        assert!(!u.contains(Point::ORIGIN));
+        assert_eq!(u.mbr(), None);
+        assert!(approx_eq(u.area(), 0.0));
+        assert!(u.boundary_edges().is_empty());
+        assert_eq!(u.distance_to_boundary(Point::ORIGIN), None);
+    }
+
+    #[test]
+    fn single_rect_area_and_boundary() {
+        let u = RectUnion::from(r(0.0, 0.0, 2.0, 1.0));
+        assert!(approx_eq(u.area(), 2.0));
+        let edges = u.boundary_edges();
+        assert_eq!(edges.len(), 4);
+        let total: f64 = edges.iter().map(Segment::len).sum();
+        assert!(approx_eq(total, 6.0)); // perimeter
+    }
+
+    #[test]
+    fn overlapping_rects_area_by_inclusion_exclusion() {
+        let u = RectUnion::from_rects([r(0.0, 0.0, 2.0, 2.0), r(1.0, 1.0, 3.0, 3.0)]);
+        // 4 + 4 - 1 = 7
+        assert!(approx_eq(u.area(), 7.0));
+    }
+
+    #[test]
+    fn boundary_of_plus_shape_excludes_internal_edges() {
+        // Horizontal bar and vertical bar crossing: union boundary is the
+        // plus outline; internal shared edges must not appear.
+        let u = RectUnion::from_rects([r(0.0, 1.0, 3.0, 2.0), r(1.0, 0.0, 2.0, 3.0)]);
+        let perimeter: f64 = u.boundary_edges().iter().map(Segment::len).sum();
+        // Plus sign of arm width 1, arm length 1 each side: 12 unit edges.
+        assert!(approx_eq(perimeter, 12.0));
+        assert!(approx_eq(u.area(), 3.0 + 3.0 - 1.0));
+    }
+
+    #[test]
+    fn abutting_rects_fuse_their_shared_edge() {
+        let u = RectUnion::from_rects([r(0.0, 0.0, 1.0, 1.0), r(1.0, 0.0, 2.0, 1.0)]);
+        let perimeter: f64 = u.boundary_edges().iter().map(Segment::len).sum();
+        assert!(approx_eq(perimeter, 6.0)); // 2x1 box
+        assert!(approx_eq(u.area(), 2.0));
+        // The shared border x=1 is interior to the union.
+        assert!(u.contains_interior(Point::new(1.0, 0.5)));
+        // A true boundary point is not interior.
+        assert!(!u.contains_interior(Point::new(0.0, 0.5)));
+    }
+
+    #[test]
+    fn distance_to_boundary_inside_l_shape() {
+        // L-shape: the near edge from (0.5, 0.5) is left/bottom at 0.5,
+        // but also the inner corner edges of the L.
+        let u = RectUnion::from_rects([r(0.0, 0.0, 2.0, 1.0), r(0.0, 0.0, 1.0, 2.0)]);
+        let (d, _) = u.distance_to_boundary(Point::new(0.5, 0.5)).unwrap();
+        assert!(approx_eq(d, 0.5));
+        // Point deeper in the horizontal arm: nearest boundary is y=1 above.
+        let (d2, seg) = u.distance_to_boundary(Point::new(1.5, 0.6)).unwrap();
+        assert!(approx_eq(d2, 0.4), "d2 = {d2}");
+        assert_eq!(seg.axis, crate::Axis::Horizontal);
+    }
+
+    #[test]
+    fn disjoint_rects_tile_without_overlap() {
+        let u = RectUnion::from_rects([
+            r(0.0, 0.0, 2.0, 2.0),
+            r(1.0, 1.0, 3.0, 3.0),
+            r(2.5, 0.0, 4.0, 1.5),
+        ]);
+        let tiles = u.disjoint_rects();
+        let total: f64 = tiles.iter().map(Rect::area).sum();
+        assert!(approx_eq(total, u.area()));
+        for (i, a) in tiles.iter().enumerate() {
+            for b in &tiles[i + 1..] {
+                assert!(
+                    !a.intersects_interior(b),
+                    "tiles overlap: {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn covers_rect_full_partial_none() {
+        let u = RectUnion::from_rects([r(0.0, 0.0, 2.0, 2.0), r(2.0, 0.0, 4.0, 2.0)]);
+        assert!(u.covers_rect(&r(0.5, 0.5, 3.5, 1.5))); // spans the seam
+        assert!(!u.covers_rect(&r(1.0, 1.0, 5.0, 1.5))); // hangs off the right
+        assert!(!u.covers_rect(&r(10.0, 10.0, 11.0, 11.0)));
+    }
+
+    #[test]
+    fn rect_difference_computes_reduced_windows() {
+        let u = RectUnion::from(r(0.0, 0.0, 2.0, 2.0));
+        let w = r(1.0, 1.0, 3.0, 3.0);
+        let diff = u.rect_difference(&w);
+        let area: f64 = diff.iter().map(Rect::area).sum();
+        // w has area 4, covered quarter is 1x1 = 1.
+        assert!(approx_eq(area, 3.0));
+        for d in &diff {
+            // Every difference piece is inside w and outside the union interior.
+            assert!(w.contains_rect(d));
+            assert!(!u.contains_interior(d.center()));
+        }
+    }
+
+    #[test]
+    fn rect_difference_empty_when_covered() {
+        let u = RectUnion::from(r(0.0, 0.0, 4.0, 4.0));
+        assert!(u.rect_difference(&r(1.0, 1.0, 2.0, 2.0)).is_empty());
+    }
+
+    #[test]
+    fn rect_difference_is_whole_window_when_disjoint() {
+        let u = RectUnion::from(r(0.0, 0.0, 1.0, 1.0));
+        let w = r(5.0, 5.0, 6.0, 7.0);
+        let diff = u.rect_difference(&w);
+        assert_eq!(diff.len(), 1);
+        assert!(approx_eq(diff[0].area(), w.area()));
+    }
+
+    #[test]
+    fn rect_difference_coalesces_slabs() {
+        // Union carves a notch out of the middle; left and right slabs of
+        // the remainder share y-runs and should merge horizontally.
+        let u = RectUnion::from(r(1.0, 0.0, 2.0, 1.0));
+        let w = r(0.0, 0.0, 3.0, 2.0);
+        let diff = u.rect_difference(&w);
+        let area: f64 = diff.iter().map(Rect::area).sum();
+        assert!(approx_eq(area, 6.0 - 1.0));
+        // Slab coalescing keeps the piece count minimal for this shape
+        // (left column, notch top, right column — not five raw slabs).
+        assert!(diff.len() <= 3, "pieces: {diff:?}");
+        for (i, a) in diff.iter().enumerate() {
+            for b in &diff[i + 1..] {
+                assert!(!a.intersects_interior(b));
+            }
+        }
+    }
+
+    #[test]
+    fn rect_intersection_pieces_lie_in_both() {
+        let u = RectUnion::from_rects([r(0.0, 0.0, 2.0, 2.0), r(3.0, 0.0, 5.0, 2.0)]);
+        let w = r(1.0, 0.5, 4.0, 1.5);
+        let pieces = u.rect_intersection(&w);
+        let area: f64 = pieces.iter().map(Rect::area).sum();
+        assert!(approx_eq(area, 1.0 + 1.0)); // 1x1 from each rect
+        for p in &pieces {
+            assert!(w.contains_rect(p));
+            assert!(u.contains(p.center()));
+        }
+    }
+
+    #[test]
+    fn largest_inscribed_square_in_single_rect() {
+        let u = RectUnion::from(r(0.0, 0.0, 4.0, 2.0));
+        let sq = u.largest_inscribed_square(Point::new(2.0, 1.0), 10.0).unwrap();
+        // Limited by the vertical extent: half-side 1 (binary search may
+        // overshoot by the coverage-test ε).
+        assert!((sq.width() - 2.0).abs() < 1e-6, "width = {}", sq.width());
+        assert!(u.covers_rect(&sq));
+    }
+
+    #[test]
+    fn largest_inscribed_square_spans_seams() {
+        let u = RectUnion::from_rects([r(0.0, 0.0, 2.0, 4.0), r(2.0, 0.0, 4.0, 4.0)]);
+        let sq = u
+            .largest_inscribed_square(Point::new(2.0, 2.0), 10.0)
+            .unwrap();
+        // Seam is interior: square can grow to the full union.
+        assert!(sq.width() > 3.9);
+    }
+
+    #[test]
+    fn largest_inscribed_square_outside_is_none() {
+        let u = RectUnion::from(r(0.0, 0.0, 1.0, 1.0));
+        assert_eq!(u.largest_inscribed_square(Point::new(5.0, 5.0), 1.0), None);
+    }
+
+    #[test]
+    fn degenerate_rects_are_ignored() {
+        let u = RectUnion::from_rects([r(0.0, 0.0, 0.0, 5.0), r(1.0, 1.0, 2.0, 2.0)]);
+        assert_eq!(u.rects().len(), 1);
+    }
+}

@@ -1,0 +1,334 @@
+//! Hilbert curve codec and window-to-interval decomposition.
+
+/// An order-`k` Hilbert curve over the `2^k × 2^k` integer cell grid.
+///
+/// `encode` maps a cell to its position `d ∈ [0, 4^k)` along the curve;
+/// `decode` inverts it. The implementation is the classic iterative
+/// quadrant-rotation algorithm.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HilbertCurve {
+    order: u32,
+}
+
+/// An inclusive rectangle of cells `[x1..=x2] × [y1..=y2]` on the curve's
+/// grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CellRect {
+    /// Leftmost column.
+    pub x1: u32,
+    /// Bottom row.
+    pub y1: u32,
+    /// Rightmost column (inclusive).
+    pub x2: u32,
+    /// Top row (inclusive).
+    pub y2: u32,
+}
+
+impl CellRect {
+    /// Creates a cell rectangle; panics in debug builds when inverted.
+    pub fn new(x1: u32, y1: u32, x2: u32, y2: u32) -> Self {
+        debug_assert!(x1 <= x2 && y1 <= y2);
+        Self { x1, y1, x2, y2 }
+    }
+
+    /// Number of cells covered.
+    pub fn cell_count(&self) -> u64 {
+        (self.x2 - self.x1 + 1) as u64 * (self.y2 - self.y1 + 1) as u64
+    }
+
+    /// Closed containment of a cell.
+    pub fn contains(&self, x: u32, y: u32) -> bool {
+        x >= self.x1 && x <= self.x2 && y >= self.y1 && y <= self.y2
+    }
+
+    /// `self` fully contains the square `[x0, x0+s) × [y0, y0+s)`.
+    fn contains_square(&self, x0: u32, y0: u32, s: u32) -> bool {
+        x0 >= self.x1 && x0 + (s - 1) <= self.x2 && y0 >= self.y1 && y0 + (s - 1) <= self.y2
+    }
+
+    /// `self` is disjoint from the square `[x0, x0+s) × [y0, y0+s)`.
+    fn disjoint_square(&self, x0: u32, y0: u32, s: u32) -> bool {
+        x0 > self.x2 || x0 + (s - 1) < self.x1 || y0 > self.y2 || y0 + (s - 1) < self.y1
+    }
+}
+
+impl HilbertCurve {
+    /// Maximum supported order: indexes fit in `u64` (4^31 < 2^64) and
+    /// coordinates in `u32`.
+    pub const MAX_ORDER: u32 = 31;
+
+    /// Creates an order-`order` curve. Panics if `order == 0` or
+    /// `order > MAX_ORDER`.
+    pub fn new(order: u32) -> Self {
+        assert!(
+            (1..=Self::MAX_ORDER).contains(&order),
+            "Hilbert order must be in 1..={}, got {order}",
+            Self::MAX_ORDER
+        );
+        Self { order }
+    }
+
+    /// The curve's order `k`.
+    pub fn order(&self) -> u32 {
+        self.order
+    }
+
+    /// Cells per side (`2^k`).
+    pub fn side(&self) -> u32 {
+        1u32 << self.order
+    }
+
+    /// Total number of cells (`4^k`).
+    pub fn cell_count(&self) -> u64 {
+        1u64 << (2 * self.order)
+    }
+
+    /// Maps cell `(x, y)` to its curve position `d ∈ [0, 4^k)`.
+    ///
+    /// Panics in debug builds when the coordinates exceed the grid.
+    pub fn encode(&self, mut x: u32, mut y: u32) -> u64 {
+        debug_assert!(x < self.side() && y < self.side());
+        let mut d: u64 = 0;
+        let mut s: u32 = self.side() >> 1;
+        while s > 0 {
+            let rx = u32::from(x & s > 0);
+            let ry = u32::from(y & s > 0);
+            d += (s as u64) * (s as u64) * ((3 * rx) ^ ry) as u64;
+            rotate(s, &mut x, &mut y, rx, ry);
+            s >>= 1;
+        }
+        d
+    }
+
+    /// Maps curve position `d` back to its cell `(x, y)`.
+    ///
+    /// Panics in debug builds when `d` exceeds the curve length.
+    pub fn decode(&self, d: u64) -> (u32, u32) {
+        debug_assert!(d < self.cell_count());
+        let (mut x, mut y) = (0u32, 0u32);
+        let mut t = d;
+        let mut s: u32 = 1;
+        while s < self.side() {
+            let rx = (1 & (t >> 1)) as u32;
+            let ry = (1 & (t ^ rx as u64)) as u32;
+            rotate(s, &mut x, &mut y, rx, ry);
+            x += s * rx;
+            y += s * ry;
+            t >>= 2;
+            s <<= 1;
+        }
+        (x, y)
+    }
+
+    /// Decomposes a rectangular cell window into the minimal set of
+    /// maximal contiguous curve intervals `[lo, hi]` (inclusive), sorted
+    /// ascending.
+    ///
+    /// This is exact: the union of returned intervals equals the set of
+    /// curve positions of the cells in `rect`. The recursion descends the
+    /// curve's quadrant structure, emitting whole quadrant intervals as
+    /// soon as a quadrant is fully inside the window — so the output size
+    /// is proportional to the window perimeter in cells, not its area.
+    pub fn intervals_for_rect(&self, rect: &CellRect) -> Vec<(u64, u64)> {
+        debug_assert!(rect.x2 < self.side() && rect.y2 < self.side());
+        let mut out = Vec::new();
+        self.decompose(rect, 0, 0, self.side(), 0, &mut out);
+        out.sort_unstable_by_key(|&(lo, _)| lo);
+        // Merge adjacent intervals.
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(out.len());
+        for (lo, hi) in out {
+            match merged.last_mut() {
+                Some(last) if lo <= last.1 + 1 => last.1 = last.1.max(hi),
+                _ => merged.push((lo, hi)),
+            }
+        }
+        merged
+    }
+
+    /// The smallest and largest curve positions inside the window — the
+    /// "first point `a` and last point `b`" of the paper's Figure 8.
+    /// Returns `(a, b)` with `a ≤ b`.
+    pub fn window_span(&self, rect: &CellRect) -> (u64, u64) {
+        let ivs = self.intervals_for_rect(rect);
+        debug_assert!(!ivs.is_empty());
+        (ivs.first().map(|i| i.0).unwrap_or(0), ivs.last().map(|i| i.1).unwrap_or(0))
+    }
+
+    fn decompose(
+        &self,
+        rect: &CellRect,
+        x0: u32,
+        y0: u32,
+        s: u32,
+        d0: u64,
+        out: &mut Vec<(u64, u64)>,
+    ) {
+        if rect.disjoint_square(x0, y0, s) {
+            return;
+        }
+        let square_cells = (s as u64) * (s as u64);
+        if rect.contains_square(x0, y0, s) {
+            out.push((d0, d0 + square_cells - 1));
+            return;
+        }
+        debug_assert!(s > 1, "single cell must be contained or disjoint");
+        let half = s >> 1;
+        let quarter = square_cells >> 2;
+        for k in 0..4u64 {
+            let child_d0 = d0 + k * quarter;
+            // Any cell of the child quadrant identifies its square; use
+            // the first cell and align down to the child grid.
+            let (cx, cy) = self.decode(child_d0);
+            let qx = x0 + ((cx - x0) / half) * half;
+            let qy = y0 + ((cy - y0) / half) * half;
+            self.decompose(rect, qx, qy, half, child_d0, out);
+        }
+    }
+}
+
+/// Quadrant rotation/reflection step shared by `encode` and `decode`.
+#[inline]
+fn rotate(s: u32, x: &mut u32, y: &mut u32, rx: u32, ry: u32) {
+    if ry == 0 {
+        if rx == 1 {
+            *x = s.wrapping_sub(1).wrapping_sub(*x);
+            *y = s.wrapping_sub(1).wrapping_sub(*y);
+        }
+        core::mem::swap(x, y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_one_visits_four_cells_in_curve_order() {
+        let c = HilbertCurve::new(1);
+        // Standard order-1 Hilbert: (0,0) → (0,1) → (1,1) → (1,0).
+        assert_eq!(c.decode(0), (0, 0));
+        assert_eq!(c.decode(1), (0, 1));
+        assert_eq!(c.decode(2), (1, 1));
+        assert_eq!(c.decode(3), (1, 0));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_small_orders() {
+        for order in 1..=6 {
+            let c = HilbertCurve::new(order);
+            for d in 0..c.cell_count() {
+                let (x, y) = c.decode(d);
+                assert_eq!(c.encode(x, y), d, "order {order}, d {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn curve_is_a_bijection_and_connected() {
+        let c = HilbertCurve::new(5);
+        let mut seen = vec![false; c.cell_count() as usize];
+        let (mut px, mut py) = c.decode(0);
+        seen[0] = true;
+        for d in 1..c.cell_count() {
+            let (x, y) = c.decode(d);
+            assert!(!seen[c.encode(x, y) as usize]);
+            seen[c.encode(x, y) as usize] = true;
+            // Consecutive curve cells are 4-neighbours (curve continuity).
+            let step = (x as i64 - px as i64).abs() + (y as i64 - py as i64).abs();
+            assert_eq!(step, 1, "discontinuity at d={d}");
+            (px, py) = (x, y);
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn intervals_cover_exactly_the_window() {
+        let c = HilbertCurve::new(4);
+        let rect = CellRect::new(3, 5, 9, 11);
+        let ivs = c.intervals_for_rect(&rect);
+        // Expand intervals into a set and compare with brute force.
+        let mut from_ivs: Vec<u64> = ivs.iter().flat_map(|&(lo, hi)| lo..=hi).collect();
+        from_ivs.sort_unstable();
+        let mut brute: Vec<u64> = (rect.x1..=rect.x2)
+            .flat_map(|x| (rect.y1..=rect.y2).map(move |y| (x, y)))
+            .map(|(x, y)| c.encode(x, y))
+            .collect();
+        brute.sort_unstable();
+        assert_eq!(from_ivs, brute);
+        // Intervals must be maximal: no two adjacent.
+        for w in ivs.windows(2) {
+            assert!(w[1].0 > w[0].1 + 1);
+        }
+    }
+
+    #[test]
+    fn full_grid_is_one_interval() {
+        let c = HilbertCurve::new(3);
+        let rect = CellRect::new(0, 0, 7, 7);
+        assert_eq!(c.intervals_for_rect(&rect), vec![(0, 63)]);
+    }
+
+    #[test]
+    fn single_cell_window() {
+        let c = HilbertCurve::new(3);
+        for (x, y) in [(0, 0), (7, 7), (3, 4)] {
+            let d = c.encode(x, y);
+            assert_eq!(
+                c.intervals_for_rect(&CellRect::new(x, y, x, y)),
+                vec![(d, d)]
+            );
+        }
+    }
+
+    #[test]
+    fn window_span_brackets_all_intervals() {
+        let c = HilbertCurve::new(5);
+        let rect = CellRect::new(2, 2, 20, 9);
+        let (a, b) = c.window_span(&rect);
+        for &(lo, hi) in &c.intervals_for_rect(&rect) {
+            assert!(lo >= a && hi <= b);
+        }
+        // a and b are attained by window cells.
+        let (ax, ay) = c.decode(a);
+        let (bx, by) = c.decode(b);
+        assert!(rect.contains(ax, ay));
+        assert!(rect.contains(bx, by));
+    }
+
+    #[test]
+    fn paper_figure4_grid_sanity() {
+        // The paper's Figure 4 uses an 8×8 grid (order 3, indexes 0..63).
+        let c = HilbertCurve::new(3);
+        assert_eq!(c.side(), 8);
+        assert_eq!(c.cell_count(), 64);
+        // Figure 4 draws index 0 at the bottom-left corner region and 63
+        // at the bottom-right; the curve must start at (0,0).
+        assert_eq!(c.decode(0), (0, 0));
+        let (x63, y63) = c.decode(63);
+        assert_eq!(y63, 0, "curve ends on the bottom row");
+        assert_eq!(x63, 7);
+    }
+
+    #[test]
+    fn cell_rect_counting() {
+        let r = CellRect::new(1, 2, 3, 5);
+        assert_eq!(r.cell_count(), 3 * 4);
+        assert!(r.contains(2, 3));
+        assert!(!r.contains(0, 3));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_order_rejected() {
+        HilbertCurve::new(0);
+    }
+
+    #[test]
+    fn high_order_encode_decode() {
+        let c = HilbertCurve::new(HilbertCurve::MAX_ORDER);
+        for &(x, y) in &[(0u32, 0u32), (1 << 30, 1 << 29), ((1 << 31) - 1, 12345)] {
+            let d = c.encode(x, y);
+            assert_eq!(c.decode(d), (x, y));
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Mobility models and query workloads for the airshare simulator.
+//!
+//! The paper's evaluation (§4.1) moves mobile hosts with the random
+//! waypoint model of Broch et al. over a 20 mi × 20 mi area, mapping
+//! trajectories onto a road network, and fires spatial queries from
+//! Poisson-distributed intervals at a controlled aggregate rate
+//! (`Query` in Table 4).
+//!
+//! * [`RandomWaypoint`] — the canonical model: pick a uniform destination,
+//!   travel at a uniform-random speed, pause, repeat. Positions are
+//!   evaluated *analytically* at any (monotonically advancing) time, so
+//!   the simulator never ticks hosts that nobody is looking at.
+//! * [`GridRoadWaypoint`] — a synthetic Manhattan-grid road network
+//!   variant (the paper's road map is unavailable; see DESIGN.md §2).
+//!   Hosts travel along axis-aligned streets with L-shaped routes.
+//! * [`Mobility`] — the common interface (`position_at` / `velocity_at`).
+//! * [`PoissonProcess`] / [`QueryScheduler`] — exponential inter-arrival
+//!   event streams assigning queries to random hosts.
+//!
+//! All randomness flows through caller-provided seeds; trajectories are
+//! reproducible bit-for-bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod roadgrid;
+mod waypoint;
+mod workload;
+
+pub use roadgrid::GridRoadWaypoint;
+pub use waypoint::{MobilityConfig, RandomWaypoint};
+pub use workload::{PoissonProcess, QueryEvent, QueryScheduler};
+
+use airshare_geom::Point;
+
+/// A mobility model evaluated lazily along increasing time.
+///
+/// Implementations may cache per-leg state; `position_at` must be called
+/// with non-decreasing `t` (enforced with a panic, since violating it
+/// silently would desynchronize the simulation).
+pub trait Mobility {
+    /// Position at simulation time `t` (minutes).
+    fn position_at(&mut self, t: f64) -> Point;
+
+    /// Velocity vector at time `t` (miles per minute); zero while paused.
+    fn velocity_at(&mut self, t: f64) -> (f64, f64);
+
+    /// Heading unit vector at time `t`, or `None` while paused.
+    fn heading_at(&mut self, t: f64) -> Option<(f64, f64)> {
+        let (vx, vy) = self.velocity_at(t);
+        let n = vx.hypot(vy);
+        (n > 1e-12).then(|| (vx / n, vy / n))
+    }
+}

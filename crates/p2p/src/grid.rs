@@ -1,0 +1,176 @@
+//! Uniform-grid neighbor discovery.
+
+use airshare_geom::Point;
+use std::collections::HashMap;
+
+/// A spatial hash over host positions.
+///
+/// Cells are squares of side `cell`; a radius-`r` disk query inspects the
+/// `⌈r/cell⌉`-ring of cells around the query point. Pick `cell` equal to
+/// the maximum transmission range for O(occupants) queries.
+#[derive(Clone, Debug)]
+pub struct NeighborGrid {
+    cell: f64,
+    buckets: HashMap<(i64, i64), Vec<usize>>,
+    positions: Vec<Point>,
+}
+
+impl NeighborGrid {
+    /// Builds a grid over host positions (index = host id).
+    pub fn build(positions: Vec<Point>, cell: f64) -> Self {
+        assert!(cell > 0.0 && cell.is_finite(), "cell size must be positive");
+        let mut buckets: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+        for (i, p) in positions.iter().enumerate() {
+            buckets.entry(Self::key(*p, cell)).or_default().push(i);
+        }
+        Self {
+            cell,
+            buckets,
+            positions,
+        }
+    }
+
+    fn key(p: Point, cell: f64) -> (i64, i64) {
+        ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
+    }
+
+    /// Number of indexed hosts.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// The grid indexes no hosts.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Stored position of host `i`.
+    pub fn position(&self, i: usize) -> Point {
+        self.positions[i]
+    }
+
+    /// Host ids within Euclidean distance `range` of `center`, excluding
+    /// `exclude` (the querying host itself). Order is unspecified.
+    pub fn neighbors_within(
+        &self,
+        center: Point,
+        range: f64,
+        exclude: Option<usize>,
+    ) -> Vec<usize> {
+        let mut out = Vec::new();
+        let r_sq = range * range;
+        let reach = (range / self.cell).ceil() as i64;
+        let (cx, cy) = Self::key(center, self.cell);
+        for dx in -reach..=reach {
+            for dy in -reach..=reach {
+                if let Some(ids) = self.buckets.get(&(cx + dx, cy + dy)) {
+                    for &i in ids {
+                        if Some(i) != exclude && self.positions[i].distance_sq(center) <= r_sq {
+                            out.push(i);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Moves one host to a new position (rebuilding its bucket links).
+    pub fn update_position(&mut self, i: usize, new_pos: Point) {
+        let old_key = Self::key(self.positions[i], self.cell);
+        let new_key = Self::key(new_pos, self.cell);
+        self.positions[i] = new_pos;
+        if old_key == new_key {
+            return;
+        }
+        if let Some(v) = self.buckets.get_mut(&old_key) {
+            if let Some(pos) = v.iter().position(|&x| x == i) {
+                v.swap_remove(pos);
+            }
+            if v.is_empty() {
+                self.buckets.remove(&old_key);
+            }
+        }
+        self.buckets.entry(new_key).or_default().push(i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scatter(n: usize) -> Vec<Point> {
+        let mut state = 11u64;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let x = (state >> 16 & 0xFFFF) as f64 / 6553.6;
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let y = (state >> 16 & 0xFFFF) as f64 / 6553.6;
+                Point::new(x, y)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn neighbors_match_brute_force() {
+        let pts = scatter(500);
+        let g = NeighborGrid::build(pts.clone(), 1.0);
+        let center = Point::new(5.0, 5.0);
+        for range in [0.3, 1.0, 2.5] {
+            let mut got = g.neighbors_within(center, range, None);
+            got.sort_unstable();
+            let mut want: Vec<usize> = pts
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.distance(center) <= range)
+                .map(|(i, _)| i)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "range {range}");
+        }
+    }
+
+    #[test]
+    fn exclude_omits_self() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(0.1, 0.0)];
+        let g = NeighborGrid::build(pts, 1.0);
+        let n = g.neighbors_within(Point::new(0.0, 0.0), 1.0, Some(0));
+        assert_eq!(n, vec![1]);
+    }
+
+    #[test]
+    fn boundary_distance_is_inclusive() {
+        let pts = vec![Point::new(3.0, 4.0)];
+        let g = NeighborGrid::build(pts, 1.0);
+        assert_eq!(g.neighbors_within(Point::ORIGIN, 5.0, None).len(), 1);
+        assert_eq!(g.neighbors_within(Point::ORIGIN, 4.999, None).len(), 0);
+    }
+
+    #[test]
+    fn update_position_relocates_host() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(10.0, 10.0)];
+        let mut g = NeighborGrid::build(pts, 1.0);
+        assert!(g.neighbors_within(Point::new(10.0, 10.0), 0.5, None).contains(&1));
+        g.update_position(1, Point::new(0.2, 0.0));
+        assert!(g.neighbors_within(Point::new(10.0, 10.0), 0.5, None).is_empty());
+        let near_origin = g.neighbors_within(Point::ORIGIN, 0.5, None);
+        assert!(near_origin.contains(&0) && near_origin.contains(&1));
+        assert_eq!(g.position(1), Point::new(0.2, 0.0));
+    }
+
+    #[test]
+    fn negative_coordinates_hash_correctly() {
+        let pts = vec![Point::new(-0.5, -0.5), Point::new(0.5, 0.5)];
+        let g = NeighborGrid::build(pts, 1.0);
+        let n = g.neighbors_within(Point::new(-0.4, -0.4), 0.3, None);
+        assert_eq!(n, vec![0]);
+    }
+
+    #[test]
+    fn empty_grid() {
+        let g = NeighborGrid::build(Vec::new(), 1.0);
+        assert!(g.is_empty());
+        assert!(g.neighbors_within(Point::ORIGIN, 10.0, None).is_empty());
+    }
+}

@@ -1,0 +1,284 @@
+//! The request/reply sharing exchange.
+
+use crate::NeighborGrid;
+use airshare_broadcast::{Poi, PoiCategory};
+use airshare_cache::HostCache;
+use airshare_geom::{Point, Rect};
+
+/// One peer's reply to a share request: its verified regions with their
+/// POIs (`⟨p.VR, p.O⟩` in the paper's notation).
+#[derive(Clone, Debug)]
+pub struct PeerReply {
+    /// Replying host id.
+    pub peer: usize,
+    /// Verified regions and the POIs inside each.
+    pub regions: Vec<(Rect, Vec<Poi>)>,
+}
+
+/// Traffic accounting for one share exchange.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShareStats {
+    /// Peers within range that were contacted.
+    pub peers_contacted: usize,
+    /// Peers that replied with at least one region.
+    pub peers_with_data: usize,
+    /// Total regions transferred.
+    pub regions_received: usize,
+    /// Total POIs transferred.
+    pub pois_received: usize,
+}
+
+/// Performs the single-hop share exchange for a querying host.
+///
+/// `caches[i]` must be host `i`'s cache; `grid` must reflect current
+/// positions. Returns every non-empty peer reply plus traffic stats.
+/// Empty-handed peers are counted as contacted (they cost a request
+/// message) but transfer nothing.
+pub fn gather_peer_data(
+    querier: usize,
+    querier_pos: Point,
+    range: f64,
+    category: PoiCategory,
+    grid: &NeighborGrid,
+    caches: &[HostCache],
+) -> (Vec<PeerReply>, ShareStats) {
+    let peers = grid.neighbors_within(querier_pos, range, Some(querier));
+    let mut stats = ShareStats {
+        peers_contacted: peers.len(),
+        ..ShareStats::default()
+    };
+    let mut replies = Vec::new();
+    for peer in peers {
+        let regions = caches[peer].share_snapshot(category);
+        if regions.is_empty() {
+            continue;
+        }
+        stats.peers_with_data += 1;
+        stats.regions_received += regions.len();
+        stats.pois_received += regions.iter().map(|(_, p)| p.len()).sum::<usize>();
+        replies.push(PeerReply { peer, regions });
+    }
+    (replies, stats)
+}
+
+/// Multi-hop extension of [`gather_peer_data`]: peers relay the share
+/// request up to `hops` wireless hops away (flooding with duplicate
+/// suppression). The paper confines itself to single-hop exchange and
+/// names richer cooperation as future work; this implements the obvious
+/// next step so its benefit can be measured (see the `exp_ablations`
+/// experiment).
+///
+/// Positions come from `grid`; contacted peers are counted once each.
+/// With `hops == 1` this reduces exactly to [`gather_peer_data`].
+pub fn gather_peer_data_multihop(
+    querier: usize,
+    querier_pos: Point,
+    range: f64,
+    hops: usize,
+    category: PoiCategory,
+    grid: &NeighborGrid,
+    caches: &[HostCache],
+) -> (Vec<PeerReply>, ShareStats) {
+    assert!(hops >= 1, "at least one hop");
+    let mut visited = vec![false; caches.len()];
+    if querier < visited.len() {
+        visited[querier] = true;
+    }
+    let mut frontier: Vec<usize> = grid
+        .neighbors_within(querier_pos, range, Some(querier))
+        .into_iter()
+        .filter(|&i| !std::mem::replace(&mut visited[i], true))
+        .collect();
+    let mut reached = frontier.clone();
+    for _ in 1..hops {
+        let mut next = Vec::new();
+        for &relay in &frontier {
+            for i in grid.neighbors_within(grid.position(relay), range, Some(relay)) {
+                if !std::mem::replace(&mut visited[i], true) {
+                    next.push(i);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        reached.extend(next.iter().copied());
+        frontier = next;
+    }
+
+    let mut stats = ShareStats {
+        peers_contacted: reached.len(),
+        ..ShareStats::default()
+    };
+    let mut replies = Vec::new();
+    for peer in reached {
+        let regions = caches[peer].share_snapshot(category);
+        if regions.is_empty() {
+            continue;
+        }
+        stats.peers_with_data += 1;
+        stats.regions_received += regions.len();
+        stats.pois_received += regions.iter().map(|(_, p)| p.len()).sum::<usize>();
+        replies.push(PeerReply { peer, regions });
+    }
+    (replies, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airshare_cache::{CacheContext, RegionEntry, ReplacementPolicy};
+
+    const CAT: PoiCategory = PoiCategory::GAS_STATION;
+
+    fn ctx(p: Point) -> CacheContext {
+        CacheContext {
+            pos: p,
+            heading: None,
+            now: 0.0,
+        }
+    }
+
+    fn cache_with_region(center: Point) -> HostCache {
+        let mut c = HostCache::new(10, ReplacementPolicy::default());
+        let vr = Rect::centered_square(center, 1.0);
+        c.insert(
+            CAT,
+            RegionEntry::new(vr, [Poi::new(1, center)], 0.0),
+            &ctx(center),
+        );
+        c
+    }
+
+    #[test]
+    fn gathers_only_in_range_peers() {
+        let positions = vec![
+            Point::new(0.0, 0.0),  // querier
+            Point::new(0.1, 0.0),  // near, has data
+            Point::new(50.0, 0.0), // far, has data
+        ];
+        let caches = vec![
+            HostCache::new(10, ReplacementPolicy::default()),
+            cache_with_region(Point::new(0.1, 0.0)),
+            cache_with_region(Point::new(50.0, 0.0)),
+        ];
+        let grid = NeighborGrid::build(positions, 1.0);
+        let (replies, stats) =
+            gather_peer_data(0, Point::new(0.0, 0.0), 1.0, CAT, &grid, &caches);
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].peer, 1);
+        assert_eq!(stats.peers_contacted, 1);
+        assert_eq!(stats.peers_with_data, 1);
+        assert_eq!(stats.pois_received, 1);
+    }
+
+    #[test]
+    fn empty_caches_cost_contact_but_no_transfer() {
+        let positions = vec![Point::new(0.0, 0.0), Point::new(0.1, 0.0)];
+        let caches = vec![
+            HostCache::new(10, ReplacementPolicy::default()),
+            HostCache::new(10, ReplacementPolicy::default()),
+        ];
+        let grid = NeighborGrid::build(positions, 1.0);
+        let (replies, stats) =
+            gather_peer_data(0, Point::new(0.0, 0.0), 1.0, CAT, &grid, &caches);
+        assert!(replies.is_empty());
+        assert_eq!(stats.peers_contacted, 1);
+        assert_eq!(stats.peers_with_data, 0);
+    }
+
+    #[test]
+    fn querier_does_not_reply_to_itself() {
+        let positions = vec![Point::new(0.0, 0.0)];
+        let caches = vec![cache_with_region(Point::new(0.0, 0.0))];
+        let grid = NeighborGrid::build(positions, 1.0);
+        let (replies, stats) =
+            gather_peer_data(0, Point::new(0.0, 0.0), 5.0, CAT, &grid, &caches);
+        assert!(replies.is_empty());
+        assert_eq!(stats.peers_contacted, 0);
+    }
+
+    #[test]
+    fn multihop_reaches_a_chain() {
+        // Hosts in a line, each only in range of its neighbors:
+        // 0 — 1 — 2 — 3. Data sits on host 3.
+        let positions = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.9, 0.0),
+            Point::new(1.8, 0.0),
+            Point::new(2.7, 0.0),
+        ];
+        let caches = vec![
+            HostCache::new(10, ReplacementPolicy::default()),
+            HostCache::new(10, ReplacementPolicy::default()),
+            HostCache::new(10, ReplacementPolicy::default()),
+            cache_with_region(Point::new(2.7, 0.0)),
+        ];
+        let grid = NeighborGrid::build(positions, 1.0);
+        for (hops, expect_contacted, expect_replies) in [(1, 1, 0), (2, 2, 0), (3, 3, 1)] {
+            let (replies, stats) = gather_peer_data_multihop(
+                0,
+                Point::new(0.0, 0.0),
+                1.0,
+                hops,
+                CAT,
+                &grid,
+                &caches,
+            );
+            assert_eq!(stats.peers_contacted, expect_contacted, "hops {hops}");
+            assert_eq!(replies.len(), expect_replies, "hops {hops}");
+        }
+    }
+
+    #[test]
+    fn multihop_one_hop_matches_single_hop() {
+        let positions = vec![Point::new(0.0, 0.0), Point::new(0.1, 0.0), Point::new(5.0, 5.0)];
+        let caches = vec![
+            HostCache::new(10, ReplacementPolicy::default()),
+            cache_with_region(Point::new(0.1, 0.0)),
+            cache_with_region(Point::new(5.0, 5.0)),
+        ];
+        let grid = NeighborGrid::build(positions, 1.0);
+        let (r1, s1) = gather_peer_data(0, Point::new(0.0, 0.0), 1.0, CAT, &grid, &caches);
+        let (r2, s2) =
+            gather_peer_data_multihop(0, Point::new(0.0, 0.0), 1.0, 1, CAT, &grid, &caches);
+        assert_eq!(s1, s2);
+        assert_eq!(r1.len(), r2.len());
+        assert_eq!(r1[0].peer, r2[0].peer);
+    }
+
+    #[test]
+    fn multihop_never_revisits_the_querier() {
+        // Dense clique: querier reachable from everyone; must not appear
+        // in its own replies at any hop depth.
+        let positions: Vec<Point> = (0..6).map(|i| Point::new(i as f64 * 0.1, 0.0)).collect();
+        let caches: Vec<HostCache> = positions
+            .iter()
+            .map(|p| cache_with_region(*p))
+            .collect();
+        let grid = NeighborGrid::build(positions, 1.0);
+        let (replies, stats) =
+            gather_peer_data_multihop(2, Point::new(0.2, 0.0), 1.0, 4, CAT, &grid, &caches);
+        assert_eq!(stats.peers_contacted, 5);
+        assert!(replies.iter().all(|r| r.peer != 2));
+    }
+
+    #[test]
+    fn category_filter_applies() {
+        let positions = vec![Point::new(0.0, 0.0), Point::new(0.1, 0.0)];
+        let caches = vec![
+            HostCache::new(10, ReplacementPolicy::default()),
+            cache_with_region(Point::new(0.1, 0.0)), // category 0 only
+        ];
+        let grid = NeighborGrid::build(positions, 1.0);
+        let (replies, _) = gather_peer_data(
+            0,
+            Point::new(0.0, 0.0),
+            1.0,
+            PoiCategory(7),
+            &grid,
+            &caches,
+        );
+        assert!(replies.is_empty());
+    }
+}

@@ -1,0 +1,25 @@
+//! A from-scratch R-tree over point data.
+//!
+//! The paper's related-work section grounds spatial search in the R-tree
+//! family: Guttman's original dynamic index, the branch-and-bound /
+//! best-first kNN searches of Roussopoulos et al. and Hjaltason–Samet,
+//! and window queries over MBR hierarchies. The broadcast server does not
+//! ship an R-tree over the air (it uses the Hilbert index), but the
+//! simulator needs an exact, fast *ground truth* oracle to (a) validate
+//! every sharing-based answer and (b) quantify approximation error. This
+//! crate provides that oracle:
+//!
+//! * [`RTree`] — a point R-tree with Guttman quadratic-split insertion,
+//!   STR (sort-tile-recursive) bulk loading, best-first kNN search and
+//!   window queries.
+//! * [`LinearScan`] — the brute-force baseline used to cross-check the
+//!   tree in tests and to benchmark the speedup.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod scan;
+mod tree;
+
+pub use scan::LinearScan;
+pub use tree::{Neighbor, RTree};

@@ -1,0 +1,172 @@
+//! Simulation configuration (the knobs of Table 4 plus ablation flags).
+
+use crate::ParamSet;
+use airshare_cache::ReplacementPolicy;
+use airshare_core::VrPolicy;
+
+/// Which spatial query type the workload issues (the paper evaluates kNN
+/// and window queries in separate experiments, §4.2 / §4.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryKind {
+    /// k-nearest-neighbor queries (SBNN).
+    Knn,
+    /// Window queries (SBWQ).
+    Window,
+}
+
+/// Which mobility model moves the hosts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MobilityModel {
+    /// Random waypoint in free space (the paper's base model).
+    RandomWaypoint,
+    /// Waypoints constrained to a synthetic Manhattan street grid with
+    /// the given spacing in miles.
+    GridRoads {
+        /// Street pitch in thousandths of a mile (integer so the config
+        /// stays `Eq`/hashable); 250 = 0.25 mi blocks.
+        spacing_milli_mi: u32,
+    },
+}
+
+/// Full configuration of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// The Table 3 parameter set (possibly scaled).
+    pub params: ParamSet,
+    /// Workload type.
+    pub query_kind: QueryKind,
+    /// Master seed; every run is deterministic given it.
+    pub seed: u64,
+    /// Minutes of simulated time to run *after* warm-up.
+    pub measure_min: f64,
+    /// Warm-up minutes before measurement starts (the paper records
+    /// "after the system model reached steady state").
+    pub warmup_min: f64,
+    /// Broadcast ticks per simulated minute (bucket airtime ⇒ channel
+    /// bit-rate). 6000 ≈ 100 one-KB buckets per second on ~0.8 Mbps.
+    pub ticks_per_min: u64,
+    /// POIs per broadcast bucket.
+    pub bucket_capacity: usize,
+    /// `(1, m)` index replication factor.
+    pub index_m: usize,
+    /// Hilbert curve order for the air index.
+    pub hilbert_order: u32,
+    /// Cache replacement policy.
+    pub policy: ReplacementPolicy,
+    /// Bound on cached regions per host (`usize::MAX` = bounded only by
+    /// the cache's own default, i.e. the POI capacity). The paper bounds
+    /// caches in POIs; the region bound exists for the ablation that
+    /// studies knowledge fragmentation.
+    pub max_regions: usize,
+    /// Anti-fragmentation overlap threshold (see
+    /// `HostCache::with_subsume_overlap`); 1.0 disables it.
+    pub subsume_overlap: f64,
+    /// Verified-region construction for peer-answered kNN queries
+    /// (sound inscribed square vs the paper's looser circumscribed MBR).
+    pub vr_policy: VrPolicy,
+    /// Clip Lemma 3.2's unverified areas to the bounded world. The
+    /// paper's estimator assumes an unbounded Poisson field (no
+    /// clipping); in a scaled-down world clipping is *more accurate* but
+    /// boosts approximate acceptance far beyond the paper's regime,
+    /// because the edge zone dominates a small world. Default off for
+    /// figure fidelity; `exp_prob` calibrates both estimators.
+    pub clip_domain: bool,
+    /// Hosts accept approximate kNN answers above `min_correctness`.
+    pub accept_approx: bool,
+    /// Correctness threshold for approximate acceptance (paper: 0.5).
+    pub min_correctness: f64,
+    /// Apply §3.3.3 bound filtering on broadcast fallback.
+    pub use_bound_filtering: bool,
+    /// Apply §3.4.2 window reduction on broadcast fallback.
+    pub use_window_reduction: bool,
+    /// Merge the querying host's own cache into the MVR.
+    pub use_own_cache: bool,
+    /// How many wireless hops the share request travels (1 = the paper's
+    /// single-hop exchange; >1 enables the multi-hop extension).
+    pub p2p_hops: usize,
+    /// Mobility model.
+    pub mobility: MobilityModel,
+    /// Neighbor-grid refresh interval in minutes (peers are filtered by
+    /// exact positions afterwards, so this only bounds the candidate
+    /// search slack, not correctness).
+    pub epoch_min: f64,
+    /// Cross-check every resolved query against the R-tree oracle and
+    /// count mismatches (slower; used by tests and the Lemma 3.2
+    /// experiment).
+    pub validate: bool,
+    /// Cap on recorded (predicted correctness, was-correct) samples for
+    /// approximate answers.
+    pub calibration_cap: usize,
+}
+
+impl SimConfig {
+    /// The paper's defaults for a parameter set and workload, at a given
+    /// seed. Measurement spans the configured `t_execution_hr` with a
+    /// fixed warm-up.
+    pub fn paper_defaults(params: ParamSet, query_kind: QueryKind, seed: u64) -> Self {
+        Self {
+            measure_min: params.t_execution_hr * 60.0,
+            params,
+            query_kind,
+            seed,
+            warmup_min: 30.0,
+            ticks_per_min: 6000,
+            bucket_capacity: 10,
+            index_m: 4,
+            hilbert_order: 8,
+            policy: ReplacementPolicy::DirectionDistance,
+            max_regions: usize::MAX,
+            subsume_overlap: 0.75,
+            vr_policy: VrPolicy::InscribedBall,
+            clip_domain: false,
+            accept_approx: true,
+            min_correctness: 0.5,
+            use_bound_filtering: true,
+            use_window_reduction: true,
+            use_own_cache: true,
+            p2p_hops: 1,
+            mobility: MobilityModel::RandomWaypoint,
+            epoch_min: 0.25,
+            validate: false,
+            calibration_cap: 100_000,
+        }
+    }
+
+    /// A laptop-scale configuration: the same densities on a smaller
+    /// area, shorter run. This is what `cargo bench` uses by default;
+    /// set `AIRSHARE_FULL=1` to run paper scale.
+    pub fn bench_defaults(params: ParamSet, query_kind: QueryKind, seed: u64) -> Self {
+        let scaled = params.scaled(0.02).with_hours(1.0);
+        let mut cfg = Self::paper_defaults(scaled, query_kind, seed);
+        cfg.measure_min = 40.0;
+        cfg.warmup_min = 20.0;
+        cfg
+    }
+
+    /// Total simulated minutes (warm-up + measurement).
+    pub fn total_min(&self) -> f64 {
+        self.warmup_min + self.measure_min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params;
+
+    #[test]
+    fn defaults_track_param_set() {
+        let cfg = SimConfig::paper_defaults(params::la_city(), QueryKind::Knn, 1);
+        assert_eq!(cfg.measure_min, 600.0);
+        assert!(cfg.accept_approx);
+        assert_eq!(cfg.min_correctness, 0.5);
+    }
+
+    #[test]
+    fn bench_defaults_shrink_the_world() {
+        let cfg = SimConfig::bench_defaults(params::la_city(), QueryKind::Knn, 1);
+        assert!(cfg.params.world_mi < 4.0);
+        assert!(cfg.params.mh_number < 5000);
+        assert!(cfg.total_min() <= 60.0 + 1e-9);
+    }
+}

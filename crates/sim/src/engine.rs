@@ -1,0 +1,515 @@
+//! The simulation event loop.
+
+use crate::{MobilityModel, QueryKind, SimConfig, SimReport};
+use airshare_broadcast::{AirIndex, OnAirClient, Poi, PoiCategory, Schedule};
+use airshare_cache::{CacheContext, HostCache, RegionEntry};
+use airshare_core::{sbnn, sbwq, MergedRegion, ResolvedBy, SbnnConfig, SbwqConfig};
+use airshare_geom::{meters_to_miles, Point, Rect};
+use airshare_hilbert::Grid;
+use airshare_mobility::{
+    GridRoadWaypoint, Mobility, MobilityConfig, QueryScheduler, RandomWaypoint,
+};
+use airshare_p2p::{NeighborGrid, PeerReply, ShareStats};
+use airshare_rtree::RTree;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The single POI category the paper's experiments use (gas stations).
+const CAT: PoiCategory = PoiCategory::GAS_STATION;
+
+enum HostMobility {
+    Waypoint(Box<RandomWaypoint>),
+    Roads(Box<GridRoadWaypoint>),
+}
+
+impl Mobility for HostMobility {
+    fn position_at(&mut self, t: f64) -> Point {
+        match self {
+            HostMobility::Waypoint(m) => m.position_at(t),
+            HostMobility::Roads(m) => m.position_at(t),
+        }
+    }
+    fn velocity_at(&mut self, t: f64) -> (f64, f64) {
+        match self {
+            HostMobility::Waypoint(m) => m.velocity_at(t),
+            HostMobility::Roads(m) => m.velocity_at(t),
+        }
+    }
+}
+
+/// One full system: base station, channel, fleet, caches.
+pub struct Simulation {
+    cfg: SimConfig,
+    world: Rect,
+    pois: Vec<Poi>,
+    index: AirIndex,
+    schedule: Schedule,
+    oracle: RTree<u32>,
+    hosts: Vec<HostMobility>,
+    caches: Vec<HostCache>,
+    mobility_cfg: MobilityConfig,
+    rng: SmallRng,
+}
+
+impl Simulation {
+    /// Builds the world: POIs placed uniformly at random (the paper's
+    /// own Poisson-field assumption), the Hilbert air index over them,
+    /// the `(1, m)` schedule, the ground-truth R-tree, and the host
+    /// fleet with empty caches.
+    pub fn new(cfg: SimConfig) -> Self {
+        let side = cfg.params.world_mi;
+        let world = Rect::from_coords(0.0, 0.0, side, side);
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let pois: Vec<Poi> = (0..cfg.params.poi_number)
+            .map(|i| {
+                Poi::new(
+                    i as u32,
+                    Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)),
+                )
+            })
+            .collect();
+        let grid = Grid::new(world, cfg.hilbert_order);
+        let index = AirIndex::build(pois.clone(), grid, cfg.bucket_capacity);
+        let schedule = Schedule::new(index.data_buckets(), index.index_buckets(), cfg.index_m);
+        let oracle = RTree::bulk_load(pois.iter().map(|p| (p.pos, p.id)).collect());
+        let mut mobility_cfg = MobilityConfig::vehicular(world);
+        mobility_cfg.speed_min *= cfg.params.speed_scale;
+        mobility_cfg.speed_max *= cfg.params.speed_scale;
+        let hosts: Vec<HostMobility> = (0..cfg.params.mh_number)
+            .map(|i| {
+                let seed = cfg.seed ^ (0x9E3779B97F4A7C15u64.wrapping_mul(i as u64 + 1));
+                match cfg.mobility {
+                    MobilityModel::RandomWaypoint => {
+                        HostMobility::Waypoint(Box::new(RandomWaypoint::new(mobility_cfg, seed)))
+                    }
+                    MobilityModel::GridRoads { spacing_milli_mi } => {
+                        HostMobility::Roads(Box::new(GridRoadWaypoint::new(
+                            mobility_cfg,
+                            spacing_milli_mi as f64 / 1000.0,
+                            seed,
+                        )))
+                    }
+                }
+            })
+            .collect();
+        let caches = (0..cfg.params.mh_number)
+            .map(|_| {
+                let c = HostCache::new(cfg.params.cache_size, cfg.policy)
+                    .with_subsume_overlap(cfg.subsume_overlap);
+                if cfg.max_regions == usize::MAX {
+                    c
+                } else {
+                    c.with_max_regions(cfg.max_regions)
+                }
+            })
+            .collect();
+        Self {
+            cfg,
+            world,
+            pois,
+            index,
+            schedule,
+            oracle,
+            hosts,
+            caches,
+            mobility_cfg,
+            rng,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The global POI set (for external validation).
+    pub fn pois(&self) -> &[Poi] {
+        &self.pois
+    }
+
+    /// Runs the simulation to completion and returns the report.
+    pub fn run(&mut self) -> SimReport {
+        let mut report = SimReport::default();
+        let cfg = self.cfg.clone();
+        let range = meters_to_miles(cfg.params.tx_range_m);
+        let slack = 2.0 * self.mobility_cfg.speed_max * cfg.epoch_min;
+        let total_min = cfg.total_min();
+
+        let mut scheduler =
+            QueryScheduler::new(cfg.params.query_rate, cfg.params.mh_number, cfg.seed ^ 0xA5);
+        let events = scheduler.events_until(total_min);
+
+        // Initial neighbor grid at t = 0; cell = search radius.
+        let cell = (range + slack).max(1e-3);
+        let mut grid = self.rebuild_grid(0.0, cell);
+        let mut next_epoch = cfg.epoch_min;
+
+        for ev in events {
+            while ev.time >= next_epoch {
+                grid = self.rebuild_grid(next_epoch, cell);
+                next_epoch += cfg.epoch_min;
+            }
+            self.process_query(ev.time, ev.host, &grid, range, slack, &mut report);
+        }
+        report
+    }
+
+    fn rebuild_grid(&mut self, t: f64, cell: f64) -> NeighborGrid {
+        let positions: Vec<Point> = self.hosts.iter_mut().map(|h| h.position_at(t)).collect();
+        NeighborGrid::build(positions, cell)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn process_query(
+        &mut self,
+        t: f64,
+        host: usize,
+        grid: &NeighborGrid,
+        range: f64,
+        slack: f64,
+        report: &mut SimReport,
+    ) {
+        let cfg = self.cfg.clone();
+        let qpos = self.hosts[host].position_at(t);
+        let heading = self.hosts[host].heading_at(t);
+        let measuring = t >= cfg.warmup_min;
+
+        // --- P2P gather: candidates from the (slightly stale) grid,
+        // confirmed against exact current positions. Multi-hop gathers
+        // (the extension) relay through grid positions directly: the
+        // ε-staleness of relays is immaterial to an ablation that asks
+        // "how much more knowledge do extra hops reach". ---
+        let mut share = ShareStats::default();
+        let mut replies: Vec<PeerReply> = Vec::new();
+        if cfg.p2p_hops > 1 {
+            let (r, s) = airshare_p2p::gather_peer_data_multihop(
+                host,
+                qpos,
+                range,
+                cfg.p2p_hops,
+                CAT,
+                grid,
+                &self.caches,
+            );
+            replies = r;
+            share = s;
+        } else {
+            let candidates = grid.neighbors_within(qpos, range + slack, Some(host));
+            for peer in candidates {
+                let ppos = self.hosts[peer].position_at(t);
+                if ppos.distance(qpos) > range {
+                    continue;
+                }
+                share.peers_contacted += 1;
+                let regions = self.caches[peer].share_snapshot(CAT);
+                if regions.is_empty() {
+                    continue;
+                }
+                share.peers_with_data += 1;
+                share.regions_received += regions.len();
+                share.pois_received += regions.iter().map(|(_, p)| p.len()).sum::<usize>();
+                replies.push(PeerReply { peer, regions });
+            }
+        }
+        let mut region_pairs: Vec<(Rect, Vec<Poi>)> = replies
+            .into_iter()
+            .flat_map(|r| r.regions.into_iter())
+            .collect();
+        if cfg.use_own_cache {
+            region_pairs.extend(self.caches[host].share_snapshot(CAT));
+        }
+        let mvr = MergedRegion::from_regions(region_pairs);
+
+        let tune_in = (t * cfg.ticks_per_min as f64) as u64;
+        // Window sampling needs &mut self (its RNG); do it before any
+        // borrow of the channel state.
+        let window = matches!(cfg.query_kind, QueryKind::Window)
+            .then(|| self.sample_window(qpos));
+        let client = OnAirClient::new(&self.index, &self.schedule);
+        let ctx = CacheContext {
+            pos: qpos,
+            heading,
+            now: t,
+        };
+
+        match cfg.query_kind {
+            QueryKind::Knn => {
+                let sbnn_cfg = SbnnConfig {
+                    k: cfg.params.knn_k,
+                    accept_approx: cfg.accept_approx,
+                    min_correctness: cfg.min_correctness,
+                    lambda: cfg.params.poi_density(),
+                    use_bound_filtering: cfg.use_bound_filtering,
+                    vr_policy: cfg.vr_policy,
+                    domain: cfg.clip_domain.then_some(self.world),
+                };
+                let res = sbnn(qpos, &sbnn_cfg, &mvr, Some((&client, tune_in)))
+                    .resolved()
+                    .expect("channel fallback always resolves");
+
+                if let Some((vr, pois)) = &res.adoptable {
+                    self.caches[host].insert(
+                        CAT,
+                        RegionEntry::new(*vr, pois.iter().copied(), t),
+                        &ctx,
+                    );
+                }
+                self.caches[host]
+                    .touch(CAT, &Rect::centered_square(qpos, range), t);
+
+                if !measuring {
+                    return;
+                }
+                report.queries.total += 1;
+                report.record_share(&share);
+                match res.resolved_by {
+                    ResolvedBy::PeersVerified => report.queries.by_peers += 1,
+                    ResolvedBy::PeersApproximate => report.queries.by_approx += 1,
+                    ResolvedBy::Broadcast => report.queries.by_broadcast += 1,
+                }
+                if let Some(air) = res.air {
+                    report.record_air(air);
+                }
+                // What the pure on-air algorithm would have paid.
+                if let Some(base) = client.knn(tune_in, qpos, sbnn_cfg.k) {
+                    report.baseline_latency.record(base.stats.latency);
+                    report.baseline_tuning.record(base.stats.tuning);
+                    if let Some(air) = res.air {
+                        debug_assert!(
+                            air.buckets <= base.stats.buckets,
+                            "bound filtering fetched more than a cold query"
+                        );
+                        report.filter_saved_buckets +=
+                            base.stats.buckets.saturating_sub(air.buckets);
+                    }
+                }
+                if cfg.validate {
+                    self.validate_knn(qpos, &res, report);
+                }
+            }
+            QueryKind::Window => {
+                let w = window.expect("sampled above for window workloads");
+                let sbwq_cfg = SbwqConfig {
+                    use_window_reduction: cfg.use_window_reduction,
+                };
+                let res = sbwq(&w, &sbwq_cfg, &mvr, Some((&client, tune_in)))
+                    .resolved()
+                    .expect("channel fallback always resolves");
+
+                // A resolved window is fully known: cache it.
+                self.caches[host].insert(
+                    CAT,
+                    RegionEntry::new(w, res.pois.iter().copied(), t),
+                    &ctx,
+                );
+                self.caches[host].touch(CAT, &w, t);
+
+                if !measuring {
+                    return;
+                }
+                report.queries.total += 1;
+                report.record_share(&share);
+                match res.resolved_by {
+                    ResolvedBy::PeersVerified => report.queries.by_peers += 1,
+                    _ => {
+                        report.queries.by_broadcast += 1;
+                        report.partial_coverage_sum += res.coverage;
+                        report.partial_coverage_count += 1;
+                    }
+                }
+                if let Some(air) = res.air {
+                    report.record_air(air);
+                }
+                let base = client.window(tune_in, &w);
+                report.baseline_latency.record(base.stats.latency);
+                report.baseline_tuning.record(base.stats.tuning);
+                if cfg.validate {
+                    let mut got: Vec<u32> = res.pois.iter().map(|p| p.id).collect();
+                    got.sort_unstable();
+                    let mut want: Vec<u32> = self
+                        .oracle
+                        .window(&w)
+                        .into_iter()
+                        .map(|(_, &id)| id)
+                        .collect();
+                    want.sort_unstable();
+                    if got != want {
+                        report.exact_mismatches += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn validate_knn(
+        &mut self,
+        qpos: Point,
+        res: &airshare_core::SbnnResult,
+        report: &mut SimReport,
+    ) {
+        let truth = self.oracle.knn(qpos, res.neighbors.len());
+        let matches = res
+            .neighbors
+            .iter()
+            .zip(&truth)
+            .all(|(a, b)| (a.distance - b.distance).abs() < 1e-9);
+        match res.resolved_by {
+            ResolvedBy::PeersApproximate => {
+                if report.calibration.len() < self.cfg.calibration_cap {
+                    let min_c = res
+                        .neighbors
+                        .iter()
+                        .filter(|n| !n.verified)
+                        .filter_map(|n| n.correctness)
+                        .fold(1.0_f64, f64::min);
+                    report.calibration.push((min_c, matches));
+                }
+            }
+            _ => {
+                if !matches {
+                    report.exact_mismatches += 1;
+                }
+            }
+        }
+    }
+
+    /// Samples a query window per Table 4: mean area = `window_pct` % of
+    /// the search space; centre at a normally-distributed distance from
+    /// the host in a uniform direction, clamped into the world.
+    fn sample_window(&mut self, qpos: Point) -> Rect {
+        let p = &self.cfg.params;
+        let side = (p.window_pct / 100.0).sqrt() * p.world_mi;
+        let dist = (self.sample_normal(p.distance_mi, p.distance_mi / 3.0)).abs();
+        let theta = self.rng.gen_range(0.0..std::f64::consts::TAU);
+        let center = self.world.clamp_point(Point::new(
+            qpos.x + dist * theta.cos(),
+            qpos.y + dist * theta.sin(),
+        ));
+        let half = side / 2.0;
+        let w = Rect::centered_square(center, half);
+        w.intersection(&self.world).unwrap_or(w)
+    }
+
+    fn sample_normal(&mut self, mean: f64, sd: f64) -> f64 {
+        // Box–Muller.
+        let u1: f64 = 1.0 - self.rng.gen::<f64>();
+        let u2: f64 = self.rng.gen();
+        mean + sd * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params;
+
+    fn tiny_cfg(kind: QueryKind) -> SimConfig {
+        let mut p = params::la_city().scaled(0.005); // ~2 mi² world
+        p.cache_size = 30;
+        let mut cfg = SimConfig::paper_defaults(p, kind, 42);
+        cfg.warmup_min = 5.0;
+        cfg.measure_min = 10.0;
+        cfg.validate = true;
+        cfg.hilbert_order = 6;
+        cfg
+    }
+
+    #[test]
+    fn knn_simulation_answers_are_exact() {
+        let mut sim = Simulation::new(tiny_cfg(QueryKind::Knn));
+        let report = sim.run();
+        assert!(report.queries.total > 20, "too few queries measured");
+        assert_eq!(report.exact_mismatches, 0, "exact answers were wrong");
+        // All resolution paths sum up.
+        assert_eq!(
+            report.queries.total,
+            report.queries.by_peers + report.queries.by_approx + report.queries.by_broadcast
+        );
+        // Approximate answers were predicted with probability ≥ 0.5.
+        for &(p, _) in &report.calibration {
+            assert!(p >= 0.5 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn window_simulation_answers_are_exact() {
+        let mut sim = Simulation::new(tiny_cfg(QueryKind::Window));
+        let report = sim.run();
+        assert!(report.queries.total > 20);
+        assert_eq!(report.exact_mismatches, 0);
+        assert_eq!(report.queries.by_approx, 0, "windows have no approx tier");
+        assert_eq!(
+            report.queries.total,
+            report.queries.by_peers + report.queries.by_broadcast
+        );
+    }
+
+    #[test]
+    fn sharing_reduces_latency_against_baseline() {
+        let mut sim = Simulation::new(tiny_cfg(QueryKind::Knn));
+        let report = sim.run();
+        // The paper's headline: overall latency with sharing is below
+        // the all-broadcast baseline (peer-solved queries cost ~0).
+        assert!(
+            report.overall_mean_latency() < report.baseline_latency.mean(),
+            "sharing {} !< baseline {}",
+            report.overall_mean_latency(),
+            report.baseline_latency.mean()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let r1 = Simulation::new(tiny_cfg(QueryKind::Knn)).run();
+        let r2 = Simulation::new(tiny_cfg(QueryKind::Knn)).run();
+        assert_eq!(r1.queries.total, r2.queries.total);
+        assert_eq!(r1.queries.by_peers, r2.queries.by_peers);
+        assert_eq!(r1.broadcast_latency.sum, r2.broadcast_latency.sum);
+    }
+
+    #[test]
+    fn zero_range_disables_sharing() {
+        let mut cfg = tiny_cfg(QueryKind::Knn);
+        cfg.params.tx_range_m = 0.0;
+        cfg.use_own_cache = false;
+        let report = Simulation::new(cfg).run();
+        assert_eq!(report.queries.by_peers, 0);
+        assert_eq!(report.queries.by_approx, 0);
+        assert_eq!(report.queries.by_broadcast, report.queries.total);
+        assert_eq!(report.exact_mismatches, 0);
+    }
+
+    #[test]
+    fn multihop_sharing_reaches_more_peers() {
+        let reach = |hops: usize| {
+            let mut cfg = tiny_cfg(QueryKind::Knn);
+            cfg.p2p_hops = hops;
+            cfg.measure_min = 8.0;
+            let r = Simulation::new(cfg).run();
+            assert_eq!(r.exact_mismatches, 0, "multihop broke exactness");
+            (r.mean_peers_contacted(), r.queries.pct_peers() + r.queries.pct_approx())
+        };
+        let (peers1, solved1) = reach(1);
+        let (peers3, solved3) = reach(3);
+        assert!(
+            peers3 > peers1 * 1.5,
+            "3 hops ({peers3:.1} peers) should reach well beyond 1 hop ({peers1:.1})"
+        );
+        assert!(
+            solved3 + 1e-9 >= solved1 * 0.9,
+            "extra knowledge should not hurt: {solved3:.1}% vs {solved1:.1}%"
+        );
+    }
+
+    #[test]
+    fn grid_roads_mobility_runs() {
+        let mut cfg = tiny_cfg(QueryKind::Knn);
+        cfg.mobility = MobilityModel::GridRoads {
+            spacing_milli_mi: 250,
+        };
+        cfg.measure_min = 5.0;
+        let report = Simulation::new(cfg).run();
+        assert!(report.queries.total > 0);
+        assert_eq!(report.exact_mismatches, 0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Simulation output: the series the paper's figures plot.
+
+use airshare_broadcast::AccessStats;
+use airshare_p2p::ShareStats;
+
+/// Streaming summary of a latency-like quantity (ticks).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl LatencySummary {
+    /// Adds one sample.
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Query-resolution counters — one per workload type.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QueryStats {
+    /// Total measured queries.
+    pub total: u64,
+    /// Solved entirely from peers with verification (SBNN/SBWQ).
+    pub by_peers: u64,
+    /// Solved from peers approximately (kNN only).
+    pub by_approx: u64,
+    /// Solved by listening to the broadcast channel.
+    pub by_broadcast: u64,
+}
+
+impl QueryStats {
+    /// Percentage helpers (0–100, as the paper's y-axes).
+    pub fn pct_peers(&self) -> f64 {
+        percent(self.by_peers, self.total)
+    }
+    /// Percentage solved approximately.
+    pub fn pct_approx(&self) -> f64 {
+        percent(self.by_approx, self.total)
+    }
+    /// Percentage needing the broadcast channel.
+    pub fn pct_broadcast(&self) -> f64 {
+        percent(self.by_broadcast, self.total)
+    }
+}
+
+fn percent(n: u64, d: u64) -> f64 {
+    if d == 0 {
+        0.0
+    } else {
+        100.0 * n as f64 / d as f64
+    }
+}
+
+/// Everything one simulation run produced.
+#[derive(Clone, Debug, Default)]
+pub struct SimReport {
+    /// Resolution counters for the measured window.
+    pub queries: QueryStats,
+    /// Access latency of broadcast-solved queries (ticks).
+    pub broadcast_latency: LatencySummary,
+    /// Tuning time of broadcast-solved queries (ticks).
+    pub broadcast_tuning: LatencySummary,
+    /// Buckets downloaded per broadcast-solved query.
+    pub broadcast_buckets: LatencySummary,
+    /// Latency of the pure on-air baseline for the *same* queries (what
+    /// the host would have paid without sharing) — gives the latency
+    /// reduction headline.
+    pub baseline_latency: LatencySummary,
+    /// Baseline tuning time.
+    pub baseline_tuning: LatencySummary,
+    /// Buckets the §3.3.3 bounds saved versus a cold on-air query, summed
+    /// over broadcast-resolved kNN queries (non-negative by construction:
+    /// the filtered bucket set is a subset of the cold one).
+    pub filter_saved_buckets: u64,
+    /// Aggregate P2P traffic.
+    pub share_peers_contacted: u64,
+    /// Peers that replied with data, total.
+    pub share_peers_with_data: u64,
+    /// POIs transferred peer-to-peer, total.
+    pub share_pois: u64,
+    /// Ground-truth mismatches among exact answers (must stay 0; only
+    /// counted when `validate` is set).
+    pub exact_mismatches: u64,
+    /// For approximate answers under `validate`: (predicted correctness
+    /// of the least-certain unverified entry, whole answer was correct).
+    pub calibration: Vec<(f64, bool)>,
+    /// Mean coverage fraction of window queries that went to broadcast.
+    pub partial_coverage_sum: f64,
+    /// Count behind `partial_coverage_sum`.
+    pub partial_coverage_count: u64,
+}
+
+impl SimReport {
+    /// Accumulates one broadcast access.
+    pub(crate) fn record_air(&mut self, stats: AccessStats) {
+        self.broadcast_latency.record(stats.latency);
+        self.broadcast_tuning.record(stats.tuning);
+        self.broadcast_buckets.record(stats.buckets);
+    }
+
+    /// Accumulates one share exchange.
+    pub(crate) fn record_share(&mut self, s: &ShareStats) {
+        self.share_peers_contacted += s.peers_contacted as u64;
+        self.share_peers_with_data += s.peers_with_data as u64;
+        self.share_pois += s.pois_received as u64;
+    }
+
+    /// Mean peers contacted per query.
+    pub fn mean_peers_contacted(&self) -> f64 {
+        if self.queries.total == 0 {
+            0.0
+        } else {
+            self.share_peers_contacted as f64 / self.queries.total as f64
+        }
+    }
+
+    /// Mean MVR coverage of windows that needed the channel.
+    pub fn mean_partial_coverage(&self) -> f64 {
+        if self.partial_coverage_count == 0 {
+            0.0
+        } else {
+            self.partial_coverage_sum / self.partial_coverage_count as f64
+        }
+    }
+
+    /// Mean access latency over *all* queries, counting peer-resolved
+    /// queries as zero ticks (their latency is a couple of 802.11 RTTs —
+    /// microscopic against bucket airtimes).
+    pub fn overall_mean_latency(&self) -> f64 {
+        if self.queries.total == 0 {
+            0.0
+        } else {
+            self.broadcast_latency.sum as f64 / self.queries.total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_summary_statistics() {
+        let mut s = LatencySummary::default();
+        assert_eq!(s.mean(), 0.0);
+        s.record(10);
+        s.record(30);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean(), 20.0);
+        assert_eq!(s.max, 30);
+    }
+
+    #[test]
+    fn query_stats_percentages() {
+        let q = QueryStats {
+            total: 200,
+            by_peers: 100,
+            by_approx: 50,
+            by_broadcast: 50,
+        };
+        assert_eq!(q.pct_peers(), 50.0);
+        assert_eq!(q.pct_approx(), 25.0);
+        assert_eq!(q.pct_broadcast(), 25.0);
+        let empty = QueryStats::default();
+        assert_eq!(empty.pct_peers(), 0.0);
+    }
+
+    #[test]
+    fn overall_latency_counts_peer_queries_as_zero() {
+        let mut r = SimReport::default();
+        r.queries.total = 4;
+        r.queries.by_broadcast = 1;
+        r.record_air(AccessStats {
+            latency: 100,
+            tuning: 10,
+            buckets: 5,
+        });
+        assert_eq!(r.overall_mean_latency(), 25.0);
+        assert_eq!(r.broadcast_latency.mean(), 100.0);
+    }
+}

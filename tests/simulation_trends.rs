@@ -1,0 +1,204 @@
+//! Full-simulator trend tests: the qualitative claims of the paper's
+//! evaluation must hold on small, fast configurations.
+//!
+//! These are the repo's guard rails for the figures: if a change flips
+//! "more transmission range ⇒ more peer-solved queries" or breaks
+//! exactness under validation, these tests go red long before anyone
+//! reruns the full experiment suite.
+
+use airshare::prelude::*;
+use airshare_sim::params;
+
+fn base(kind: QueryKind, seed: u64) -> SimConfig {
+    let p = params::la_city().scaled(0.005);
+    let mut cfg = SimConfig::paper_defaults(p, kind, seed);
+    cfg.warmup_min = 90.0;
+    cfg.measure_min = 30.0;
+    cfg
+}
+
+fn run(cfg: SimConfig) -> SimReport {
+    Simulation::new(cfg).run()
+}
+
+#[test]
+fn more_range_means_more_peer_answers() {
+    let pct = |range: f64| {
+        let mut cfg = base(QueryKind::Knn, 3);
+        cfg.params.tx_range_m = range;
+        let r = run(cfg);
+        r.queries.pct_peers() + r.queries.pct_approx()
+    };
+    let lo = pct(10.0);
+    let hi = pct(200.0);
+    assert!(
+        hi > lo + 5.0,
+        "200 m ({hi:.1}%) should beat 10 m ({lo:.1}%) clearly"
+    );
+}
+
+#[test]
+fn denser_region_solves_more_from_peers() {
+    // Needs a world noticeably larger than one cache's coverage area
+    // (CSize/λ), or self-coverage saturates both sets — hence the larger
+    // scale factor here (see EXPERIMENTS.md on scaling limits).
+    let pct = |p: airshare_sim::ParamSet| {
+        let mut cfg = SimConfig::paper_defaults(p.scaled(0.01), QueryKind::Knn, 4);
+        cfg.warmup_min = 120.0;
+        cfg.measure_min = 30.0;
+        let r = run(cfg);
+        r.queries.pct_peers() + r.queries.pct_approx()
+    };
+    let la = pct(params::la_city());
+    let rc = pct(params::riverside_county());
+    assert!(
+        la > rc + 5.0,
+        "LA ({la:.1}%) should clearly beat Riverside ({rc:.1}%)"
+    );
+}
+
+#[test]
+fn moderate_windows_largely_covered_by_peers() {
+    // Figure 15's headline: "with a relatively small query window (less
+    // than 3%), over 50% of the window queries can be fulfilled through
+    // our sharing mechanism". (The paper's *slope* at the small end
+    // needs full-scale cache truncation — window POI content ∝ area is
+    // quantized near zero at laptop scale; see EXPERIMENTS.md.)
+    let pct = |wpct: f64| {
+        let mut cfg = SimConfig::paper_defaults(
+            params::la_city().scaled(0.02),
+            QueryKind::Window,
+            5,
+        );
+        cfg.warmup_min = 150.0;
+        cfg.measure_min = 40.0;
+        cfg.params.window_pct = wpct;
+        run(cfg).queries.pct_peers()
+    };
+    assert!(pct(3.0) > 50.0, "3% windows under-covered: {:.1}%", pct(3.0));
+    assert!(pct(1.0) > 50.0, "1% windows under-covered: {:.1}%", pct(1.0));
+}
+
+#[test]
+fn validation_holds_across_workloads_and_policies() {
+    for kind in [QueryKind::Knn, QueryKind::Window] {
+        for policy in [
+            ReplacementPolicy::DirectionDistance,
+            ReplacementPolicy::DistanceOnly,
+            ReplacementPolicy::Lru,
+        ] {
+            let mut cfg = base(kind, 6);
+            cfg.warmup_min = 30.0;
+            cfg.measure_min = 20.0;
+            cfg.policy = policy;
+            cfg.validate = true;
+            let r = run(cfg);
+            assert_eq!(
+                r.exact_mismatches, 0,
+                "wrong exact answers under {kind:?}/{policy:?}"
+            );
+            assert!(r.queries.total > 0);
+        }
+    }
+}
+
+#[test]
+fn bound_filtering_reduces_broadcast_traffic() {
+    // Per-query the filtered bucket set is a subset of the cold one
+    // (asserted inside the engine in debug builds); at run level the
+    // accumulated savings must be strictly positive with filtering on
+    // and zero with it off (the fallback then degenerates to a cold
+    // fetch plus peer-known merging).
+    let saved = |on: bool| {
+        // A finer-grained channel (many small buckets) so partial
+        // knowledge can actually skip buckets — the tiny test world
+        // otherwise fits in two buckets and nothing is skippable.
+        let mut cfg = base(QueryKind::Knn, 7);
+        cfg.params = params::la_city().scaled(0.01);
+        cfg.bucket_capacity = 2;
+        cfg.use_bound_filtering = on;
+        run(cfg).filter_saved_buckets
+    };
+    let on = saved(true);
+    let off = saved(false);
+    assert!(on > 0, "bounds never saved a bucket");
+    assert!(on >= off, "filtering on ({on}) saved less than off ({off})");
+}
+
+#[test]
+fn window_reduction_reduces_broadcast_traffic() {
+    let buckets = |on: bool| {
+        let mut cfg = base(QueryKind::Window, 8);
+        cfg.warmup_min = 120.0;
+        cfg.use_window_reduction = on;
+        run(cfg).broadcast_buckets.mean()
+    };
+    let with = buckets(true);
+    let without = buckets(false);
+    assert!(
+        with <= without + 1e-9,
+        "reduction ({with:.2}) should not fetch more than whole windows ({without:.2})"
+    );
+}
+
+#[test]
+fn unsound_vr_corruption_is_rare_but_possible() {
+    // Statistically, the paper's loose circumscribed-MBR reading almost
+    // never misleads at these densities (false verification needs two
+    // POIs inside a corrupted corner's small verified zone) — itself a
+    // reproduction finding, recorded in EXPERIMENTS.md. The *mechanism*
+    // is demonstrated deterministically: a cache entry whose region
+    // claims more than its POI list covers makes NNV certify a wrong
+    // nearest neighbor.
+    use airshare::core::{nnv, MergedRegion};
+    // The region claims [-1,1]² is fully known but the POI list is
+    // missing m = (0.05, 0.05) — exactly what a circumscribed-MBR corner
+    // does to the completeness invariant.
+    let corrupted = MergedRegion::from_regions([(
+        Rect::from_coords(-1.0, -1.0, 1.0, 1.0),
+        vec![Poi::new(0, Point::new(0.3, 0.0))],
+    )]);
+    let heap = nnv(Point::ORIGIN, 1, &corrupted, 1.0);
+    assert!(heap.is_fulfilled(), "NNV trusts the region");
+    assert_eq!(heap.entries()[0].poi.id, 0, "certified the wrong NN");
+    // The sound pipeline under validation never mis-verifies.
+    let mut cfg = base(QueryKind::Knn, 9);
+    cfg.vr_policy = airshare::core::VrPolicy::InscribedBall;
+    cfg.validate = true;
+    assert_eq!(run(cfg).exact_mismatches, 0);
+}
+
+#[test]
+fn calibration_predictions_are_informative() {
+    let mut cfg = base(QueryKind::Knn, 10);
+    cfg.validate = true;
+    cfg.min_correctness = 0.05;
+    let r = run(cfg);
+    // Enough approximate answers to say something.
+    assert!(
+        r.calibration.len() > 30,
+        "only {} approximate answers",
+        r.calibration.len()
+    );
+    // High-confidence answers should be right more often than
+    // low-confidence ones.
+    let acc = |lo: f64, hi: f64| {
+        let v: Vec<bool> = r
+            .calibration
+            .iter()
+            .filter(|(p, _)| *p >= lo && *p < hi)
+            .map(|&(_, ok)| ok)
+            .collect();
+        if v.is_empty() {
+            None
+        } else {
+            Some(v.iter().filter(|&&b| b).count() as f64 / v.len() as f64)
+        }
+    };
+    if let (Some(hi), Some(lo)) = (acc(0.8, 1.01), acc(0.05, 0.5)) {
+        assert!(
+            hi >= lo,
+            "high-confidence accuracy {hi:.2} below low-confidence {lo:.2}"
+        );
+    }
+}
