@@ -31,6 +31,7 @@ fn main() {
     airshare_bench::m_sweep();
     airshare_bench::probability_calibration(&scale);
     airshare_bench::ablations(&scale);
+    airshare_bench::faults(&scale);
 
     println!(
         "\nall experiments done in {:.1} s",

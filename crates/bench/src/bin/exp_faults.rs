@@ -1,0 +1,5 @@
+//! Robustness sweep: access cost and degradation vs channel loss rate.
+fn main() {
+    let scale = airshare_bench::ExpScale::from_env();
+    airshare_bench::faults(&scale);
+}

@@ -588,6 +588,78 @@ pub fn ablations(scale: &ExpScale) -> Vec<AblationRow> {
 }
 
 // ----------------------------------------------------------------------
+// Fault sweep (robustness — DESIGN.md "Fault model")
+// ----------------------------------------------------------------------
+
+/// One fault-sweep row: channel health on the x-axis, cost and
+/// degradation on the y-axes.
+#[derive(Clone, Debug)]
+pub struct FaultRow {
+    /// Per-appearance bucket loss probability swept (0–0.20).
+    pub loss: f64,
+    /// Mean access latency over all queries (ticks).
+    pub mean_latency: f64,
+    /// Mean tuning time of broadcast-solved queries (ticks).
+    pub mean_tuning: f64,
+    /// Bucket re-fetches forced by corrupt appearances.
+    pub retries: u64,
+    /// Buckets abandoned after the retry budget ran out.
+    pub lost_buckets: u64,
+    /// Queries reported degraded (possibly incomplete answers).
+    pub degraded: u64,
+    /// Peer replies dropped in transit.
+    pub replies_dropped: u64,
+    /// Ground-truth mismatches among non-degraded answers (must be 0).
+    pub mismatches: u64,
+}
+
+/// Sweeps the broadcast bucket-loss probability from 0 to 20 % (with a
+/// matching peer-drop rate) and reports how access latency, retries, and
+/// degradation respond. Validation stays on for every point: the sweep
+/// doubles as the "never silently wrong" check — lost data must surface
+/// as retries or degraded queries, not as wrong exact answers.
+pub fn faults(scale: &ExpScale) -> Vec<FaultRow> {
+    let p = params::synthetic_suburbia();
+    let mut rows = Vec::new();
+    println!("\n## Fault sweep — bucket loss 0–20 % (Synthetic Suburbia, kNN)");
+    println!(
+        "{:>6} {:>10} {:>9} {:>8} {:>6} {:>9} {:>9} {:>6}",
+        "loss%", "latency", "tuning", "retries", "lost", "degraded", "dropped", "wrong"
+    );
+    for loss in [0.0, 0.02, 0.05, 0.10, 0.15, 0.20] {
+        let mut cfg = scale.config(p, QueryKind::Knn, 99);
+        cfg.validate = true;
+        cfg.faults.bucket_loss_prob = loss;
+        cfg.faults.peer_drop_prob = loss / 2.0;
+        cfg.faults.retry_budget = 8;
+        let r = run(cfg);
+        let row = FaultRow {
+            loss,
+            mean_latency: r.overall_mean_latency(),
+            mean_tuning: r.broadcast_tuning.mean(),
+            retries: r.channel_retries,
+            lost_buckets: r.lost_buckets,
+            degraded: r.degraded_queries,
+            replies_dropped: r.replies_dropped,
+            mismatches: r.exact_mismatches,
+        };
+        println!(
+            "{:>6.0} {:>10.1} {:>9.1} {:>8} {:>6} {:>9} {:>9} {:>6}",
+            100.0 * row.loss,
+            row.mean_latency,
+            row.mean_tuning,
+            row.retries,
+            row.lost_buckets,
+            row.degraded,
+            row.replies_dropped,
+            row.mismatches
+        );
+        rows.push(row);
+    }
+    rows
+}
+
+// ----------------------------------------------------------------------
 // (1, m) sweep (Figure 2 behaviour)
 // ----------------------------------------------------------------------
 

@@ -1,6 +1,6 @@
 //! The client access protocol and the on-air spatial query baselines.
 
-use crate::{AirIndex, BucketId, Poi, Schedule};
+use crate::{AirIndex, BucketId, ChannelFaults, Poi, Schedule};
 use airshare_geom::{Point, Rect};
 
 /// Broadcast-access cost of one operation, in ticks.
@@ -9,7 +9,8 @@ use airshare_geom::{Point, Rect};
 ///   (*access latency*; what the user waits).
 /// * `tuning` — ticks spent actively listening (*tuning time*; what the
 ///   battery pays): one probe tick, each index segment read, and each
-///   data bucket downloaded.
+///   data bucket downloaded (including corrupt downloads that had to be
+///   re-fetched).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct AccessStats {
     /// Access latency in ticks.
@@ -18,6 +19,12 @@ pub struct AccessStats {
     pub tuning: u64,
     /// Number of data buckets downloaded.
     pub buckets: u64,
+    /// Re-fetch attempts forced by corrupt bucket appearances.
+    pub retries: u64,
+    /// Buckets abandoned after the retry budget ran out. Non-zero means
+    /// the operation's results are *degraded* — possibly incomplete —
+    /// and callers must not treat them as exact.
+    pub lost_buckets: u64,
 }
 
 impl AccessStats {
@@ -27,7 +34,14 @@ impl AccessStats {
             latency: self.latency + other.latency,
             tuning: self.tuning + other.tuning,
             buckets: self.buckets + other.buckets,
+            retries: self.retries + other.retries,
+            lost_buckets: self.lost_buckets + other.lost_buckets,
         }
+    }
+
+    /// Whether any requested bucket could not be recovered.
+    pub fn is_degraded(&self) -> bool {
+        self.lost_buckets > 0
     }
 }
 
@@ -67,13 +81,40 @@ pub struct OnAirWindowResult {
 pub struct OnAirClient<'a> {
     index: &'a AirIndex,
     schedule: &'a Schedule,
+    faults: Option<&'a ChannelFaults>,
 }
 
 impl<'a> OnAirClient<'a> {
-    /// Creates a client for a channel.
+    /// Creates a client for a channel with an ideal (lossless) link.
     pub fn new(index: &'a AirIndex, schedule: &'a Schedule) -> Self {
         debug_assert_eq!(index.data_buckets(), schedule.data_buckets());
-        Self { index, schedule }
+        Self {
+            index,
+            schedule,
+            faults: None,
+        }
+    }
+
+    /// Creates a client for a channel subject to a fault model: bucket
+    /// appearances may arrive corrupt (detected via the wire CRC) and are
+    /// re-fetched on the bucket's next cycle occurrence, up to the
+    /// model's retry budget.
+    pub fn with_faults(
+        index: &'a AirIndex,
+        schedule: &'a Schedule,
+        faults: &'a ChannelFaults,
+    ) -> Self {
+        debug_assert_eq!(index.data_buckets(), schedule.data_buckets());
+        Self {
+            index,
+            schedule,
+            faults: Some(faults),
+        }
+    }
+
+    /// The fault model in effect, if any.
+    pub fn faults(&self) -> Option<&'a ChannelFaults> {
+        self.faults
     }
 
     /// Runs the raw access protocol for an explicit bucket set, returning
@@ -83,20 +124,54 @@ impl<'a> OnAirClient<'a> {
     /// query. Buckets already past in the current cycle are caught on the
     /// next one — the sequential-access limitation the paper's P2P
     /// sharing exists to mitigate.
+    ///
+    /// Under a fault model, a corrupt appearance costs its tuning tick
+    /// (the client listened and got a CRC failure) and pushes the
+    /// download to the bucket's next cycle occurrence; after the retry
+    /// budget is exhausted the bucket is abandoned and counted in
+    /// [`AccessStats::lost_buckets`], so the caller can report the
+    /// operation as degraded instead of returning silently wrong data.
     pub fn retrieve(&self, tune_in: u64, buckets: &[BucketId]) -> (Vec<Poi>, AccessStats) {
         let idx_start = self.schedule.next_index_start(tune_in);
         let idx_done = idx_start + self.schedule.index_buckets() as u64;
         let mut last = idx_done;
         let mut pois = Vec::new();
+        let mut tuning = 1 + self.schedule.index_buckets() as u64 + buckets.len() as u64;
+        let mut retries = 0u64;
+        let mut lost_buckets = 0u64;
+        let faults = self.faults.filter(|f| !f.is_lossless());
+        let cycle = self.schedule.cycle_len();
         for &b in buckets {
-            let done = self.schedule.bucket_completion_after(b, idx_done);
+            let mut done = self.schedule.bucket_completion_after(b, idx_done);
+            if let Some(f) = faults {
+                // A bucket airs once per cycle, so the completion tick's
+                // cycle number identifies the on-air appearance.
+                let mut attempts_left = f.retry_budget();
+                loop {
+                    if !f.bucket_lost(b, done / cycle) {
+                        pois.extend(self.index.buckets()[b].pois.iter().copied());
+                        break;
+                    }
+                    if attempts_left == 0 {
+                        lost_buckets += 1;
+                        break;
+                    }
+                    attempts_left -= 1;
+                    retries += 1;
+                    tuning += 1;
+                    done += cycle;
+                }
+            } else {
+                pois.extend(self.index.buckets()[b].pois.iter().copied());
+            }
             last = last.max(done);
-            pois.extend(self.index.buckets()[b].pois.iter().copied());
         }
         let stats = AccessStats {
             latency: last - tune_in,
-            tuning: 1 + self.schedule.index_buckets() as u64 + buckets.len() as u64,
+            tuning,
             buckets: buckets.len() as u64,
+            retries,
+            lost_buckets,
         };
         (pois, stats)
     }
@@ -112,7 +187,9 @@ impl<'a> OnAirClient<'a> {
         let buckets = self.index.buckets_for_knn(q, radius);
         let (pois, stats) = self.retrieve(tune_in, &buckets);
         let neighbors = top_k_by_distance(pois.clone(), q, k);
-        debug_assert_eq!(neighbors.len(), k);
+        // Lost buckets may leave fewer than k candidates; the degraded
+        // flag in `stats` tells the caller not to trust the shortfall.
+        debug_assert!(neighbors.len() == k || stats.is_degraded());
         let verified_mbr = clip_to_world(Rect::centered_square(q, radius), self.index);
         Some(OnAirKnnResult {
             neighbors,
@@ -203,8 +280,17 @@ fn top_k_by_distance(mut pois: Vec<Poi>, q: Point, k: usize) -> Vec<Poi> {
     pois
 }
 
+/// Clips a verified region to the data domain. A region disjoint from the
+/// world collapses to the degenerate (zero-area) rect on the world
+/// boundary nearest to it — never the unclipped input, which would claim
+/// verification over space the index holds no data for.
 fn clip_to_world(r: Rect, index: &AirIndex) -> Rect {
-    r.intersection(&index.grid().world()).unwrap_or(r)
+    let world = index.grid().world();
+    r.intersection(&world).unwrap_or_else(|| {
+        let lo = world.clamp_point(Point::new(r.x1, r.y1));
+        let hi = world.clamp_point(Point::new(r.x2, r.y2));
+        Rect::from_coords(lo.x, lo.y, hi.x, hi.y)
+    })
 }
 
 #[cfg(test)]
@@ -356,6 +442,82 @@ mod tests {
         let (index, schedule) = channel(5, 1);
         let client = OnAirClient::new(&index, &schedule);
         assert!(client.knn(0, Point::ORIGIN, 10).is_none());
+    }
+
+    #[test]
+    fn verified_mbr_stays_inside_world_for_outside_query() {
+        // Regression: a query posed outside the data domain used to fall
+        // back to the *unclipped* search square when the intersection was
+        // empty, claiming verification over space with no data.
+        let (index, schedule) = channel(300, 2);
+        let client = OnAirClient::new(&index, &schedule);
+        let world = index.grid().world();
+        let q = Point::new(-500.0, -500.0); // far outside [0,64]^2
+        let res = client.knn(0, q, 3).unwrap();
+        assert!(
+            world.contains_rect(&res.verified_mbr),
+            "verified MBR {:?} leaks outside world {:?}",
+            res.verified_mbr,
+            world
+        );
+    }
+
+    #[test]
+    fn clip_to_world_disjoint_rect_degenerates() {
+        let (index, _) = channel(50, 1);
+        let r = Rect::from_coords(-20.0, -20.0, -10.0, -10.0);
+        let clipped = clip_to_world(r, &index);
+        assert_eq!((clipped.width(), clipped.height()), (0.0, 0.0));
+        assert!(index.grid().world().contains_rect(&clipped));
+    }
+
+    #[test]
+    fn lossless_fault_model_is_transparent() {
+        let (index, schedule) = channel(300, 2);
+        let plain = OnAirClient::new(&index, &schedule);
+        let faults = ChannelFaults::from_loss_prob(99, 0.0, 3);
+        let faulty = OnAirClient::with_faults(&index, &schedule, &faults);
+        for tune in [0u64, 7, 100] {
+            let (p1, s1) = plain.retrieve(tune, &[0, 2, 5]);
+            let (p2, s2) = faulty.retrieve(tune, &[0, 2, 5]);
+            assert_eq!(s1, s2);
+            assert_eq!(p1.len(), p2.len());
+            assert_eq!(s2.retries, 0);
+            assert_eq!(s2.lost_buckets, 0);
+        }
+    }
+
+    #[test]
+    fn retries_recover_all_data_at_higher_cost() {
+        let (index, schedule) = channel(400, 2);
+        let plain = OnAirClient::new(&index, &schedule);
+        // 30% loss with a deep retry budget: every bucket eventually
+        // arrives, so results match the ideal channel exactly.
+        let faults = ChannelFaults::from_loss_prob(7, 0.3, 50);
+        let faulty = OnAirClient::with_faults(&index, &schedule, &faults);
+        let buckets: Vec<usize> = (0..index.data_buckets()).collect();
+        let (p1, s1) = plain.retrieve(0, &buckets);
+        let (p2, s2) = faulty.retrieve(0, &buckets);
+        assert_eq!(s2.lost_buckets, 0);
+        assert!(s2.retries > 0, "30% loss over {} buckets", buckets.len());
+        assert_eq!(p1.len(), p2.len());
+        assert!(s2.latency > s1.latency);
+        assert_eq!(s2.tuning, s1.tuning + s2.retries);
+        // Deterministic: same seed, same outcome.
+        let (_, s3) = faulty.retrieve(0, &buckets);
+        assert_eq!(s2, s3);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_reports_lost_buckets() {
+        let (index, schedule) = channel(200, 1);
+        let faults = ChannelFaults::from_loss_prob(1, 1.0, 2);
+        let client = OnAirClient::with_faults(&index, &schedule, &faults);
+        let (pois, stats) = client.retrieve(0, &[0, 1, 2]);
+        assert!(pois.is_empty());
+        assert_eq!(stats.lost_buckets, 3);
+        assert_eq!(stats.retries, 6); // 2 retries per bucket, all futile
+        assert!(stats.is_degraded());
     }
 
     #[test]

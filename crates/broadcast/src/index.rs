@@ -26,13 +26,44 @@ pub struct AirIndex {
 /// a few words (range + offset), so a generous fan-out is realistic.
 const INDEX_FANOUT: usize = 64;
 
+/// Rejected [`AirIndex`] build parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IndexError {
+    /// `bucket_capacity == 0`: buckets must hold at least one POI.
+    ZeroBucketCapacity,
+}
+
+impl std::fmt::Display for IndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexError::ZeroBucketCapacity => write!(f, "bucket capacity must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
 impl AirIndex {
-    /// Builds the broadcast organization for a POI set.
+    /// Builds the broadcast organization for a POI set. Panics on the
+    /// conditions [`Self::try_build`] reports; use `try_build` when the
+    /// parameters come from external input.
     ///
     /// * `grid` — the Hilbert grid over the service area.
     /// * `bucket_capacity` — POIs per bucket (≥ 1).
-    pub fn build(mut pois: Vec<Poi>, grid: Grid, bucket_capacity: usize) -> Self {
-        assert!(bucket_capacity >= 1, "bucket capacity must be positive");
+    pub fn build(pois: Vec<Poi>, grid: Grid, bucket_capacity: usize) -> Self {
+        Self::try_build(pois, grid, bucket_capacity).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds the broadcast organization, rejecting impossible
+    /// parameters instead of panicking.
+    pub fn try_build(
+        mut pois: Vec<Poi>,
+        grid: Grid,
+        bucket_capacity: usize,
+    ) -> Result<Self, IndexError> {
+        if bucket_capacity < 1 {
+            return Err(IndexError::ZeroBucketCapacity);
+        }
         pois.sort_by_key(|p| grid.value_of(p.pos));
         let values: Vec<(u64, Point)> =
             pois.iter().map(|p| (grid.value_of(p.pos), p.pos)).collect();
@@ -42,12 +73,12 @@ impl AirIndex {
             buckets.push(Bucket::build(i, chunk.to_vec(), &vals));
         }
         let index_buckets = buckets.len().div_ceil(INDEX_FANOUT).max(1);
-        Self {
+        Ok(Self {
             grid,
             buckets,
             values,
             index_buckets,
-        }
+        })
     }
 
     /// The Hilbert grid.
@@ -289,6 +320,14 @@ mod tests {
         assert!(idx
             .buckets_for_window(&Rect::from_coords(0.0, 0.0, 1.0, 1.0))
             .is_empty());
+    }
+
+    #[test]
+    fn try_build_rejects_zero_capacity() {
+        let world = Rect::from_coords(0.0, 0.0, 1.0, 1.0);
+        let err = AirIndex::try_build(Vec::new(), Grid::new(world, 3), 0).unwrap_err();
+        assert_eq!(err, IndexError::ZeroBucketCapacity);
+        assert!(AirIndex::try_build(Vec::new(), Grid::new(world, 3), 1).is_ok());
     }
 
     #[test]

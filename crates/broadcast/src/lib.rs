@@ -35,6 +35,7 @@
 
 mod bucket;
 mod client;
+mod fault;
 mod index;
 mod poi;
 mod schedule;
@@ -42,6 +43,7 @@ pub mod wire;
 
 pub use bucket::{Bucket, BucketId};
 pub use client::{AccessStats, OnAirClient, OnAirKnnResult, OnAirWindowResult};
-pub use index::AirIndex;
+pub use fault::ChannelFaults;
+pub use index::{AirIndex, IndexError};
 pub use poi::{Poi, PoiCategory, PoiId};
-pub use schedule::Schedule;
+pub use schedule::{Schedule, ScheduleError};

@@ -1,6 +1,29 @@
 //! `(1, m)` broadcast-cycle timing.
 
 use crate::BucketId;
+use std::fmt;
+
+/// Rejected [`Schedule`] parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// `m == 0`: the index must appear at least once per cycle.
+    ZeroReplication,
+    /// `index_buckets == 0`: an index segment cannot be empty.
+    ZeroIndexBuckets,
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::ZeroReplication => write!(f, "index replication m must be ≥ 1"),
+            ScheduleError::ZeroIndexBuckets => {
+                write!(f, "index must occupy at least one bucket")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
 
 /// The `(1, m)` index allocation of Imielinski et al. (paper Figure 2):
 /// the full index is broadcast `m` times per cycle, each occurrence
@@ -22,15 +45,33 @@ pub struct Schedule {
 }
 
 impl Schedule {
-    /// Creates a schedule. `m ≥ 1`; `index_buckets ≥ 1`.
+    /// Creates a schedule. Panics on the conditions [`Self::try_new`]
+    /// reports; use `try_new` when the parameters come from external
+    /// input (e.g. a simulator configuration).
     pub fn new(data_buckets: usize, index_buckets: usize, m: usize) -> Self {
-        assert!(m >= 1, "index replication m must be ≥ 1");
-        assert!(index_buckets >= 1, "index must occupy at least one bucket");
-        Self {
+        Self::try_new(data_buckets, index_buckets, m).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates a schedule, rejecting impossible parameters: `m ≥ 1` and
+    /// `index_buckets ≥ 1` are required. `m` larger than the number of
+    /// data buckets is clamped (replicating the index more often than
+    /// data slices exist is harmless but pointless).
+    pub fn try_new(
+        data_buckets: usize,
+        index_buckets: usize,
+        m: usize,
+    ) -> Result<Self, ScheduleError> {
+        if m < 1 {
+            return Err(ScheduleError::ZeroReplication);
+        }
+        if index_buckets < 1 {
+            return Err(ScheduleError::ZeroIndexBuckets);
+        }
+        Ok(Self {
             data_buckets,
             index_buckets,
             m: m.min(data_buckets.max(1)),
-        }
+        })
     }
 
     /// Number of data buckets per cycle.
@@ -158,6 +199,19 @@ mod tests {
         assert_eq!(s.bucket_completion_after(0, 3), 11);
         // Exactly at its start time counts as caught.
         assert_eq!(s.bucket_completion_after(0, 2), 3);
+    }
+
+    #[test]
+    fn try_new_rejects_impossible_layouts() {
+        assert_eq!(
+            Schedule::try_new(6, 2, 0).unwrap_err(),
+            ScheduleError::ZeroReplication
+        );
+        assert_eq!(
+            Schedule::try_new(6, 0, 1).unwrap_err(),
+            ScheduleError::ZeroIndexBuckets
+        );
+        assert!(Schedule::try_new(6, 2, 1).is_ok());
     }
 
     #[test]

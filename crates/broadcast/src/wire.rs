@@ -3,9 +3,12 @@
 //! The simulator's timing model charges one tick per bucket; this module
 //! pins down what a bucket physically carries so tick counts translate
 //! to real airtime. Each POI record is 21 bytes (`id: u32`, `x: f64`,
-//! `y: f64`, `category: u8`), and a bucket frame is a 16-byte header
-//! (bucket id, Hilbert range lo/hi as deltas would shrink this further —
-//! kept plain for clarity) followed by the records.
+//! `y: f64`, `category: u8`), and a bucket frame is a 14-byte header
+//! (`bucket id: u32`, `Hilbert range lo: u64`, `record count: u16` —
+//! range hi is implied by the next bucket's lo, and deltas would shrink
+//! this further; kept plain for clarity) followed by the records and a
+//! 4-byte CRC-32 trailer over everything before it, so receivers can
+//! detect corruption instead of consuming garbage positions.
 //!
 //! Encoding uses the `bytes` crate's `BufMut`/`Buf` so frames can be
 //! assembled into transmit buffers without intermediate copies.
@@ -20,18 +23,56 @@ pub const POI_RECORD_BYTES: usize = 4 + 8 + 8 + 1;
 /// Bytes of the bucket frame header.
 pub const BUCKET_HEADER_BYTES: usize = 4 + 8 + 2;
 
+/// Bytes of the CRC-32 frame trailer.
+pub const CRC_TRAILER_BYTES: usize = 4;
+
 /// Serialized size of a bucket with `n` POIs.
 pub fn bucket_frame_bytes(n: usize) -> usize {
-    BUCKET_HEADER_BYTES + n * POI_RECORD_BYTES
+    BUCKET_HEADER_BYTES + n * POI_RECORD_BYTES + CRC_TRAILER_BYTES
 }
 
-/// Errors from [`decode_bucket`].
+/// CRC-32 (IEEE 802.3, reflected, poly `0xEDB88320`) lookup table.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE 802.3) checksum of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Errors from [`encode_bucket`] and [`decode_bucket`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum WireError {
     /// The frame ended before the declared record count was read.
     Truncated,
     /// The declared record count disagrees with the payload length.
     LengthMismatch,
+    /// A field exceeds its wire-format range (bucket id > `u32::MAX` or
+    /// record count > `u16::MAX`).
+    Overflow,
+    /// The CRC-32 trailer does not match the frame contents.
+    ChecksumMismatch,
 }
 
 impl std::fmt::Display for WireError {
@@ -39,6 +80,8 @@ impl std::fmt::Display for WireError {
         match self {
             WireError::Truncated => write!(f, "bucket frame truncated"),
             WireError::LengthMismatch => write!(f, "record count does not match payload"),
+            WireError::Overflow => write!(f, "field exceeds wire-format range"),
+            WireError::ChecksumMismatch => write!(f, "frame checksum mismatch"),
         }
     }
 }
@@ -46,30 +89,48 @@ impl std::fmt::Display for WireError {
 impl std::error::Error for WireError {}
 
 /// Encodes a bucket into its on-air frame.
-pub fn encode_bucket(bucket: &Bucket) -> Bytes {
+///
+/// Fails with [`WireError::Overflow`] when the bucket id or record count
+/// does not fit its wire field, rather than silently truncating.
+pub fn encode_bucket(bucket: &Bucket) -> Result<Bytes, WireError> {
+    let id = u32::try_from(bucket.id).map_err(|_| WireError::Overflow)?;
+    let n = u16::try_from(bucket.pois.len()).map_err(|_| WireError::Overflow)?;
     let mut buf = BytesMut::with_capacity(bucket_frame_bytes(bucket.pois.len()));
-    buf.put_u32(bucket.id as u32);
+    buf.put_u32(id);
     buf.put_u64(bucket.hilbert_range.0);
-    // Record count; u16 suffices for any realistic bucket capacity.
-    buf.put_u16(bucket.pois.len() as u16);
+    buf.put_u16(n);
     for poi in &bucket.pois {
         buf.put_u32(poi.id);
         buf.put_f64(poi.pos.x);
         buf.put_f64(poi.pos.y);
         buf.put_u8(poi.category.0);
     }
-    buf.freeze()
+    let crc = crc32(&buf);
+    buf.put_u32(crc);
+    Ok(buf.freeze())
 }
 
 /// Decodes an on-air frame back into `(bucket id, hilbert lo, POIs)`.
+///
+/// Verifies the CRC-32 trailer before interpreting any field, so a
+/// corrupted frame surfaces as [`WireError::ChecksumMismatch`] instead of
+/// bogus coordinates.
 pub fn decode_bucket(mut frame: Bytes) -> Result<(usize, u64, Vec<Poi>), WireError> {
-    if frame.len() < BUCKET_HEADER_BYTES {
+    if frame.len() < BUCKET_HEADER_BYTES + CRC_TRAILER_BYTES {
         return Err(WireError::Truncated);
+    }
+    let body_len = frame.len() - CRC_TRAILER_BYTES;
+    let expected = {
+        let trailer = frame.slice(body_len..);
+        u32::from_be_bytes([trailer[0], trailer[1], trailer[2], trailer[3]])
+    };
+    if crc32(&frame[..body_len]) != expected {
+        return Err(WireError::ChecksumMismatch);
     }
     let id = frame.get_u32() as usize;
     let h_lo = frame.get_u64();
     let n = frame.get_u16() as usize;
-    if frame.len() != n * POI_RECORD_BYTES {
+    if frame.len() - CRC_TRAILER_BYTES != n * POI_RECORD_BYTES {
         return Err(WireError::LengthMismatch);
     }
     let mut pois = Vec::with_capacity(n);
@@ -111,7 +172,7 @@ mod tests {
     #[test]
     fn roundtrip_preserves_everything() {
         let b = sample_bucket();
-        let frame = encode_bucket(&b);
+        let frame = encode_bucket(&b).unwrap();
         assert_eq!(frame.len(), bucket_frame_bytes(b.pois.len()));
         let (id, h_lo, pois) = decode_bucket(frame).unwrap();
         assert_eq!(id, b.id);
@@ -127,18 +188,48 @@ mod tests {
     #[test]
     fn truncated_frames_are_rejected() {
         let b = sample_bucket();
-        let frame = encode_bucket(&b);
-        let short = frame.slice(0..BUCKET_HEADER_BYTES - 1);
+        let frame = encode_bucket(&b).unwrap();
+        let short = frame.slice(0..BUCKET_HEADER_BYTES + CRC_TRAILER_BYTES - 1);
         assert_eq!(decode_bucket(short), Err(WireError::Truncated));
+        // Losing payload bytes also invalidates the checksum, which is
+        // checked first.
         let clipped = frame.slice(0..frame.len() - 3);
-        assert_eq!(decode_bucket(clipped), Err(WireError::LengthMismatch));
+        assert_eq!(decode_bucket(clipped), Err(WireError::ChecksumMismatch));
+    }
+
+    #[test]
+    fn corrupted_frames_fail_checksum() {
+        let b = sample_bucket();
+        let frame = encode_bucket(&b).unwrap();
+        for pos in 0..frame.len() {
+            let mut bytes = frame.to_vec();
+            bytes[pos] ^= 0x01;
+            assert_eq!(
+                decode_bucket(Bytes::from(bytes)),
+                Err(WireError::ChecksumMismatch),
+                "flip at byte {pos} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_fields_are_rejected() {
+        let mut b = sample_bucket();
+        b.id = u32::MAX as usize + 1;
+        assert_eq!(encode_bucket(&b), Err(WireError::Overflow));
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // Standard check value for the ASCII digits "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
     }
 
     #[test]
     fn tick_conversion_matches_arithmetic() {
-        // 10-POI buckets: 14 + 210 = 224 bytes = 1792 bits.
+        // 10-POI buckets: 14 + 210 + 4 = 228 bytes = 1824 bits.
         let secs = ticks_to_seconds(100, 10, 1_000_000.0);
-        assert!((secs - 100.0 * 1792.0 / 1e6).abs() < 1e-12);
+        assert!((secs - 100.0 * 1824.0 / 1e6).abs() < 1e-12);
     }
 
     #[test]
@@ -148,7 +239,7 @@ mod tests {
         let index = AirIndex::build(pois, Grid::new(world, 3), 4);
         let mut b = index.buckets()[0].clone();
         b.pois.clear();
-        let (_, _, decoded) = decode_bucket(encode_bucket(&b)).unwrap();
+        let (_, _, decoded) = decode_bucket(encode_bucket(&b).unwrap()).unwrap();
         assert!(decoded.is_empty());
     }
 }

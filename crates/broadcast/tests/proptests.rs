@@ -125,13 +125,47 @@ proptest! {
     fn wire_roundtrip_any_bucket(coords in arb_coords(), cap in 1usize..32) {
         let (index, _) = build(&coords, cap, 1);
         for b in index.buckets() {
-            let (id, h_lo, pois) = decode_bucket(encode_bucket(b)).expect("roundtrip");
+            let frame = encode_bucket(b).expect("in-range fields");
+            let (id, h_lo, pois) = decode_bucket(frame).expect("roundtrip");
             prop_assert_eq!(id, b.id);
             prop_assert_eq!(h_lo, b.hilbert_range.0);
             prop_assert_eq!(pois.len(), b.pois.len());
             for (a, e) in pois.iter().zip(&b.pois) {
                 prop_assert_eq!(a.id, e.id);
                 prop_assert_eq!(a.pos, e.pos);
+            }
+        }
+    }
+
+    #[test]
+    fn wire_byte_flip_is_detected_or_harmless(
+        coords in arb_coords(),
+        cap in 1usize..32,
+        which in any::<prop::sample::Index>(),
+        pos in any::<prop::sample::Index>(),
+        mask in 1u8..=255,
+    ) {
+        let (index, _) = build(&coords, cap, 1);
+        let b = &index.buckets()[which.index(index.buckets().len())];
+        let frame = encode_bucket(b).expect("in-range fields");
+        let clean = decode_bucket(frame.clone()).expect("clean frame decodes");
+        let mut corrupted = frame.to_vec();
+        corrupted[pos.index(frame.len())] ^= mask;
+        // A flipped byte must either fail the checksum or (if the flip
+        // happens to cancel out, which CRC-32 prevents for single-byte
+        // damage) decode to exactly the clean contents — never to
+        // silently different data.
+        match decode_bucket(bytes::Bytes::from(corrupted)) {
+            Err(_) => {}
+            Ok(decoded) => {
+                prop_assert_eq!(decoded.0, clean.0);
+                prop_assert_eq!(decoded.1, clean.1);
+                prop_assert_eq!(decoded.2.len(), clean.2.len());
+                for (a, e) in decoded.2.iter().zip(&clean.2) {
+                    prop_assert_eq!(a.id, e.id);
+                    prop_assert_eq!(a.pos, e.pos);
+                    prop_assert_eq!(a.category, e.category);
+                }
             }
         }
     }

@@ -41,6 +41,24 @@ impl RegionEntry {
         }
     }
 
+    /// Whether the entry honors the containment half of the invariant:
+    /// the region is a well-formed finite rectangle and every carried POI
+    /// lies inside it. Entries built through [`RegionEntry::new`] always
+    /// are; entries received from peers or constructed field-by-field may
+    /// not be, and an inconsistent entry must never be cached or shared —
+    /// its claim of completeness is unfalsifiable but its claim of
+    /// containment is checkably false.
+    pub fn is_consistent(&self) -> bool {
+        let r = &self.vr;
+        r.x1.is_finite()
+            && r.y1.is_finite()
+            && r.x2.is_finite()
+            && r.y2.is_finite()
+            && r.x1 <= r.x2
+            && r.y1 <= r.y2
+            && self.pois.iter().all(|p| r.contains(p.pos))
+    }
+
     /// Number of POIs carried.
     pub fn len(&self) -> usize {
         self.pois.len()

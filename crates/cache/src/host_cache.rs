@@ -5,6 +5,17 @@ use airshare_broadcast::{Poi, PoiCategory};
 use airshare_geom::{Point, Rect};
 use std::collections::HashMap;
 
+/// What [`HostCache::insert`] did with the offered entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The entry (possibly shrunk to capacity) is now cached.
+    Stored,
+    /// The entry violated the containment invariant and was refused.
+    RejectedInconsistent,
+    /// The cache has zero capacity for this category.
+    RejectedNoCapacity,
+}
+
 /// Host state a replacement decision depends on.
 #[derive(Clone, Copy, Debug)]
 pub struct CacheContext {
@@ -105,9 +116,22 @@ impl HostCache {
     /// Entries whose region is contained in the new entry's region are
     /// dropped (subsumed: their POIs are a subset by the completeness
     /// invariant).
-    pub fn insert(&mut self, category: PoiCategory, entry: RegionEntry, ctx: &CacheContext) {
+    ///
+    /// An entry that violates the containment invariant — a malformed
+    /// region, or POIs outside the claimed rectangle — is rejected: a
+    /// cache holding it would certify wrong answers and poison every peer
+    /// it shares with. The outcome reports which path was taken.
+    pub fn insert(
+        &mut self,
+        category: PoiCategory,
+        entry: RegionEntry,
+        ctx: &CacheContext,
+    ) -> InsertOutcome {
+        if !entry.is_consistent() {
+            return InsertOutcome::RejectedInconsistent;
+        }
         if self.capacity_per_category == 0 {
-            return;
+            return InsertOutcome::RejectedNoCapacity;
         }
         let entry = entry.shrink_to_fit(ctx.pos, self.capacity_per_category);
         let list = self.entries.entry(category).or_default();
@@ -142,6 +166,28 @@ impl HostCache {
             list.swap_remove(worst);
         }
         list.push(entry);
+        InsertOutcome::Stored
+    }
+
+    /// Inserts an entry *without* consistency validation, capacity
+    /// enforcement, or subsumption. Exists so fault-injection tests can
+    /// model a buggy or byzantine peer whose cache holds an invariant-
+    /// violating entry; production code paths must use [`Self::insert`].
+    pub fn insert_unchecked(&mut self, category: PoiCategory, entry: RegionEntry) {
+        self.entries.entry(category).or_default().push(entry);
+    }
+
+    /// Sweeps out entries that violate the containment invariant (e.g.
+    /// adopted before validation existed, or injected by tests), returning
+    /// how many were evicted.
+    pub fn purge_inconsistent(&mut self) -> usize {
+        let mut evicted = 0;
+        for list in self.entries.values_mut() {
+            let before = list.len();
+            list.retain(RegionEntry::is_consistent);
+            evicted += before - list.len();
+        }
+        evicted
     }
 
     /// Marks entries intersecting `area` as used at `now` (LRU upkeep).
@@ -277,9 +323,69 @@ mod tests {
     #[test]
     fn zero_capacity_caches_nothing() {
         let mut c = HostCache::new(0, ReplacementPolicy::default());
-        c.insert(CAT, entry(0.0, 0.0, 3, 0), &ctx(0.0, 0.0));
+        let out = c.insert(CAT, entry(0.0, 0.0, 3, 0), &ctx(0.0, 0.0));
+        assert_eq!(out, InsertOutcome::RejectedNoCapacity);
         assert_eq!(c.poi_count(CAT), 0);
         assert!(c.share_snapshot(CAT).is_empty());
+    }
+
+    #[test]
+    fn inconsistent_entries_are_rejected() {
+        let mut c = HostCache::new(10, ReplacementPolicy::default());
+        // POI outside the claimed region: only constructible by hand.
+        let bad = RegionEntry {
+            vr: Rect::from_coords(0.0, 0.0, 1.0, 1.0),
+            pois: vec![Poi::new(0, Point::new(5.0, 5.0))],
+            created_at: 0.0,
+            last_used: 0.0,
+        };
+        assert!(!bad.is_consistent());
+        let out = c.insert(CAT, bad.clone(), &ctx(0.0, 0.0));
+        assert_eq!(out, InsertOutcome::RejectedInconsistent);
+        assert!(c.regions(CAT).is_empty());
+
+        // Malformed (NaN) region: same fate.
+        let nan = RegionEntry {
+            vr: Rect {
+                x1: f64::NAN,
+                y1: 0.0,
+                x2: 1.0,
+                y2: 1.0,
+            },
+            pois: vec![],
+            created_at: 0.0,
+            last_used: 0.0,
+        };
+        assert_eq!(
+            c.insert(CAT, nan, &ctx(0.0, 0.0)),
+            InsertOutcome::RejectedInconsistent
+        );
+
+        // A proper entry still stores fine.
+        assert_eq!(
+            c.insert(CAT, entry(0.0, 0.0, 2, 0), &ctx(0.0, 0.0)),
+            InsertOutcome::Stored
+        );
+        assert_eq!(c.regions(CAT).len(), 1);
+    }
+
+    #[test]
+    fn purge_sweeps_injected_inconsistency() {
+        let mut c = HostCache::new(10, ReplacementPolicy::default());
+        c.insert(CAT, entry(0.0, 0.0, 2, 0), &ctx(0.0, 0.0));
+        c.insert_unchecked(
+            CAT,
+            RegionEntry {
+                vr: Rect::from_coords(0.0, 0.0, 1.0, 1.0),
+                pois: vec![Poi::new(9, Point::new(9.0, 9.0))],
+                created_at: 0.0,
+                last_used: 0.0,
+            },
+        );
+        assert_eq!(c.regions(CAT).len(), 2);
+        assert_eq!(c.purge_inconsistent(), 1);
+        assert_eq!(c.regions(CAT).len(), 1);
+        assert!(c.regions(CAT).iter().all(RegionEntry::is_consistent));
     }
 
     #[test]

@@ -26,5 +26,5 @@ mod host_cache;
 mod policy;
 
 pub use entry::RegionEntry;
-pub use host_cache::{CacheContext, HostCache};
+pub use host_cache::{CacheContext, HostCache, InsertOutcome};
 pub use policy::ReplacementPolicy;

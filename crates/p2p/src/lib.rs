@@ -22,4 +22,7 @@ mod grid;
 mod protocol;
 
 pub use grid::NeighborGrid;
-pub use protocol::{gather_peer_data, gather_peer_data_multihop, PeerReply, ShareStats};
+pub use protocol::{
+    gather_peer_data, gather_peer_data_checked, gather_peer_data_multihop,
+    gather_peer_data_multihop_checked, sanitize_regions, PeerReply, ShareFaults, ShareStats,
+};

@@ -1,7 +1,7 @@
 //! The request/reply sharing exchange.
 
 use crate::NeighborGrid;
-use airshare_broadcast::{Poi, PoiCategory};
+use airshare_broadcast::{ChannelFaults, Poi, PoiCategory};
 use airshare_cache::HostCache;
 use airshare_geom::{Point, Rect};
 
@@ -26,6 +26,109 @@ pub struct ShareStats {
     pub regions_received: usize,
     /// Total POIs transferred.
     pub pois_received: usize,
+    /// Replies lost in transit (fault injection).
+    pub replies_dropped: usize,
+    /// Regions rejected by validation (malformed shape, disjoint from
+    /// the world, or POIs outside the claimed region).
+    pub regions_rejected: usize,
+}
+
+/// Fault knobs for one share exchange. With the default (no decision
+/// source, zero probability) nothing is ever dropped.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShareFaults<'a> {
+    /// Deterministic decision source; `None` disables drops entirely.
+    pub faults: Option<&'a ChannelFaults>,
+    /// Probability that a contacted peer's reply is lost in transit.
+    pub drop_prob: f64,
+    /// Identifies this query so drop decisions are unique per exchange
+    /// yet reproducible across runs.
+    pub nonce: u64,
+}
+
+impl ShareFaults<'_> {
+    /// Whether this exchange's reply from `peer` is lost in transit.
+    pub fn drops_reply(&self, peer: usize) -> bool {
+        match self.faults {
+            Some(f) => f.event_fires(self.drop_prob, self.nonce, peer as u64),
+            None => false,
+        }
+    }
+}
+
+/// Validates one reply's regions: structurally malformed regions and
+/// regions whose POIs fall outside their claimed rectangle are rejected
+/// outright (an inconsistent claim means the peer cannot be trusted about
+/// that region); survivors are clipped to `world` with their POIs
+/// restricted accordingly. Returns the sanitized regions and the number
+/// rejected.
+pub fn sanitize_regions(
+    regions: Vec<(Rect, Vec<Poi>)>,
+    world: Option<&Rect>,
+) -> (Vec<(Rect, Vec<Poi>)>, usize) {
+    let mut out = Vec::with_capacity(regions.len());
+    let mut rejected = 0usize;
+    for (r, pois) in regions {
+        let well_formed = r.x1.is_finite()
+            && r.y1.is_finite()
+            && r.x2.is_finite()
+            && r.y2.is_finite()
+            && r.x1 <= r.x2
+            && r.y1 <= r.y2;
+        if !well_formed || pois.iter().any(|p| !r.contains(p.pos)) {
+            rejected += 1;
+            continue;
+        }
+        let clipped = match world {
+            Some(w) => match r.intersection(w) {
+                Some(c) => c,
+                None => {
+                    rejected += 1;
+                    continue;
+                }
+            },
+            None => r,
+        };
+        let pois: Vec<Poi> = pois.into_iter().filter(|p| clipped.contains(p.pos)).collect();
+        out.push((clipped, pois));
+    }
+    (out, rejected)
+}
+
+/// Collects validated replies from `peers`, applying drop decisions and
+/// accumulating traffic stats.
+fn collect_replies(
+    peers: Vec<usize>,
+    category: PoiCategory,
+    caches: &[HostCache],
+    world: Option<&Rect>,
+    faults: ShareFaults<'_>,
+) -> (Vec<PeerReply>, ShareStats) {
+    let mut stats = ShareStats {
+        peers_contacted: peers.len(),
+        ..ShareStats::default()
+    };
+    let mut replies = Vec::new();
+    for peer in peers {
+        let regions = caches[peer].share_snapshot(category);
+        if regions.is_empty() {
+            continue;
+        }
+        if faults.drops_reply(peer) {
+            stats.replies_dropped += 1;
+            continue;
+        }
+        let (regions, rejected) = sanitize_regions(regions, world);
+        stats.regions_rejected += rejected;
+        if regions.is_empty() {
+            continue;
+        }
+        stats.peers_with_data += 1;
+        stats.regions_received += regions.len();
+        stats.pois_received += regions.iter().map(|(_, p)| p.len()).sum::<usize>();
+        replies.push(PeerReply { peer, regions });
+    }
+    (replies, stats)
 }
 
 /// Performs the single-hop share exchange for a querying host.
@@ -42,23 +145,36 @@ pub fn gather_peer_data(
     grid: &NeighborGrid,
     caches: &[HostCache],
 ) -> (Vec<PeerReply>, ShareStats) {
+    gather_peer_data_checked(
+        querier,
+        querier_pos,
+        range,
+        category,
+        grid,
+        caches,
+        None,
+        ShareFaults::default(),
+    )
+}
+
+/// [`gather_peer_data`] with reply validation and fault injection: each
+/// contacted peer's reply may be dropped per `faults`, and surviving
+/// replies are sanitized against `world` (see [`sanitize_regions`]), so a
+/// flaky or inconsistent peer degrades the querier to on-air retrieval
+/// instead of poisoning its cache.
+#[allow(clippy::too_many_arguments)]
+pub fn gather_peer_data_checked(
+    querier: usize,
+    querier_pos: Point,
+    range: f64,
+    category: PoiCategory,
+    grid: &NeighborGrid,
+    caches: &[HostCache],
+    world: Option<&Rect>,
+    faults: ShareFaults<'_>,
+) -> (Vec<PeerReply>, ShareStats) {
     let peers = grid.neighbors_within(querier_pos, range, Some(querier));
-    let mut stats = ShareStats {
-        peers_contacted: peers.len(),
-        ..ShareStats::default()
-    };
-    let mut replies = Vec::new();
-    for peer in peers {
-        let regions = caches[peer].share_snapshot(category);
-        if regions.is_empty() {
-            continue;
-        }
-        stats.peers_with_data += 1;
-        stats.regions_received += regions.len();
-        stats.pois_received += regions.iter().map(|(_, p)| p.len()).sum::<usize>();
-        replies.push(PeerReply { peer, regions });
-    }
-    (replies, stats)
+    collect_replies(peers, category, caches, world, faults)
 }
 
 /// Multi-hop extension of [`gather_peer_data`]: peers relay the share
@@ -78,6 +194,33 @@ pub fn gather_peer_data_multihop(
     category: PoiCategory,
     grid: &NeighborGrid,
     caches: &[HostCache],
+) -> (Vec<PeerReply>, ShareStats) {
+    gather_peer_data_multihop_checked(
+        querier,
+        querier_pos,
+        range,
+        hops,
+        category,
+        grid,
+        caches,
+        None,
+        ShareFaults::default(),
+    )
+}
+
+/// [`gather_peer_data_multihop`] with reply validation and fault
+/// injection (see [`gather_peer_data_checked`]).
+#[allow(clippy::too_many_arguments)]
+pub fn gather_peer_data_multihop_checked(
+    querier: usize,
+    querier_pos: Point,
+    range: f64,
+    hops: usize,
+    category: PoiCategory,
+    grid: &NeighborGrid,
+    caches: &[HostCache],
+    world: Option<&Rect>,
+    faults: ShareFaults<'_>,
 ) -> (Vec<PeerReply>, ShareStats) {
     assert!(hops >= 1, "at least one hop");
     let mut visited = vec![false; caches.len()];
@@ -106,22 +249,7 @@ pub fn gather_peer_data_multihop(
         frontier = next;
     }
 
-    let mut stats = ShareStats {
-        peers_contacted: reached.len(),
-        ..ShareStats::default()
-    };
-    let mut replies = Vec::new();
-    for peer in reached {
-        let regions = caches[peer].share_snapshot(category);
-        if regions.is_empty() {
-            continue;
-        }
-        stats.peers_with_data += 1;
-        stats.regions_received += regions.len();
-        stats.pois_received += regions.iter().map(|(_, p)| p.len()).sum::<usize>();
-        replies.push(PeerReply { peer, regions });
-    }
-    (replies, stats)
+    collect_replies(reached, category, caches, world, faults)
 }
 
 #[cfg(test)]
@@ -261,6 +389,146 @@ mod tests {
             gather_peer_data_multihop(2, Point::new(0.2, 0.0), 1.0, 4, CAT, &grid, &caches);
         assert_eq!(stats.peers_contacted, 5);
         assert!(replies.iter().all(|r| r.peer != 2));
+    }
+
+    #[test]
+    fn reply_drops_are_deterministic_and_counted() {
+        // 8 peers with data, 100% drop probability: everything is lost
+        // and the querier is left to the broadcast channel.
+        let positions: Vec<Point> = (0..9).map(|i| Point::new(i as f64 * 0.05, 0.0)).collect();
+        let mut caches: Vec<HostCache> = vec![HostCache::new(10, ReplacementPolicy::default())];
+        caches.extend(positions[1..].iter().map(|p| cache_with_region(*p)));
+        let grid = NeighborGrid::build(positions, 1.0);
+        let model = ChannelFaults::from_loss_prob(11, 0.0, 0);
+        let all_dropped = ShareFaults {
+            faults: Some(&model),
+            drop_prob: 1.0,
+            nonce: 42,
+        };
+        let (replies, stats) = gather_peer_data_checked(
+            0,
+            Point::new(0.0, 0.0),
+            1.0,
+            CAT,
+            &grid,
+            &caches,
+            None,
+            all_dropped,
+        );
+        assert!(replies.is_empty());
+        assert_eq!(stats.peers_contacted, 8);
+        assert_eq!(stats.replies_dropped, 8);
+        assert_eq!(stats.peers_with_data, 0);
+
+        // Partial drops: deterministic given (seed, nonce), and disabled
+        // entirely with the default faults.
+        let some = ShareFaults {
+            faults: Some(&model),
+            drop_prob: 0.5,
+            nonce: 42,
+        };
+        let run = || {
+            gather_peer_data_checked(
+                0,
+                Point::new(0.0, 0.0),
+                1.0,
+                CAT,
+                &grid,
+                &caches,
+                None,
+                some,
+            )
+        };
+        let (r1, s1) = run();
+        let (r2, s2) = run();
+        assert_eq!(s1, s2);
+        assert_eq!(r1.len(), r2.len());
+        assert_eq!(s1.replies_dropped + s1.peers_with_data, 8);
+
+        let (r0, s0) = gather_peer_data(0, Point::new(0.0, 0.0), 1.0, CAT, &grid, &caches);
+        assert_eq!(r0.len(), 8);
+        assert_eq!(s0.replies_dropped, 0);
+    }
+
+    #[test]
+    fn malformed_regions_are_rejected_and_valid_ones_clipped() {
+        let world = Rect::from_coords(0.0, 0.0, 10.0, 10.0);
+        let regions = vec![
+            // NaN edge: structurally malformed.
+            (
+                Rect {
+                    x1: f64::NAN,
+                    y1: 0.0,
+                    x2: 1.0,
+                    y2: 1.0,
+                },
+                vec![],
+            ),
+            // Claims a POI outside itself: inconsistent, rejected whole.
+            (
+                Rect::from_coords(0.0, 0.0, 1.0, 1.0),
+                vec![Poi::new(1, Point::new(5.0, 5.0))],
+            ),
+            // Entirely outside the world: rejected.
+            (
+                Rect::from_coords(20.0, 20.0, 30.0, 30.0),
+                vec![Poi::new(2, Point::new(25.0, 25.0))],
+            ),
+            // Straddles the world edge: clipped, outside POI dropped.
+            (
+                Rect::from_coords(8.0, 8.0, 14.0, 9.0),
+                vec![
+                    Poi::new(3, Point::new(9.0, 8.5)),
+                    Poi::new(4, Point::new(12.0, 8.5)),
+                ],
+            ),
+            // Fully valid: untouched.
+            (
+                Rect::from_coords(2.0, 2.0, 4.0, 4.0),
+                vec![Poi::new(5, Point::new(3.0, 3.0))],
+            ),
+        ];
+        let (kept, rejected) = sanitize_regions(regions, Some(&world));
+        assert_eq!(rejected, 3);
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[0].0, Rect::from_coords(8.0, 8.0, 10.0, 9.0));
+        assert_eq!(kept[0].1.len(), 1);
+        assert_eq!(kept[0].1[0].id, 3);
+        assert_eq!(kept[1].0, Rect::from_coords(2.0, 2.0, 4.0, 4.0));
+        assert_eq!(kept[1].1.len(), 1);
+    }
+
+    #[test]
+    fn inconsistent_peer_cache_degrades_to_no_reply() {
+        // A peer whose cache claims a POI outside its VR (possible only
+        // by constructing the entry by hand) must contribute nothing.
+        let positions = vec![Point::new(0.0, 0.0), Point::new(0.1, 0.0)];
+        let mut bad = HostCache::new(10, ReplacementPolicy::default());
+        bad.insert_unchecked(
+            CAT,
+            RegionEntry {
+                vr: Rect::from_coords(0.0, 0.0, 1.0, 1.0),
+                pois: vec![Poi::new(9, Point::new(7.0, 7.0))],
+                created_at: 0.0,
+                last_used: 0.0,
+            },
+        );
+        let caches = vec![HostCache::new(10, ReplacementPolicy::default()), bad];
+        let grid = NeighborGrid::build(positions, 1.0);
+        let world = Rect::from_coords(0.0, 0.0, 10.0, 10.0);
+        let (replies, stats) = gather_peer_data_checked(
+            0,
+            Point::new(0.0, 0.0),
+            1.0,
+            CAT,
+            &grid,
+            &caches,
+            Some(&world),
+            ShareFaults::default(),
+        );
+        assert!(replies.is_empty());
+        assert_eq!(stats.regions_rejected, 1);
+        assert_eq!(stats.peers_with_data, 0);
     }
 
     #[test]

@@ -1,8 +1,127 @@
 //! Simulation configuration (the knobs of Table 4 plus ablation flags).
 
 use crate::ParamSet;
+use airshare_broadcast::ChannelFaults;
 use airshare_cache::ReplacementPolicy;
 use airshare_core::VrPolicy;
+use std::fmt;
+
+/// A [`SimConfig`] the simulator refuses to run. Every variant names a
+/// knob that would otherwise panic (or silently produce nonsense) deep
+/// inside a substrate crate; `Simulation::try_new` surfaces them here
+/// instead.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ConfigError {
+    /// `bucket_capacity == 0`.
+    ZeroBucketCapacity,
+    /// `index_m == 0`.
+    ZeroIndexReplication,
+    /// Hilbert order outside `1..=31`.
+    BadHilbertOrder(u32),
+    /// World side length is non-positive or non-finite.
+    BadWorldSide(f64),
+    /// No mobile hosts to simulate.
+    NoHosts,
+    /// Per-host query rate is non-positive or non-finite.
+    BadQueryRate(f64),
+    /// `ticks_per_min == 0` (no channel time would ever pass).
+    ZeroTicksPerMinute,
+    /// A duration knob (`measure_min` / `warmup_min`) is negative or
+    /// non-finite. Carries the knob name.
+    BadDuration(&'static str),
+    /// `knn_k == 0` on a kNN workload: the channel fallback can never
+    /// answer a 0-NN query.
+    ZeroKnnK,
+    /// A probability knob is outside `[0, 1]` or non-finite. Carries the
+    /// knob name and offending value.
+    BadProbability(&'static str, f64),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroBucketCapacity => write!(f, "bucket_capacity must be ≥ 1"),
+            ConfigError::ZeroIndexReplication => write!(f, "index_m must be ≥ 1"),
+            ConfigError::BadHilbertOrder(o) => {
+                write!(f, "hilbert_order must be in 1..=31, got {o}")
+            }
+            ConfigError::BadWorldSide(s) => {
+                write!(f, "params.world_mi must be positive and finite, got {s}")
+            }
+            ConfigError::NoHosts => write!(f, "params.mh_number must be ≥ 1"),
+            ConfigError::BadQueryRate(r) => {
+                write!(f, "params.query_rate must be positive and finite, got {r}")
+            }
+            ConfigError::ZeroTicksPerMinute => write!(f, "ticks_per_min must be ≥ 1"),
+            ConfigError::BadDuration(name) => {
+                write!(f, "{name} must be non-negative and finite")
+            }
+            ConfigError::ZeroKnnK => write!(f, "params.knn_k must be ≥ 1 for kNN workloads"),
+            ConfigError::BadProbability(name, v) => {
+                write!(f, "{name} must be a probability in [0, 1], got {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Fault-injection knobs. All rates default to zero, which makes the
+/// fault layer inert: a run with an inert `FaultConfig` is bit-identical
+/// to one without the layer (decisions are hashed from the fault seed
+/// rather than drawn from the simulation's RNG stream, so no other
+/// randomness shifts).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultConfig {
+    /// Direct per-appearance bucket loss probability on the broadcast
+    /// channel (a bucket whose frame fails its CRC check).
+    pub bucket_loss_prob: f64,
+    /// Physical bit-error rate; converted to an additional loss
+    /// probability via the frame size (`1 - (1 - BER)^bits`). Composes
+    /// with `bucket_loss_prob` as independent loss sources.
+    pub bit_error_rate: f64,
+    /// Probability that a contacted peer's share reply is lost.
+    pub peer_drop_prob: f64,
+    /// Re-fetch attempts allowed per lost bucket before the query is
+    /// reported degraded.
+    pub retry_budget: u32,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            bucket_loss_prob: 0.0,
+            bit_error_rate: 0.0,
+            peer_drop_prob: 0.0,
+            // Inert until a rate is raised; three retries is a sane
+            // starting budget once one is.
+            retry_budget: 3,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// Whether every fault source is disabled.
+    pub fn is_inert(&self) -> bool {
+        self.bucket_loss_prob <= 0.0 && self.bit_error_rate <= 0.0 && self.peer_drop_prob <= 0.0
+    }
+
+    /// The combined per-appearance bucket loss probability for a given
+    /// frame size: direct loss and BER-derived loss as independent
+    /// events.
+    pub fn combined_loss_prob(&self, frame_bytes: usize) -> f64 {
+        let ber = self.bit_error_rate.clamp(0.0, 1.0);
+        let from_ber = 1.0 - (1.0 - ber).powf((frame_bytes * 8) as f64);
+        let direct = self.bucket_loss_prob.clamp(0.0, 1.0);
+        1.0 - (1.0 - direct) * (1.0 - from_ber)
+    }
+
+    /// Builds the deterministic decision source for a run. `seed` should
+    /// derive from the master simulation seed so runs stay reproducible.
+    pub fn channel_faults(&self, seed: u64, frame_bytes: usize) -> ChannelFaults {
+        ChannelFaults::from_loss_prob(seed, self.combined_loss_prob(frame_bytes), self.retry_budget)
+    }
+}
 
 /// Which spatial query type the workload issues (the paper evaluates kNN
 /// and window queries in separate experiments, §4.2 / §4.3).
@@ -97,6 +216,8 @@ pub struct SimConfig {
     /// Cap on recorded (predicted correctness, was-correct) samples for
     /// approximate answers.
     pub calibration_cap: usize,
+    /// Fault injection (lossy channel, flaky peers). Inert by default.
+    pub faults: FaultConfig,
 }
 
 impl SimConfig {
@@ -129,6 +250,7 @@ impl SimConfig {
             epoch_min: 0.25,
             validate: false,
             calibration_cap: 100_000,
+            faults: FaultConfig::default(),
         }
     }
 
@@ -147,6 +269,54 @@ impl SimConfig {
     pub fn total_min(&self) -> f64 {
         self.warmup_min + self.measure_min
     }
+
+    /// Checks every knob a panic deep inside a substrate crate would
+    /// otherwise punish. `Simulation::try_new` calls this; run it
+    /// directly to validate externally-sourced configurations early.
+    pub fn check(&self) -> Result<(), ConfigError> {
+        if self.bucket_capacity == 0 {
+            return Err(ConfigError::ZeroBucketCapacity);
+        }
+        if self.index_m == 0 {
+            return Err(ConfigError::ZeroIndexReplication);
+        }
+        if !(1..=31).contains(&self.hilbert_order) {
+            return Err(ConfigError::BadHilbertOrder(self.hilbert_order));
+        }
+        let side = self.params.world_mi;
+        if !(side.is_finite() && side > 0.0) {
+            return Err(ConfigError::BadWorldSide(side));
+        }
+        if self.params.mh_number == 0 {
+            return Err(ConfigError::NoHosts);
+        }
+        let rate = self.params.query_rate;
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(ConfigError::BadQueryRate(rate));
+        }
+        if self.ticks_per_min == 0 {
+            return Err(ConfigError::ZeroTicksPerMinute);
+        }
+        for (name, v) in [("measure_min", self.measure_min), ("warmup_min", self.warmup_min)] {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(ConfigError::BadDuration(name));
+            }
+        }
+        if self.query_kind == QueryKind::Knn && self.params.knn_k == 0 {
+            return Err(ConfigError::ZeroKnnK);
+        }
+        for (name, v) in [
+            ("min_correctness", self.min_correctness),
+            ("faults.bucket_loss_prob", self.faults.bucket_loss_prob),
+            ("faults.bit_error_rate", self.faults.bit_error_rate),
+            ("faults.peer_drop_prob", self.faults.peer_drop_prob),
+        ] {
+            if !(v.is_finite() && (0.0..=1.0).contains(&v)) {
+                return Err(ConfigError::BadProbability(name, v));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -160,6 +330,83 @@ mod tests {
         assert_eq!(cfg.measure_min, 600.0);
         assert!(cfg.accept_approx);
         assert_eq!(cfg.min_correctness, 0.5);
+    }
+
+    #[test]
+    fn fault_config_defaults_are_inert_and_compose() {
+        let f = FaultConfig::default();
+        assert!(f.is_inert());
+        assert_eq!(f.combined_loss_prob(228), 0.0);
+        let lossy = FaultConfig {
+            bucket_loss_prob: 0.1,
+            bit_error_rate: 1e-4,
+            ..FaultConfig::default()
+        };
+        assert!(!lossy.is_inert());
+        let from_ber = 1.0 - (1.0 - 1e-4f64).powf(228.0 * 8.0);
+        let expect = 1.0 - 0.9 * (1.0 - from_ber);
+        assert!((lossy.combined_loss_prob(228) - expect).abs() < 1e-12);
+        // Peer drops alone also de-inert the config.
+        let flaky = FaultConfig {
+            peer_drop_prob: 0.2,
+            ..FaultConfig::default()
+        };
+        assert!(!flaky.is_inert());
+        assert_eq!(flaky.combined_loss_prob(228), 0.0);
+    }
+
+    #[test]
+    fn check_rejects_each_bad_knob() {
+        let good = || SimConfig::paper_defaults(params::la_city(), QueryKind::Knn, 1);
+        assert_eq!(good().check(), Ok(()));
+
+        let mut c = good();
+        c.bucket_capacity = 0;
+        assert_eq!(c.check(), Err(ConfigError::ZeroBucketCapacity));
+
+        let mut c = good();
+        c.index_m = 0;
+        assert_eq!(c.check(), Err(ConfigError::ZeroIndexReplication));
+
+        let mut c = good();
+        c.hilbert_order = 0;
+        assert_eq!(c.check(), Err(ConfigError::BadHilbertOrder(0)));
+        c.hilbert_order = 32;
+        assert_eq!(c.check(), Err(ConfigError::BadHilbertOrder(32)));
+
+        let mut c = good();
+        c.params.world_mi = 0.0;
+        assert_eq!(c.check(), Err(ConfigError::BadWorldSide(0.0)));
+
+        let mut c = good();
+        c.params.mh_number = 0;
+        assert_eq!(c.check(), Err(ConfigError::NoHosts));
+
+        let mut c = good();
+        c.params.query_rate = f64::NAN;
+        assert!(matches!(c.check(), Err(ConfigError::BadQueryRate(_))));
+
+        let mut c = good();
+        c.ticks_per_min = 0;
+        assert_eq!(c.check(), Err(ConfigError::ZeroTicksPerMinute));
+
+        let mut c = good();
+        c.warmup_min = -1.0;
+        assert_eq!(c.check(), Err(ConfigError::BadDuration("warmup_min")));
+
+        let mut c = good();
+        c.params.knn_k = 0;
+        assert_eq!(c.check(), Err(ConfigError::ZeroKnnK));
+        // Window workloads never run kNN, so k = 0 is fine there.
+        c.query_kind = QueryKind::Window;
+        assert_eq!(c.check(), Ok(()));
+
+        let mut c = good();
+        c.faults.bucket_loss_prob = 1.5;
+        assert_eq!(
+            c.check(),
+            Err(ConfigError::BadProbability("faults.bucket_loss_prob", 1.5))
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The simulation event loop.
 
-use crate::{MobilityModel, QueryKind, SimConfig, SimReport};
-use airshare_broadcast::{AirIndex, OnAirClient, Poi, PoiCategory, Schedule};
+use crate::{ConfigError, MobilityModel, QueryKind, SimConfig, SimReport};
+use airshare_broadcast::{wire, AirIndex, ChannelFaults, OnAirClient, Poi, PoiCategory, Schedule};
 use airshare_cache::{CacheContext, HostCache, RegionEntry};
 use airshare_core::{sbnn, sbwq, MergedRegion, ResolvedBy, SbnnConfig, SbwqConfig};
 use airshare_geom::{meters_to_miles, Point, Rect};
@@ -9,7 +9,7 @@ use airshare_hilbert::Grid;
 use airshare_mobility::{
     GridRoadWaypoint, Mobility, MobilityConfig, QueryScheduler, RandomWaypoint,
 };
-use airshare_p2p::{NeighborGrid, PeerReply, ShareStats};
+use airshare_p2p::{NeighborGrid, PeerReply, ShareFaults, ShareStats};
 use airshare_rtree::RTree;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -49,6 +49,12 @@ pub struct Simulation {
     caches: Vec<HostCache>,
     mobility_cfg: MobilityConfig,
     rng: SmallRng,
+    /// Deterministic fault decision source; `None` when the fault config
+    /// is inert, so the ideal-channel path pays nothing.
+    faults: Option<ChannelFaults>,
+    /// Monotone query counter: the nonce that makes per-query fault
+    /// decisions (peer drops) unique yet reproducible.
+    query_counter: u64,
 }
 
 impl Simulation {
@@ -56,7 +62,18 @@ impl Simulation {
     /// own Poisson-field assumption), the Hilbert air index over them,
     /// the `(1, m)` schedule, the ground-truth R-tree, and the host
     /// fleet with empty caches.
+    ///
+    /// Panics on configurations [`SimConfig::check`] rejects; use
+    /// [`Simulation::try_new`] for externally-sourced configs.
     pub fn new(cfg: SimConfig) -> Self {
+        Self::try_new(cfg).unwrap_or_else(|e| panic!("invalid SimConfig: {e}"))
+    }
+
+    /// Fallible constructor: validates the configuration first, so a bad
+    /// knob surfaces as a typed [`ConfigError`] instead of a panic deep
+    /// inside a substrate crate.
+    pub fn try_new(cfg: SimConfig) -> Result<Self, ConfigError> {
+        cfg.check()?;
         let side = cfg.params.world_mi;
         let world = Rect::from_coords(0.0, 0.0, side, side);
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
@@ -103,7 +120,16 @@ impl Simulation {
                 }
             })
             .collect();
-        Self {
+        // Fault decisions are hashed from their own seed (derived from
+        // the master seed), never drawn from `rng`: an inert fault config
+        // leaves every other random stream untouched.
+        let faults = (!cfg.faults.is_inert()).then(|| {
+            cfg.faults.channel_faults(
+                cfg.seed ^ 0xFA17_5EED_0000_0001,
+                wire::bucket_frame_bytes(cfg.bucket_capacity),
+            )
+        });
+        Ok(Self {
             cfg,
             world,
             pois,
@@ -114,7 +140,9 @@ impl Simulation {
             caches,
             mobility_cfg,
             rng,
-        }
+            faults,
+            query_counter: 0,
+        })
     }
 
     /// The configuration.
@@ -173,16 +201,26 @@ impl Simulation {
         let qpos = self.hosts[host].position_at(t);
         let heading = self.hosts[host].heading_at(t);
         let measuring = t >= cfg.warmup_min;
+        let nonce = self.query_counter;
+        self.query_counter += 1;
+        let share_faults = ShareFaults {
+            faults: self.faults.as_ref(),
+            drop_prob: cfg.faults.peer_drop_prob,
+            nonce,
+        };
 
         // --- P2P gather: candidates from the (slightly stale) grid,
         // confirmed against exact current positions. Multi-hop gathers
         // (the extension) relay through grid positions directly: the
         // ε-staleness of relays is immaterial to an ablation that asks
-        // "how much more knowledge do extra hops reach". ---
+        // "how much more knowledge do extra hops reach". Replies pass
+        // through drop decisions (fault layer) and region validation, so
+        // a flaky or inconsistent peer costs coverage, never correctness.
+        // ---
         let mut share = ShareStats::default();
         let mut replies: Vec<PeerReply> = Vec::new();
         if cfg.p2p_hops > 1 {
-            let (r, s) = airshare_p2p::gather_peer_data_multihop(
+            let (r, s) = airshare_p2p::gather_peer_data_multihop_checked(
                 host,
                 qpos,
                 range,
@@ -190,6 +228,8 @@ impl Simulation {
                 CAT,
                 grid,
                 &self.caches,
+                Some(&self.world),
+                share_faults,
             );
             replies = r;
             share = s;
@@ -202,6 +242,16 @@ impl Simulation {
                 }
                 share.peers_contacted += 1;
                 let regions = self.caches[peer].share_snapshot(CAT);
+                if regions.is_empty() {
+                    continue;
+                }
+                if share_faults.drops_reply(peer) {
+                    share.replies_dropped += 1;
+                    continue;
+                }
+                let (regions, rejected) =
+                    airshare_p2p::sanitize_regions(regions, Some(&self.world));
+                share.regions_rejected += rejected;
                 if regions.is_empty() {
                     continue;
                 }
@@ -225,7 +275,10 @@ impl Simulation {
         // borrow of the channel state.
         let window = matches!(cfg.query_kind, QueryKind::Window)
             .then(|| self.sample_window(qpos));
-        let client = OnAirClient::new(&self.index, &self.schedule);
+        let client = match &self.faults {
+            Some(f) => OnAirClient::with_faults(&self.index, &self.schedule, f),
+            None => OnAirClient::new(&self.index, &self.schedule),
+        };
         let ctx = CacheContext {
             pos: qpos,
             heading,
@@ -246,13 +299,19 @@ impl Simulation {
                 let res = sbnn(qpos, &sbnn_cfg, &mvr, Some((&client, tune_in)))
                     .resolved()
                     .expect("channel fallback always resolves");
+                let degraded = res.air.is_some_and(|a| a.is_degraded());
 
-                if let Some((vr, pois)) = &res.adoptable {
-                    self.caches[host].insert(
-                        CAT,
-                        RegionEntry::new(*vr, pois.iter().copied(), t),
-                        &ctx,
-                    );
+                // A degraded retrieval may be missing POIs; adopting its
+                // region would cache an incomplete "verified" claim and
+                // poison every peer it is later shared with.
+                if !degraded {
+                    if let Some((vr, pois)) = &res.adoptable {
+                        self.caches[host].insert(
+                            CAT,
+                            RegionEntry::new(*vr, pois.iter().copied(), t),
+                            &ctx,
+                        );
+                    }
                 }
                 self.caches[host]
                     .touch(CAT, &Rect::centered_square(qpos, range), t);
@@ -262,6 +321,9 @@ impl Simulation {
                 }
                 report.queries.total += 1;
                 report.record_share(&share);
+                if degraded {
+                    report.degraded_queries += 1;
+                }
                 match res.resolved_by {
                     ResolvedBy::PeersVerified => report.queries.by_peers += 1,
                     ResolvedBy::PeersApproximate => report.queries.by_approx += 1,
@@ -283,7 +345,7 @@ impl Simulation {
                             base.stats.buckets.saturating_sub(air.buckets);
                     }
                 }
-                if cfg.validate {
+                if cfg.validate && !degraded {
                     self.validate_knn(qpos, &res, report);
                 }
             }
@@ -295,13 +357,18 @@ impl Simulation {
                 let res = sbwq(&w, &sbwq_cfg, &mvr, Some((&client, tune_in)))
                     .resolved()
                     .expect("channel fallback always resolves");
+                let degraded = res.air.is_some_and(|a| a.is_degraded());
 
-                // A resolved window is fully known: cache it.
-                self.caches[host].insert(
-                    CAT,
-                    RegionEntry::new(w, res.pois.iter().copied(), t),
-                    &ctx,
-                );
+                // A resolved window is fully known: cache it — unless
+                // retrieval lost buckets, in which case the window may be
+                // missing POIs and must not become a verified region.
+                if !degraded {
+                    self.caches[host].insert(
+                        CAT,
+                        RegionEntry::new(w, res.pois.iter().copied(), t),
+                        &ctx,
+                    );
+                }
                 self.caches[host].touch(CAT, &w, t);
 
                 if !measuring {
@@ -309,6 +376,9 @@ impl Simulation {
                 }
                 report.queries.total += 1;
                 report.record_share(&share);
+                if degraded {
+                    report.degraded_queries += 1;
+                }
                 match res.resolved_by {
                     ResolvedBy::PeersVerified => report.queries.by_peers += 1,
                     _ => {
@@ -323,7 +393,7 @@ impl Simulation {
                 let base = client.window(tune_in, &w);
                 report.baseline_latency.record(base.stats.latency);
                 report.baseline_tuning.record(base.stats.tuning);
-                if cfg.validate {
+                if cfg.validate && !degraded {
                     let mut got: Vec<u32> = res.pois.iter().map(|p| p.id).collect();
                     got.sort_unstable();
                     let mut want: Vec<u32> = self
@@ -499,6 +569,119 @@ mod tests {
             solved3 + 1e-9 >= solved1 * 0.9,
             "extra knowledge should not hurt: {solved3:.1}% vs {solved1:.1}%"
         );
+    }
+
+    #[test]
+    fn try_new_surfaces_config_errors() {
+        let mut cfg = tiny_cfg(QueryKind::Knn);
+        cfg.bucket_capacity = 0;
+        assert!(matches!(
+            Simulation::try_new(cfg),
+            Err(crate::ConfigError::ZeroBucketCapacity)
+        ));
+        assert!(Simulation::try_new(tiny_cfg(QueryKind::Knn)).is_ok());
+    }
+
+    #[test]
+    fn inert_fault_config_is_bit_identical() {
+        // Raising the retry budget (or any knob that keeps all rates at
+        // zero) must not shift a single number: fault decisions are
+        // hashed, not drawn from the simulation's RNG stream.
+        let base = Simulation::new(tiny_cfg(QueryKind::Knn)).run();
+        let mut cfg = tiny_cfg(QueryKind::Knn);
+        cfg.faults.retry_budget = 99;
+        let with_inert = Simulation::new(cfg).run();
+        assert_eq!(base.queries.total, with_inert.queries.total);
+        assert_eq!(base.queries.by_peers, with_inert.queries.by_peers);
+        assert_eq!(base.queries.by_approx, with_inert.queries.by_approx);
+        assert_eq!(base.broadcast_latency.sum, with_inert.broadcast_latency.sum);
+        assert_eq!(base.broadcast_tuning.sum, with_inert.broadcast_tuning.sum);
+        assert_eq!(base.share_pois, with_inert.share_pois);
+        assert_eq!(with_inert.channel_retries, 0);
+        assert_eq!(with_inert.lost_buckets, 0);
+        assert_eq!(with_inert.degraded_queries, 0);
+        assert_eq!(with_inert.replies_dropped, 0);
+    }
+
+    #[test]
+    fn lossy_channel_never_silently_wrong() {
+        // Deep retry budget: every loss is recovered, answers stay exact.
+        let mut cfg = tiny_cfg(QueryKind::Knn);
+        cfg.faults.bucket_loss_prob = 0.15;
+        cfg.faults.retry_budget = 50;
+        let recovered = Simulation::new(cfg).run();
+        assert!(recovered.channel_retries > 0, "15% loss produced no retries");
+        assert_eq!(recovered.lost_buckets, 0);
+        assert_eq!(recovered.degraded_queries, 0);
+        assert_eq!(recovered.exact_mismatches, 0);
+
+        // No retries allowed: losses surface as degraded queries, never
+        // as validated-exact wrong answers.
+        let mut cfg = tiny_cfg(QueryKind::Knn);
+        cfg.faults.bucket_loss_prob = 0.3;
+        cfg.faults.retry_budget = 0;
+        let degraded = Simulation::new(cfg).run();
+        assert!(degraded.lost_buckets > 0, "30% loss with no retries lost nothing");
+        assert!(degraded.degraded_queries > 0);
+        assert_eq!(degraded.exact_mismatches, 0);
+    }
+
+    #[test]
+    fn lossy_window_queries_stay_exact() {
+        let mut cfg = tiny_cfg(QueryKind::Window);
+        cfg.faults.bucket_loss_prob = 0.15;
+        cfg.faults.retry_budget = 50;
+        let report = Simulation::new(cfg).run();
+        assert!(report.channel_retries > 0);
+        assert_eq!(report.degraded_queries, 0);
+        assert_eq!(report.exact_mismatches, 0);
+    }
+
+    #[test]
+    fn dropped_peer_replies_degrade_to_broadcast() {
+        let mut cfg = tiny_cfg(QueryKind::Knn);
+        cfg.faults.peer_drop_prob = 1.0;
+        cfg.use_own_cache = false;
+        let report = Simulation::new(cfg).run();
+        assert!(report.replies_dropped > 0, "total drop produced no drops");
+        // With every reply lost and no own cache, nothing resolves by
+        // peers — but every answer is still exact via the channel.
+        assert_eq!(report.queries.by_peers, 0);
+        assert_eq!(report.queries.by_approx, 0);
+        assert_eq!(report.exact_mismatches, 0);
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic_given_seed() {
+        let cfg = || {
+            let mut c = tiny_cfg(QueryKind::Knn);
+            c.faults.bucket_loss_prob = 0.1;
+            c.faults.peer_drop_prob = 0.1;
+            c.faults.retry_budget = 2;
+            c
+        };
+        let r1 = Simulation::new(cfg()).run();
+        let r2 = Simulation::new(cfg()).run();
+        assert_eq!(r1.queries.total, r2.queries.total);
+        assert_eq!(r1.broadcast_latency.sum, r2.broadcast_latency.sum);
+        assert_eq!(r1.channel_retries, r2.channel_retries);
+        assert_eq!(r1.lost_buckets, r2.lost_buckets);
+        assert_eq!(r1.degraded_queries, r2.degraded_queries);
+        assert_eq!(r1.replies_dropped, r2.replies_dropped);
+    }
+
+    #[test]
+    fn loss_raises_latency_monotonically() {
+        let run = |loss: f64| {
+            let mut cfg = tiny_cfg(QueryKind::Knn);
+            cfg.validate = false;
+            cfg.faults.bucket_loss_prob = loss;
+            cfg.faults.retry_budget = 50;
+            Simulation::new(cfg).run().broadcast_latency.mean()
+        };
+        let (l0, l10, l20) = (run(0.0), run(0.10), run(0.20));
+        assert!(l10 > l0, "10% loss should cost latency: {l10} !> {l0}");
+        assert!(l20 > l10, "20% loss should cost more: {l20} !> {l10}");
     }
 
     #[test]

@@ -28,7 +28,7 @@ mod engine;
 pub mod params;
 mod report;
 
-pub use config::{MobilityModel, QueryKind, SimConfig};
+pub use config::{ConfigError, FaultConfig, MobilityModel, QueryKind, SimConfig};
 pub use engine::Simulation;
 pub use params::ParamSet;
 pub use report::{LatencySummary, QueryStats, SimReport};

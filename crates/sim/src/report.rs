@@ -105,6 +105,18 @@ pub struct SimReport {
     pub partial_coverage_sum: f64,
     /// Count behind `partial_coverage_sum`.
     pub partial_coverage_count: u64,
+    /// Bucket re-fetches forced by corrupt appearances (fault layer).
+    pub channel_retries: u64,
+    /// Buckets abandoned after the retry budget ran out.
+    pub lost_buckets: u64,
+    /// Queries whose answer may be incomplete because a needed bucket was
+    /// never recovered. Such queries are excluded from exactness
+    /// validation and never feed the caches.
+    pub degraded_queries: u64,
+    /// Peer replies lost in transit (fault layer).
+    pub replies_dropped: u64,
+    /// Peer regions rejected by validation.
+    pub regions_rejected: u64,
 }
 
 impl SimReport {
@@ -113,6 +125,8 @@ impl SimReport {
         self.broadcast_latency.record(stats.latency);
         self.broadcast_tuning.record(stats.tuning);
         self.broadcast_buckets.record(stats.buckets);
+        self.channel_retries += stats.retries;
+        self.lost_buckets += stats.lost_buckets;
     }
 
     /// Accumulates one share exchange.
@@ -120,6 +134,8 @@ impl SimReport {
         self.share_peers_contacted += s.peers_contacted as u64;
         self.share_peers_with_data += s.peers_with_data as u64;
         self.share_pois += s.pois_received as u64;
+        self.replies_dropped += s.replies_dropped as u64;
+        self.regions_rejected += s.regions_rejected as u64;
     }
 
     /// Mean peers contacted per query.
@@ -191,6 +207,7 @@ mod tests {
             latency: 100,
             tuning: 10,
             buckets: 5,
+            ..Default::default()
         });
         assert_eq!(r.overall_mean_latency(), 25.0);
         assert_eq!(r.broadcast_latency.mean(), 100.0);

@@ -1,0 +1,194 @@
+//! Offline stub of `criterion`: runs each benchmark closure a fixed
+//! number of iterations and prints mean wall-clock time per iteration.
+//! No statistics, warm-up, outlier analysis, or HTML reports — just
+//! enough to keep `cargo bench` / `cargo test --benches` building and
+//! producing comparable rough numbers offline.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Measurement driver passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    /// Mean nanoseconds per iteration from the last `iter` call.
+    last_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f` over a fixed iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.last_ns = start.elapsed().as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+/// Top-level benchmark registry (stub: configuration is mostly ignored).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Sets the nominal sample size (used to scale iteration count).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Configuration hook accepted for API compatibility.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let iters = (self.sample_size as u64).max(10);
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            iters,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let iters = (self.sample_size as u64).max(10);
+        run_one(id, iters, f);
+        self
+    }
+
+    /// Final-report hook accepted for API compatibility.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A parameterized benchmark label (`group/function/parameter`).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function/parameter`.
+    pub fn new<P: std::fmt::Display>(function: &str, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Builds a label from the parameter alone.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    iters: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.iters, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.iters, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Closes the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, iters: u64, mut f: F) {
+    let mut b = Bencher {
+        iters,
+        last_ns: 0.0,
+    };
+    f(&mut b);
+    if b.last_ns >= 1_000_000.0 {
+        println!("{label:<48} {:>12.3} ms/iter", b.last_ns / 1_000_000.0);
+    } else if b.last_ns >= 1_000.0 {
+        println!("{label:<48} {:>12.3} us/iter", b.last_ns / 1_000.0);
+    } else {
+        println!("{label:<48} {:>12.1} ns/iter", b.last_ns);
+    }
+}
+
+/// Declares a benchmark group, mirroring criterion's two macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        let mut g = c.benchmark_group("tiny");
+        g.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+        g.bench_with_input(BenchmarkId::new("mul", 7), &7u64, |b, &n| {
+            b.iter(|| black_box(n) * 3)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn group_and_macros_run() {
+        criterion_group! {
+            name = benches;
+            config = Criterion::default().sample_size(5);
+            targets = tiny
+        }
+        benches();
+    }
+}

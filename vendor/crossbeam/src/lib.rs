@@ -1,0 +1,53 @@
+//! Offline stub of `crossbeam`: scoped threads over `std::thread::scope`.
+//!
+//! Behavioral note: real crossbeam collects child panics and returns them
+//! through the `Result`; `std::thread::scope` re-raises a child panic when
+//! the scope closes, so here a worker panic propagates instead of
+//! surfacing as `Err`. Callers that `.expect()` the result observe the
+//! same outcome (a panic with the worker's message) either way.
+
+/// A scope handle for spawning borrowing threads.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a thread inside the scope. The closure receives the scope
+    /// again (crossbeam's signature) so it can spawn nested work.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let reentry = *self;
+        self.inner.spawn(move || f(&reentry))
+    }
+}
+
+/// Runs `f` with a scope whose spawned threads may borrow from the
+/// enclosing stack frame; joins them all before returning.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+}

@@ -1,0 +1,5 @@
+//! Offline stub of `serde`. The workspace only names serde behind the
+//! `airshare-geom/serde` feature, which is **off** by default; this shell
+//! exists purely so dependency resolution succeeds offline. Enabling that
+//! feature requires restoring the real crate (delete the
+//! `[patch.crates-io]` entry with network access available).
