@@ -1,0 +1,5 @@
+//! Per-query trace export: deterministic JSONL on stdout (DESIGN.md §9).
+fn main() {
+    let scale = airshare_bench::ExpScale::from_env();
+    airshare_bench::trace(&scale);
+}

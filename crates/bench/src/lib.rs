@@ -122,7 +122,9 @@ pub struct Row {
 }
 
 fn run(cfg: SimConfig) -> SimReport {
-    Simulation::new(cfg).run()
+    Simulation::try_new(cfg)
+        .expect("experiment configs are valid by construction")
+        .run()
 }
 
 /// Runs a batch of independent sweep points, optionally in parallel.
@@ -377,6 +379,12 @@ pub struct LatencyRow {
     pub baseline_tuning: f64,
     /// % of queries that avoided the channel entirely.
     pub pct_avoided: f64,
+    /// p95 access latency of broadcast-solved queries (ticks).
+    pub latency_p95: u64,
+    /// p99 access latency of broadcast-solved queries (ticks).
+    pub latency_p99: u64,
+    /// p95 tuning time of broadcast-solved queries (ticks).
+    pub tuning_p95: u64,
 }
 
 /// The paper's headline: access-latency reduction from sharing ("up to
@@ -385,8 +393,8 @@ pub fn latency(scale: &ExpScale) -> Vec<LatencyRow> {
     let mut rows = Vec::new();
     println!("\n## Access latency & tuning: sharing vs pure on-air baseline");
     println!(
-        "{:<20} {:>12} {:>12} {:>9} {:>12} {:>12}",
-        "set", "shared lat", "on-air lat", "saved%", "tuning(bc)", "tuning(base)"
+        "{:<20} {:>12} {:>12} {:>9} {:>12} {:>12} {:>8} {:>8} {:>8}",
+        "set", "shared lat", "on-air lat", "saved%", "tuning(bc)", "tuning(base)", "lat p95", "lat p99", "tun p95"
     );
     for p in params::all() {
         let cfg = scale.config(p, QueryKind::Knn, 42);
@@ -395,13 +403,16 @@ pub fn latency(scale: &ExpScale) -> Vec<LatencyRow> {
         let base = r.baseline_latency.mean();
         let saved = if base > 0.0 { 100.0 * (1.0 - shared / base) } else { 0.0 };
         println!(
-            "{:<20} {:>12.1} {:>12.1} {:>9.1} {:>12.1} {:>12.1}",
+            "{:<20} {:>12.1} {:>12.1} {:>9.1} {:>12.1} {:>12.1} {:>8} {:>8} {:>8}",
             p.name,
             shared,
             base,
             saved,
             r.broadcast_tuning.mean(),
-            r.baseline_tuning.mean()
+            r.baseline_tuning.mean(),
+            r.broadcast_latency.p95(),
+            r.broadcast_latency.p99(),
+            r.broadcast_tuning.p95()
         );
         rows.push(LatencyRow {
             set: p.name,
@@ -410,6 +421,9 @@ pub fn latency(scale: &ExpScale) -> Vec<LatencyRow> {
             shared_tuning: r.broadcast_tuning.mean(),
             baseline_tuning: r.baseline_tuning.mean(),
             pct_avoided: r.queries.pct_peers() + r.queries.pct_approx(),
+            latency_p95: r.broadcast_latency.p95(),
+            latency_p99: r.broadcast_latency.p99(),
+            tuning_p95: r.broadcast_tuning.p95(),
         });
     }
     rows
@@ -637,10 +651,10 @@ pub fn faults(scale: &ExpScale) -> Vec<FaultRow> {
             loss,
             mean_latency: r.overall_mean_latency(),
             mean_tuning: r.broadcast_tuning.mean(),
-            retries: r.channel_retries,
-            lost_buckets: r.lost_buckets,
-            degraded: r.degraded_queries,
-            replies_dropped: r.replies_dropped,
+            retries: r.faults.retries_total,
+            lost_buckets: r.faults.buckets_lost_total,
+            degraded: r.faults.queries_degraded,
+            replies_dropped: r.faults.replies_dropped,
             mismatches: r.exact_mismatches,
         };
         println!(
@@ -657,6 +671,36 @@ pub fn faults(scale: &ExpScale) -> Vec<FaultRow> {
         rows.push(row);
     }
     rows
+}
+
+// ----------------------------------------------------------------------
+// Query trace (observability — DESIGN.md §9)
+// ----------------------------------------------------------------------
+
+/// Runs one small kNN simulation with a [`airshare_obs::JsonlTraceRecorder`]
+/// attached and writes the per-query event trace to stdout as JSONL (one
+/// JSON object per line, nothing else). The stream is byte-deterministic
+/// for a fixed config and seed, so CI smoke-checks it and diffing two runs
+/// answers "what changed".
+///
+/// Run summary goes to stderr to keep stdout machine-parsable.
+pub fn trace(scale: &ExpScale) -> String {
+    let p = params::synthetic_suburbia();
+    let cfg = scale.config(p, QueryKind::Knn, 7);
+    let mut rec = airshare_obs::JsonlTraceRecorder::new();
+    let r = Simulation::try_new(cfg)
+        .expect("experiment configs are valid by construction")
+        .run_with(&mut rec);
+    eprintln!(
+        "# trace: {} events over {} measured queries (peers {:.1}%, approx {:.1}%, broadcast {:.1}%)",
+        rec.lines(),
+        r.queries.total,
+        r.queries.pct_peers(),
+        r.queries.pct_approx(),
+        r.queries.pct_broadcast()
+    );
+    print!("{}", rec.as_str());
+    rec.into_string()
 }
 
 // ----------------------------------------------------------------------

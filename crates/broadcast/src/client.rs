@@ -2,48 +2,7 @@
 
 use crate::{AirIndex, BucketId, ChannelFaults, Poi, Schedule};
 use airshare_geom::{Point, Rect};
-
-/// Broadcast-access cost of one operation, in ticks.
-///
-/// * `latency` — from tuning in to holding the last needed bucket
-///   (*access latency*; what the user waits).
-/// * `tuning` — ticks spent actively listening (*tuning time*; what the
-///   battery pays): one probe tick, each index segment read, and each
-///   data bucket downloaded (including corrupt downloads that had to be
-///   re-fetched).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct AccessStats {
-    /// Access latency in ticks.
-    pub latency: u64,
-    /// Tuning time in ticks.
-    pub tuning: u64,
-    /// Number of data buckets downloaded.
-    pub buckets: u64,
-    /// Re-fetch attempts forced by corrupt bucket appearances.
-    pub retries: u64,
-    /// Buckets abandoned after the retry budget ran out. Non-zero means
-    /// the operation's results are *degraded* — possibly incomplete —
-    /// and callers must not treat them as exact.
-    pub lost_buckets: u64,
-}
-
-impl AccessStats {
-    /// Component-wise sum (for multi-step protocols).
-    pub fn merge(self, other: AccessStats) -> AccessStats {
-        AccessStats {
-            latency: self.latency + other.latency,
-            tuning: self.tuning + other.tuning,
-            buckets: self.buckets + other.buckets,
-            retries: self.retries + other.retries,
-            lost_buckets: self.lost_buckets + other.lost_buckets,
-        }
-    }
-
-    /// Whether any requested bucket could not be recovered.
-    pub fn is_degraded(&self) -> bool {
-        self.lost_buckets > 0
-    }
-}
+use airshare_obs::{AccessStats, NoopRecorder, Recorder, TraceEvent};
 
 /// Result of an on-air kNN query.
 #[derive(Clone, Debug)]
@@ -132,8 +91,26 @@ impl<'a> OnAirClient<'a> {
     /// [`AccessStats::lost_buckets`], so the caller can report the
     /// operation as degraded instead of returning silently wrong data.
     pub fn retrieve(&self, tune_in: u64, buckets: &[BucketId]) -> (Vec<Poi>, AccessStats) {
+        self.retrieve_rec(tune_in, buckets, &mut NoopRecorder)
+    }
+
+    /// [`OnAirClient::retrieve`], tracing each protocol step into `rec`:
+    /// the initial probe, the index segment read, every downloaded data
+    /// bucket, and every corrupt appearance (including the final one of
+    /// an abandoned bucket — so across a retrieval the `FrameLost` count
+    /// equals `retries + lost_buckets`).
+    pub fn retrieve_rec(
+        &self,
+        tune_in: u64,
+        buckets: &[BucketId],
+        rec: &mut dyn Recorder,
+    ) -> (Vec<Poi>, AccessStats) {
+        rec.record(TraceEvent::ProbeStarted { tick: tune_in });
         let idx_start = self.schedule.next_index_start(tune_in);
         let idx_done = idx_start + self.schedule.index_buckets() as u64;
+        rec.record(TraceEvent::IndexBucketTuned {
+            count: self.schedule.index_buckets() as u32,
+        });
         let mut last = idx_done;
         let mut pois = Vec::new();
         let mut tuning = 1 + self.schedule.index_buckets() as u64 + buckets.len() as u64;
@@ -149,9 +126,17 @@ impl<'a> OnAirClient<'a> {
                 let mut attempts_left = f.retry_budget();
                 loop {
                     if !f.bucket_lost(b, done / cycle) {
+                        rec.record(TraceEvent::DataBucketTuned {
+                            bucket: b as u32,
+                            tick: done,
+                        });
                         pois.extend(self.index.buckets()[b].pois.iter().copied());
                         break;
                     }
+                    rec.record(TraceEvent::FrameLost {
+                        bucket: b as u32,
+                        retry: f.retry_budget() - attempts_left,
+                    });
                     if attempts_left == 0 {
                         lost_buckets += 1;
                         break;
@@ -162,6 +147,10 @@ impl<'a> OnAirClient<'a> {
                     done += cycle;
                 }
             } else {
+                rec.record(TraceEvent::DataBucketTuned {
+                    bucket: b as u32,
+                    tick: done,
+                });
                 pois.extend(self.index.buckets()[b].pois.iter().copied());
             }
             last = last.max(done);
@@ -183,9 +172,20 @@ impl<'a> OnAirClient<'a> {
     ///
     /// Returns `None` when the data file holds fewer than `k` POIs.
     pub fn knn(&self, tune_in: u64, q: Point, k: usize) -> Option<OnAirKnnResult> {
+        self.knn_rec(tune_in, q, k, &mut NoopRecorder)
+    }
+
+    /// [`OnAirClient::knn`], tracing the underlying retrieval into `rec`.
+    pub fn knn_rec(
+        &self,
+        tune_in: u64,
+        q: Point,
+        k: usize,
+        rec: &mut dyn Recorder,
+    ) -> Option<OnAirKnnResult> {
         let radius = self.index.knn_search_radius(q, k)?;
         let buckets = self.index.buckets_for_knn(q, radius);
-        let (pois, stats) = self.retrieve(tune_in, &buckets);
+        let (pois, stats) = self.retrieve_rec(tune_in, &buckets, rec);
         let neighbors = top_k_by_distance(pois.clone(), q, k);
         // Lost buckets may leave fewer than k candidates; the degraded
         // flag in `stats` tells the caller not to trust the shortfall.
@@ -216,6 +216,22 @@ impl<'a> OnAirClient<'a> {
         inner: Option<f64>,
         outer: Option<f64>,
     ) -> Option<OnAirKnnResult> {
+        self.knn_filtered_rec(tune_in, q, k, known, inner, outer, &mut NoopRecorder)
+    }
+
+    /// [`OnAirClient::knn_filtered`], tracing the underlying retrieval
+    /// into `rec`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn knn_filtered_rec(
+        &self,
+        tune_in: u64,
+        q: Point,
+        k: usize,
+        known: &[Poi],
+        inner: Option<f64>,
+        outer: Option<f64>,
+        rec: &mut dyn Recorder,
+    ) -> Option<OnAirKnnResult> {
         // Both the caller's upper bound and the index-scan radius are
         // valid search caps (each is ≥ the true k-th NN distance); take
         // the tighter so filtering can never fetch more than a cold
@@ -227,7 +243,7 @@ impl<'a> OnAirClient<'a> {
             (None, None) => return None,
         };
         let buckets = self.index.buckets_for_knn_filtered(q, outer, inner);
-        let (mut pois, stats) = self.retrieve(tune_in, &buckets);
+        let (mut pois, stats) = self.retrieve_rec(tune_in, &buckets, rec);
         // Merge peer knowledge, deduplicating by id.
         pois.extend(known.iter().copied());
         pois.sort_by_key(|p| p.id);
@@ -249,8 +265,14 @@ impl<'a> OnAirClient<'a> {
     /// the curve for the window's cells, the buckets covering them, then
     /// an exact containment filter.
     pub fn window(&self, tune_in: u64, w: &Rect) -> OnAirWindowResult {
+        self.window_rec(tune_in, w, &mut NoopRecorder)
+    }
+
+    /// [`OnAirClient::window`], tracing the underlying retrieval into
+    /// `rec`.
+    pub fn window_rec(&self, tune_in: u64, w: &Rect, rec: &mut dyn Recorder) -> OnAirWindowResult {
         let buckets = self.index.buckets_for_window(w);
-        let (pois, stats) = self.retrieve(tune_in, &buckets);
+        let (pois, stats) = self.retrieve_rec(tune_in, &buckets, rec);
         let pois = pois.into_iter().filter(|p| w.contains(p.pos)).collect();
         OnAirWindowResult { pois, stats }
     }
@@ -258,8 +280,19 @@ impl<'a> OnAirClient<'a> {
     /// Reduced-window retrieval (§3.4.2): one on-air pass over the union
     /// of the reduced windows `w′`, returning POIs inside any of them.
     pub fn window_reduced(&self, tune_in: u64, windows: &[Rect]) -> OnAirWindowResult {
+        self.window_reduced_rec(tune_in, windows, &mut NoopRecorder)
+    }
+
+    /// [`OnAirClient::window_reduced`], tracing the underlying retrieval
+    /// into `rec`.
+    pub fn window_reduced_rec(
+        &self,
+        tune_in: u64,
+        windows: &[Rect],
+        rec: &mut dyn Recorder,
+    ) -> OnAirWindowResult {
         let buckets = self.index.buckets_for_windows(windows);
-        let (pois, stats) = self.retrieve(tune_in, &buckets);
+        let (pois, stats) = self.retrieve_rec(tune_in, &buckets, rec);
         let pois = pois
             .into_iter()
             .filter(|p| windows.iter().any(|w| w.contains(p.pos)))
@@ -518,6 +551,31 @@ mod tests {
         assert_eq!(stats.lost_buckets, 3);
         assert_eq!(stats.retries, 6); // 2 retries per bucket, all futile
         assert!(stats.is_degraded());
+    }
+
+    #[test]
+    fn traced_retrieval_matches_fault_counters() {
+        use airshare_obs::MetricsRecorder;
+        let (index, schedule) = channel(300, 2);
+        let faults = ChannelFaults::from_loss_prob(7, 0.3, 2);
+        let client = OnAirClient::with_faults(&index, &schedule, &faults);
+        let buckets: Vec<usize> = (0..index.data_buckets()).collect();
+        let mut rec = MetricsRecorder::new();
+        let (pois, stats) = client.retrieve_rec(0, &buckets, &mut rec);
+        let snap = rec.snapshot();
+        assert_eq!(snap.probes_total, 1);
+        assert_eq!(snap.index_buckets_total, schedule.index_buckets() as u64);
+        assert_eq!(
+            snap.data_buckets_total,
+            buckets.len() as u64 - stats.lost_buckets
+        );
+        // Every corrupt appearance is one FrameLost, including the final
+        // appearance of an abandoned bucket.
+        assert_eq!(snap.frames_lost_total, stats.retries + stats.lost_buckets);
+        // Tracing must not perturb the protocol: plain call is identical.
+        let (pois2, stats2) = client.retrieve(0, &buckets);
+        assert_eq!(stats, stats2);
+        assert_eq!(pois.len(), pois2.len());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::{RegionEntry, ReplacementPolicy};
 use airshare_broadcast::{Poi, PoiCategory};
 use airshare_geom::{Point, Rect};
+use airshare_obs::{CacheRejectReason, Recorder, TraceEvent};
 use std::collections::HashMap;
 
 /// What [`HostCache::insert`] did with the offered entry.
@@ -167,6 +168,29 @@ impl HostCache {
         }
         list.push(entry);
         InsertOutcome::Stored
+    }
+
+    /// [`Self::insert`], tracing a refused admission into `rec` with its
+    /// [`CacheRejectReason`]. Successful stores emit nothing here — the
+    /// query layer already traced the data's origin.
+    pub fn insert_rec(
+        &mut self,
+        category: PoiCategory,
+        entry: RegionEntry,
+        ctx: &CacheContext,
+        rec: &mut dyn Recorder,
+    ) -> InsertOutcome {
+        let outcome = self.insert(category, entry, ctx);
+        match outcome {
+            InsertOutcome::Stored => {}
+            InsertOutcome::RejectedInconsistent => rec.record(TraceEvent::CacheRejected {
+                reason: CacheRejectReason::Inconsistent,
+            }),
+            InsertOutcome::RejectedNoCapacity => rec.record(TraceEvent::CacheRejected {
+                reason: CacheRejectReason::NoCapacity,
+            }),
+        }
+        outcome
     }
 
     /// Inserts an entry *without* consistency validation, capacity

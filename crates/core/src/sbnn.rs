@@ -3,8 +3,9 @@
 
 use crate::approx::{candidate_correctness, surpassing_ratio, unverified_area};
 use crate::{HeapState, MergedRegion, NnCandidate, ResultHeap};
-use airshare_broadcast::{AccessStats, OnAirClient, Poi};
+use airshare_broadcast::{OnAirClient, Poi};
 use airshare_geom::{Point, Rect};
+use airshare_obs::{AccessStats, NoopRecorder, Recorder, ResolutionKind, TraceEvent};
 
 /// How a peer-answered query turns its verified ball into a cacheable
 /// rectangle.
@@ -73,6 +74,16 @@ pub enum ResolvedBy {
     PeersApproximate,
     /// Fell back to the broadcast channel (possibly bound-filtered).
     Broadcast,
+}
+
+impl From<ResolvedBy> for ResolutionKind {
+    fn from(r: ResolvedBy) -> ResolutionKind {
+        match r {
+            ResolvedBy::PeersVerified => ResolutionKind::PeersVerified,
+            ResolvedBy::PeersApproximate => ResolutionKind::PeersApproximate,
+            ResolvedBy::Broadcast => ResolutionKind::Broadcast,
+        }
+    }
 }
 
 /// A resolved SBNN query.
@@ -233,6 +244,39 @@ pub fn sbnn(
     mvr: &MergedRegion,
     air: Option<(&OnAirClient<'_>, u64)>,
 ) -> SbnnOutcome {
+    sbnn_rec(q, cfg, mvr, air, &mut NoopRecorder)
+}
+
+/// [`sbnn`], tracing the channel fallback's protocol steps into `rec`
+/// and emitting the terminal [`TraceEvent::QueryResolved`] (with the
+/// broadcast cost, or zeros for peer-resolved queries) whenever the
+/// outcome is resolved.
+pub fn sbnn_rec(
+    q: Point,
+    cfg: &SbnnConfig,
+    mvr: &MergedRegion,
+    air: Option<(&OnAirClient<'_>, u64)>,
+    rec: &mut dyn Recorder,
+) -> SbnnOutcome {
+    let outcome = sbnn_inner(q, cfg, mvr, air, rec);
+    if let SbnnOutcome::Resolved(res) = &outcome {
+        let cost = res.air.unwrap_or_default();
+        rec.record(TraceEvent::QueryResolved {
+            by: res.resolved_by.into(),
+            tuning: cost.tuning,
+            latency: cost.latency,
+        });
+    }
+    outcome
+}
+
+fn sbnn_inner(
+    q: Point,
+    cfg: &SbnnConfig,
+    mvr: &MergedRegion,
+    air: Option<(&OnAirClient<'_>, u64)>,
+    rec: &mut dyn Recorder,
+) -> SbnnOutcome {
     let (heap, verified_radius, pruned) = nnv_detailed(q, cfg.k, mvr, cfg.lambda, cfg.domain);
     let heap_state = heap.state();
 
@@ -265,9 +309,10 @@ pub fn sbnn(
     } else {
         (None, None)
     };
-    let result = client
-        .knn_filtered(tune_in, q, cfg.k, mvr.pois(), inner, outer)
-        .or_else(|| client.knn(tune_in, q, cfg.k));
+    let result = match client.knn_filtered_rec(tune_in, q, cfg.k, mvr.pois(), inner, outer, rec) {
+        Some(r) => Some(r),
+        None => client.knn_rec(tune_in, q, cfg.k, rec),
+    };
     let Some(res) = result else {
         // Fewer than k POIs exist in the whole dataset.
         return SbnnOutcome::Unresolved(heap);

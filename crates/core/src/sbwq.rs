@@ -1,8 +1,9 @@
 //! Sharing-based window queries (Algorithm 3, §3.4).
 
 use crate::MergedRegion;
-use airshare_broadcast::{AccessStats, OnAirClient, Poi};
+use airshare_broadcast::{OnAirClient, Poi};
 use airshare_geom::{Rect, RectUnion};
+use airshare_obs::{AccessStats, NoopRecorder, Recorder, TraceEvent};
 
 use crate::ResolvedBy;
 
@@ -79,6 +80,39 @@ pub fn sbwq(
     mvr: &MergedRegion,
     air: Option<(&OnAirClient<'_>, u64)>,
 ) -> SbwqOutcome {
+    sbwq_rec(w, cfg, mvr, air, &mut NoopRecorder)
+}
+
+/// [`sbwq`], tracing the channel fallback's protocol steps into `rec`
+/// and emitting the terminal [`TraceEvent::QueryResolved`] (with the
+/// broadcast cost, or zeros for peer-resolved queries) whenever the
+/// outcome is resolved.
+pub fn sbwq_rec(
+    w: &Rect,
+    cfg: &SbwqConfig,
+    mvr: &MergedRegion,
+    air: Option<(&OnAirClient<'_>, u64)>,
+    rec: &mut dyn Recorder,
+) -> SbwqOutcome {
+    let outcome = sbwq_inner(w, cfg, mvr, air, rec);
+    if let SbwqOutcome::Resolved(res) = &outcome {
+        let cost = res.air.unwrap_or_default();
+        rec.record(TraceEvent::QueryResolved {
+            by: res.resolved_by.into(),
+            tuning: cost.tuning,
+            latency: cost.latency,
+        });
+    }
+    outcome
+}
+
+fn sbwq_inner(
+    w: &Rect,
+    cfg: &SbwqConfig,
+    mvr: &MergedRegion,
+    air: Option<(&OnAirClient<'_>, u64)>,
+    rec: &mut dyn Recorder,
+) -> SbwqOutcome {
     let missing = mvr.region().rect_difference(w);
     let covered_area = (w.area() - missing.iter().map(Rect::area).sum::<f64>()).max(0.0);
     let coverage = if w.area() > 0.0 {
@@ -107,9 +141,9 @@ pub fn sbwq(
     };
 
     let (fetched, reduced_windows) = if cfg.use_window_reduction {
-        (client.window_reduced(tune_in, &missing), missing)
+        (client.window_reduced_rec(tune_in, &missing, rec), missing)
     } else {
-        (client.window(tune_in, w), vec![*w])
+        (client.window_rec(tune_in, w, rec), vec![*w])
     };
     let stats = fetched.stats;
 

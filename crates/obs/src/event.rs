@@ -1,0 +1,162 @@
+//! The typed trace-event taxonomy.
+
+/// How a query was ultimately resolved.
+///
+/// Mirrors the algorithm layer's `ResolvedBy` (the three series of the
+/// paper's Figures 10–12) but lives here so the substrate crates can
+/// speak about resolution without depending on the algorithm crate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ResolutionKind {
+    /// Answered entirely from peer data with verification (SBNN/SBWQ).
+    PeersVerified,
+    /// Answered from peers approximately (kNN only).
+    PeersApproximate,
+    /// Answered by listening to the broadcast channel.
+    Broadcast,
+}
+
+impl ResolutionKind {
+    /// Stable string form (used by the JSONL trace).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ResolutionKind::PeersVerified => "peers_verified",
+            ResolutionKind::PeersApproximate => "peers_approximate",
+            ResolutionKind::Broadcast => "broadcast",
+        }
+    }
+}
+
+/// Why a cache refused an offered entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CacheRejectReason {
+    /// The entry violated the containment invariant (malformed region or
+    /// POIs outside the claimed rectangle).
+    Inconsistent,
+    /// The cache has zero capacity for the entry's category.
+    NoCapacity,
+}
+
+impl CacheRejectReason {
+    /// Stable string form (used by the JSONL trace).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheRejectReason::Inconsistent => "inconsistent",
+            CacheRejectReason::NoCapacity => "no_capacity",
+        }
+    }
+}
+
+/// One observable step on a query's resolution path.
+///
+/// Events are emitted in real execution order within a query context
+/// (opened by [`crate::Recorder::begin_query`]); all payloads are plain
+/// integers so recording never allocates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// The client tuned in and started waiting for the next index
+    /// segment (the access protocol's initial probe).
+    ProbeStarted {
+        /// Absolute channel tick of the probe.
+        tick: u64,
+    },
+    /// The client read an index segment: `count` index buckets tuned.
+    IndexBucketTuned {
+        /// Index buckets in the segment (all are read in one pass).
+        count: u32,
+    },
+    /// A data bucket was downloaded successfully.
+    DataBucketTuned {
+        /// The bucket's id in the broadcast file.
+        bucket: u32,
+        /// Absolute tick at which the download completed.
+        tick: u64,
+    },
+    /// A bucket appearance arrived corrupt (CRC failure) and was not
+    /// usable; the client re-tunes on the next cycle if budget remains.
+    FrameLost {
+        /// The bucket's id in the broadcast file.
+        bucket: u32,
+        /// How many appearances of this bucket were already lost in this
+        /// retrieval (0 for the first loss).
+        retry: u32,
+    },
+    /// A share request reached a peer within radio range.
+    PeerContacted {
+        /// The peer's host id.
+        peer: u32,
+    },
+    /// A contacted peer's reply was lost in transit (fault layer).
+    PeerReplyDropped {
+        /// The peer's host id.
+        peer: u32,
+    },
+    /// A cache (a peer's, or the querying host's own) contributed
+    /// verified regions to the query's merged region.
+    CacheHit {
+        /// Regions contributed after validation.
+        regions: u32,
+    },
+    /// A cache refused an offered entry.
+    CacheRejected {
+        /// Why the entry was refused.
+        reason: CacheRejectReason,
+    },
+    /// The query resolved; terminal event of every query context.
+    QueryResolved {
+        /// Resolution path.
+        by: ResolutionKind,
+        /// Tuning time paid on the channel (ticks; 0 for peer answers).
+        tuning: u64,
+        /// Access latency paid on the channel (ticks; 0 for peer
+        /// answers).
+        latency: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's stable name (used by the JSONL trace and metric
+    /// labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::ProbeStarted { .. } => "probe_started",
+            TraceEvent::IndexBucketTuned { .. } => "index_bucket_tuned",
+            TraceEvent::DataBucketTuned { .. } => "data_bucket_tuned",
+            TraceEvent::FrameLost { .. } => "frame_lost",
+            TraceEvent::PeerContacted { .. } => "peer_contacted",
+            TraceEvent::PeerReplyDropped { .. } => "peer_reply_dropped",
+            TraceEvent::CacheHit { .. } => "cache_hit",
+            TraceEvent::CacheRejected { .. } => "cache_rejected",
+            TraceEvent::QueryResolved { .. } => "query_resolved",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable_and_distinct() {
+        let events = [
+            TraceEvent::ProbeStarted { tick: 0 },
+            TraceEvent::IndexBucketTuned { count: 1 },
+            TraceEvent::DataBucketTuned { bucket: 0, tick: 0 },
+            TraceEvent::FrameLost { bucket: 0, retry: 0 },
+            TraceEvent::PeerContacted { peer: 0 },
+            TraceEvent::PeerReplyDropped { peer: 0 },
+            TraceEvent::CacheHit { regions: 1 },
+            TraceEvent::CacheRejected {
+                reason: CacheRejectReason::Inconsistent,
+            },
+            TraceEvent::QueryResolved {
+                by: ResolutionKind::Broadcast,
+                tuning: 0,
+                latency: 0,
+            },
+        ];
+        let mut names: Vec<&str> = events.iter().map(TraceEvent::name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), events.len());
+    }
+}

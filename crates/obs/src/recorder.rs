@@ -1,0 +1,339 @@
+//! The `Recorder` sink trait and the concrete recorders.
+
+use crate::event::{ResolutionKind, TraceEvent};
+use crate::stats::{Counter, Histogram, PercentileSummary};
+use std::fmt::Write as _;
+
+/// A sink for trace events emitted along a query's resolution path.
+///
+/// Both methods default to empty `#[inline]` bodies, so threading a
+/// [`NoopRecorder`] through the hot paths compiles away entirely: a
+/// simulation run with an inert recorder is bit-identical to one
+/// without (tested end-to-end in the umbrella crate).
+///
+/// The trait is object-safe; the workspace passes `&mut dyn Recorder`.
+pub trait Recorder {
+    /// Opens a query context: subsequent [`Recorder::record`] calls
+    /// belong to query `id` until the next `begin_query`. `tick` is the
+    /// channel tick at which the query was issued.
+    #[inline]
+    fn begin_query(&mut self, id: u64, tick: u64) {
+        let _ = (id, tick);
+    }
+
+    /// Records one event in the current query context.
+    #[inline]
+    fn record(&mut self, event: TraceEvent) {
+        let _ = event;
+    }
+}
+
+/// The default recorder: records nothing, costs nothing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+/// Aggregated view of a [`MetricsRecorder`], as plain numbers.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Queries observed (one per `begin_query`).
+    pub queries_total: u64,
+    /// Queries resolved from verified peer data.
+    pub resolved_peers_verified: u64,
+    /// Queries resolved from peer data approximately.
+    pub resolved_peers_approximate: u64,
+    /// Queries resolved on the broadcast channel.
+    pub resolved_broadcast: u64,
+    /// Channel probes started.
+    pub probes_total: u64,
+    /// Index buckets tuned.
+    pub index_buckets_total: u64,
+    /// Data buckets downloaded.
+    pub data_buckets_total: u64,
+    /// Corrupt bucket appearances (includes the final appearance of an
+    /// abandoned bucket).
+    pub frames_lost_total: u64,
+    /// Peers contacted across all share exchanges.
+    pub peers_contacted_total: u64,
+    /// Peer replies lost in transit.
+    pub peer_replies_dropped: u64,
+    /// Cache contributions (hits) observed.
+    pub cache_hits_total: u64,
+    /// Cache admissions refused.
+    pub cache_rejected_total: u64,
+    /// Tuning-time percentiles across resolved queries (ticks).
+    pub tuning: PercentileSummary,
+    /// Access-latency percentiles across resolved queries (ticks).
+    pub latency: PercentileSummary,
+}
+
+/// Aggregates trace events into counters and log-scaled histograms.
+///
+/// Feed it to a run, then call [`MetricsRecorder::snapshot`] for the
+/// percentile view. Tuning and latency are recorded per query at its
+/// terminal [`TraceEvent::QueryResolved`] event (peer-resolved queries
+/// contribute zeros — they never touched the channel).
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRecorder {
+    queries: Counter,
+    peers_verified: Counter,
+    peers_approximate: Counter,
+    broadcast: Counter,
+    probes: Counter,
+    index_buckets: Counter,
+    data_buckets: Counter,
+    frames_lost: Counter,
+    peers_contacted: Counter,
+    replies_dropped: Counter,
+    cache_hits: Counter,
+    cache_rejected: Counter,
+    tuning: Histogram,
+    latency: Histogram,
+}
+
+impl MetricsRecorder {
+    /// A recorder with all metrics at zero.
+    pub fn new() -> MetricsRecorder {
+        MetricsRecorder::default()
+    }
+
+    /// The current aggregate view.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            queries_total: self.queries.get(),
+            resolved_peers_verified: self.peers_verified.get(),
+            resolved_peers_approximate: self.peers_approximate.get(),
+            resolved_broadcast: self.broadcast.get(),
+            probes_total: self.probes.get(),
+            index_buckets_total: self.index_buckets.get(),
+            data_buckets_total: self.data_buckets.get(),
+            frames_lost_total: self.frames_lost.get(),
+            peers_contacted_total: self.peers_contacted.get(),
+            peer_replies_dropped: self.replies_dropped.get(),
+            cache_hits_total: self.cache_hits.get(),
+            cache_rejected_total: self.cache_rejected.get(),
+            tuning: self.tuning.percentiles(),
+            latency: self.latency.percentiles(),
+        }
+    }
+}
+
+impl Recorder for MetricsRecorder {
+    fn begin_query(&mut self, _id: u64, _tick: u64) {
+        self.queries.incr();
+    }
+
+    fn record(&mut self, event: TraceEvent) {
+        match event {
+            TraceEvent::ProbeStarted { .. } => self.probes.incr(),
+            TraceEvent::IndexBucketTuned { count } => self.index_buckets.add(count as u64),
+            TraceEvent::DataBucketTuned { .. } => self.data_buckets.incr(),
+            TraceEvent::FrameLost { .. } => self.frames_lost.incr(),
+            TraceEvent::PeerContacted { .. } => self.peers_contacted.incr(),
+            TraceEvent::PeerReplyDropped { .. } => self.replies_dropped.incr(),
+            TraceEvent::CacheHit { .. } => self.cache_hits.incr(),
+            TraceEvent::CacheRejected { .. } => self.cache_rejected.incr(),
+            TraceEvent::QueryResolved {
+                by,
+                tuning,
+                latency,
+            } => {
+                match by {
+                    ResolutionKind::PeersVerified => self.peers_verified.incr(),
+                    ResolutionKind::PeersApproximate => self.peers_approximate.incr(),
+                    ResolutionKind::Broadcast => self.broadcast.incr(),
+                }
+                self.tuning.record(tuning);
+                self.latency.record(latency);
+            }
+        }
+    }
+}
+
+/// Writes a deterministic per-query event log: one JSON object per
+/// line, fields in fixed order, integers and fixed strings only — two
+/// same-seed runs produce byte-identical output.
+///
+/// The log accumulates in memory; drain it with
+/// [`JsonlTraceRecorder::into_string`] (or borrow via
+/// [`JsonlTraceRecorder::as_str`]).
+#[derive(Clone, Debug, Default)]
+pub struct JsonlTraceRecorder {
+    buf: String,
+    query: u64,
+}
+
+impl JsonlTraceRecorder {
+    /// An empty trace.
+    pub fn new() -> JsonlTraceRecorder {
+        JsonlTraceRecorder::default()
+    }
+
+    /// The log so far.
+    pub fn as_str(&self) -> &str {
+        &self.buf
+    }
+
+    /// Lines written so far.
+    pub fn lines(&self) -> usize {
+        self.buf.lines().count()
+    }
+
+    /// Consumes the recorder, returning the complete log.
+    pub fn into_string(self) -> String {
+        self.buf
+    }
+}
+
+impl Recorder for JsonlTraceRecorder {
+    fn begin_query(&mut self, id: u64, tick: u64) {
+        self.query = id;
+        let _ = writeln!(
+            self.buf,
+            "{{\"query\":{id},\"event\":\"begin_query\",\"tick\":{tick}}}"
+        );
+    }
+
+    fn record(&mut self, event: TraceEvent) {
+        let q = self.query;
+        let name = event.name();
+        let _ = match event {
+            TraceEvent::ProbeStarted { tick } => writeln!(
+                self.buf,
+                "{{\"query\":{q},\"event\":\"{name}\",\"tick\":{tick}}}"
+            ),
+            TraceEvent::IndexBucketTuned { count } => writeln!(
+                self.buf,
+                "{{\"query\":{q},\"event\":\"{name}\",\"count\":{count}}}"
+            ),
+            TraceEvent::DataBucketTuned { bucket, tick } => writeln!(
+                self.buf,
+                "{{\"query\":{q},\"event\":\"{name}\",\"bucket\":{bucket},\"tick\":{tick}}}"
+            ),
+            TraceEvent::FrameLost { bucket, retry } => writeln!(
+                self.buf,
+                "{{\"query\":{q},\"event\":\"{name}\",\"bucket\":{bucket},\"retry\":{retry}}}"
+            ),
+            TraceEvent::PeerContacted { peer } => writeln!(
+                self.buf,
+                "{{\"query\":{q},\"event\":\"{name}\",\"peer\":{peer}}}"
+            ),
+            TraceEvent::PeerReplyDropped { peer } => writeln!(
+                self.buf,
+                "{{\"query\":{q},\"event\":\"{name}\",\"peer\":{peer}}}"
+            ),
+            TraceEvent::CacheHit { regions } => writeln!(
+                self.buf,
+                "{{\"query\":{q},\"event\":\"{name}\",\"regions\":{regions}}}"
+            ),
+            TraceEvent::CacheRejected { reason } => writeln!(
+                self.buf,
+                "{{\"query\":{q},\"event\":\"{name}\",\"reason\":\"{}\"}}",
+                reason.as_str()
+            ),
+            TraceEvent::QueryResolved {
+                by,
+                tuning,
+                latency,
+            } => writeln!(
+                self.buf,
+                "{{\"query\":{q},\"event\":\"{name}\",\"by\":\"{}\",\"tuning\":{tuning},\"latency\":{latency}}}",
+                by.as_str()
+            ),
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::CacheRejectReason;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::ProbeStarted { tick: 120 },
+            TraceEvent::IndexBucketTuned { count: 3 },
+            TraceEvent::FrameLost {
+                bucket: 17,
+                retry: 0,
+            },
+            TraceEvent::DataBucketTuned {
+                bucket: 17,
+                tick: 140,
+            },
+            TraceEvent::PeerContacted { peer: 5 },
+            TraceEvent::PeerReplyDropped { peer: 5 },
+            TraceEvent::CacheHit { regions: 2 },
+            TraceEvent::CacheRejected {
+                reason: CacheRejectReason::NoCapacity,
+            },
+            TraceEvent::QueryResolved {
+                by: ResolutionKind::Broadcast,
+                tuning: 12,
+                latency: 88,
+            },
+        ]
+    }
+
+    #[test]
+    fn metrics_recorder_aggregates_all_events() {
+        let mut m = MetricsRecorder::new();
+        m.begin_query(0, 120);
+        for e in sample_events() {
+            m.record(e);
+        }
+        m.begin_query(1, 200);
+        m.record(TraceEvent::QueryResolved {
+            by: ResolutionKind::PeersVerified,
+            tuning: 0,
+            latency: 0,
+        });
+        let s = m.snapshot();
+        assert_eq!(s.queries_total, 2);
+        assert_eq!(s.resolved_broadcast, 1);
+        assert_eq!(s.resolved_peers_verified, 1);
+        assert_eq!(s.probes_total, 1);
+        assert_eq!(s.index_buckets_total, 3);
+        assert_eq!(s.data_buckets_total, 1);
+        assert_eq!(s.frames_lost_total, 1);
+        assert_eq!(s.peers_contacted_total, 1);
+        assert_eq!(s.peer_replies_dropped, 1);
+        assert_eq!(s.cache_hits_total, 1);
+        assert_eq!(s.cache_rejected_total, 1);
+        assert_eq!(s.tuning.count, 2);
+        assert_eq!(s.latency.max, 88);
+    }
+
+    #[test]
+    fn jsonl_lines_are_exact_and_repeatable() {
+        let render = || {
+            let mut t = JsonlTraceRecorder::new();
+            t.begin_query(7, 120);
+            for e in sample_events() {
+                t.record(e);
+            }
+            t.into_string()
+        };
+        let a = render();
+        assert_eq!(a, render());
+        assert_eq!(a.lines().count(), 10);
+        assert!(a.starts_with("{\"query\":7,\"event\":\"begin_query\",\"tick\":120}\n"));
+        assert!(a.contains(
+            "{\"query\":7,\"event\":\"query_resolved\",\"by\":\"broadcast\",\"tuning\":12,\"latency\":88}"
+        ));
+        for line in a.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn noop_recorder_is_inert() {
+        let mut n = NoopRecorder;
+        n.begin_query(0, 0);
+        for e in sample_events() {
+            n.record(e);
+        }
+        assert_eq!(n, NoopRecorder);
+    }
+}

@@ -23,6 +23,14 @@ mod protocol;
 
 pub use grid::NeighborGrid;
 pub use protocol::{
-    gather_peer_data, gather_peer_data_checked, gather_peer_data_multihop,
-    gather_peer_data_multihop_checked, sanitize_regions, PeerReply, ShareFaults, ShareStats,
+    gather_peer_data, gather_peer_data_checked, gather_peer_data_checked_rec,
+    gather_peer_data_multihop, gather_peer_data_multihop_checked,
+    gather_peer_data_multihop_checked_rec, sanitize_regions, PeerReply, ShareFaults,
 };
+
+/// Moved to the observability crate's unified stats surface.
+#[deprecated(
+    since = "0.1.0",
+    note = "moved to `airshare_obs::ShareStats` (re-exported from `airshare::prelude`)"
+)]
+pub use airshare_obs::ShareStats;

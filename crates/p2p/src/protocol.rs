@@ -4,6 +4,7 @@ use crate::NeighborGrid;
 use airshare_broadcast::{ChannelFaults, Poi, PoiCategory};
 use airshare_cache::HostCache;
 use airshare_geom::{Point, Rect};
+use airshare_obs::{NoopRecorder, Recorder, ShareStats, TraceEvent};
 
 /// One peer's reply to a share request: its verified regions with their
 /// POIs (`⟨p.VR, p.O⟩` in the paper's notation).
@@ -13,24 +14,6 @@ pub struct PeerReply {
     pub peer: usize,
     /// Verified regions and the POIs inside each.
     pub regions: Vec<(Rect, Vec<Poi>)>,
-}
-
-/// Traffic accounting for one share exchange.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct ShareStats {
-    /// Peers within range that were contacted.
-    pub peers_contacted: usize,
-    /// Peers that replied with at least one region.
-    pub peers_with_data: usize,
-    /// Total regions transferred.
-    pub regions_received: usize,
-    /// Total POIs transferred.
-    pub pois_received: usize,
-    /// Replies lost in transit (fault injection).
-    pub replies_dropped: usize,
-    /// Regions rejected by validation (malformed shape, disjoint from
-    /// the world, or POIs outside the claimed region).
-    pub regions_rejected: usize,
 }
 
 /// Fault knobs for one share exchange. With the default (no decision
@@ -96,13 +79,16 @@ pub fn sanitize_regions(
 }
 
 /// Collects validated replies from `peers`, applying drop decisions and
-/// accumulating traffic stats.
+/// accumulating traffic stats. Each contact, dropped reply, and
+/// data-bearing reply (as a `CacheHit` with the contributed region
+/// count) is traced into `rec`.
 fn collect_replies(
     peers: Vec<usize>,
     category: PoiCategory,
     caches: &[HostCache],
     world: Option<&Rect>,
     faults: ShareFaults<'_>,
+    rec: &mut dyn Recorder,
 ) -> (Vec<PeerReply>, ShareStats) {
     let mut stats = ShareStats {
         peers_contacted: peers.len(),
@@ -110,11 +96,13 @@ fn collect_replies(
     };
     let mut replies = Vec::new();
     for peer in peers {
+        rec.record(TraceEvent::PeerContacted { peer: peer as u32 });
         let regions = caches[peer].share_snapshot(category);
         if regions.is_empty() {
             continue;
         }
         if faults.drops_reply(peer) {
+            rec.record(TraceEvent::PeerReplyDropped { peer: peer as u32 });
             stats.replies_dropped += 1;
             continue;
         }
@@ -123,6 +111,9 @@ fn collect_replies(
         if regions.is_empty() {
             continue;
         }
+        rec.record(TraceEvent::CacheHit {
+            regions: regions.len() as u32,
+        });
         stats.peers_with_data += 1;
         stats.regions_received += regions.len();
         stats.pois_received += regions.iter().map(|(_, p)| p.len()).sum::<usize>();
@@ -173,8 +164,35 @@ pub fn gather_peer_data_checked(
     world: Option<&Rect>,
     faults: ShareFaults<'_>,
 ) -> (Vec<PeerReply>, ShareStats) {
+    gather_peer_data_checked_rec(
+        querier,
+        querier_pos,
+        range,
+        category,
+        grid,
+        caches,
+        world,
+        faults,
+        &mut NoopRecorder,
+    )
+}
+
+/// [`gather_peer_data_checked`], tracing peer contacts, dropped replies,
+/// and cache contributions into `rec`.
+#[allow(clippy::too_many_arguments)]
+pub fn gather_peer_data_checked_rec(
+    querier: usize,
+    querier_pos: Point,
+    range: f64,
+    category: PoiCategory,
+    grid: &NeighborGrid,
+    caches: &[HostCache],
+    world: Option<&Rect>,
+    faults: ShareFaults<'_>,
+    rec: &mut dyn Recorder,
+) -> (Vec<PeerReply>, ShareStats) {
     let peers = grid.neighbors_within(querier_pos, range, Some(querier));
-    collect_replies(peers, category, caches, world, faults)
+    collect_replies(peers, category, caches, world, faults, rec)
 }
 
 /// Multi-hop extension of [`gather_peer_data`]: peers relay the share
@@ -222,6 +240,35 @@ pub fn gather_peer_data_multihop_checked(
     world: Option<&Rect>,
     faults: ShareFaults<'_>,
 ) -> (Vec<PeerReply>, ShareStats) {
+    gather_peer_data_multihop_checked_rec(
+        querier,
+        querier_pos,
+        range,
+        hops,
+        category,
+        grid,
+        caches,
+        world,
+        faults,
+        &mut NoopRecorder,
+    )
+}
+
+/// [`gather_peer_data_multihop_checked`], tracing peer contacts, dropped
+/// replies, and cache contributions into `rec`.
+#[allow(clippy::too_many_arguments)]
+pub fn gather_peer_data_multihop_checked_rec(
+    querier: usize,
+    querier_pos: Point,
+    range: f64,
+    hops: usize,
+    category: PoiCategory,
+    grid: &NeighborGrid,
+    caches: &[HostCache],
+    world: Option<&Rect>,
+    faults: ShareFaults<'_>,
+    rec: &mut dyn Recorder,
+) -> (Vec<PeerReply>, ShareStats) {
     assert!(hops >= 1, "at least one hop");
     let mut visited = vec![false; caches.len()];
     if querier < visited.len() {
@@ -249,7 +296,7 @@ pub fn gather_peer_data_multihop_checked(
         frontier = next;
     }
 
-    collect_replies(reached, category, caches, world, faults)
+    collect_replies(reached, category, caches, world, faults, rec)
 }
 
 #[cfg(test)]
@@ -529,6 +576,50 @@ mod tests {
         assert!(replies.is_empty());
         assert_eq!(stats.regions_rejected, 1);
         assert_eq!(stats.peers_with_data, 0);
+    }
+
+    #[test]
+    fn traced_exchange_counts_match_share_stats() {
+        use airshare_obs::MetricsRecorder;
+        let positions: Vec<Point> = (0..9).map(|i| Point::new(i as f64 * 0.05, 0.0)).collect();
+        let mut caches: Vec<HostCache> = vec![HostCache::new(10, ReplacementPolicy::default())];
+        caches.extend(positions[1..].iter().map(|p| cache_with_region(*p)));
+        let grid = NeighborGrid::build(positions, 1.0);
+        let model = ChannelFaults::from_loss_prob(11, 0.0, 0);
+        let some = ShareFaults {
+            faults: Some(&model),
+            drop_prob: 0.5,
+            nonce: 42,
+        };
+        let mut rec = MetricsRecorder::new();
+        let (replies, stats) = gather_peer_data_checked_rec(
+            0,
+            Point::new(0.0, 0.0),
+            1.0,
+            CAT,
+            &grid,
+            &caches,
+            None,
+            some,
+            &mut rec,
+        );
+        let snap = rec.snapshot();
+        assert_eq!(snap.peers_contacted_total, stats.peers_contacted as u64);
+        assert_eq!(snap.peer_replies_dropped, stats.replies_dropped as u64);
+        assert_eq!(snap.cache_hits_total, stats.peers_with_data as u64);
+        // Tracing must not perturb the exchange.
+        let (r2, s2) = gather_peer_data_checked(
+            0,
+            Point::new(0.0, 0.0),
+            1.0,
+            CAT,
+            &grid,
+            &caches,
+            None,
+            some,
+        );
+        assert_eq!(stats, s2);
+        assert_eq!(replies.len(), r2.len());
     }
 
     #[test]

@@ -3,13 +3,14 @@
 use crate::{ConfigError, MobilityModel, QueryKind, SimConfig, SimReport};
 use airshare_broadcast::{wire, AirIndex, ChannelFaults, OnAirClient, Poi, PoiCategory, Schedule};
 use airshare_cache::{CacheContext, HostCache, RegionEntry};
-use airshare_core::{sbnn, sbwq, MergedRegion, ResolvedBy, SbnnConfig, SbwqConfig};
+use airshare_core::{sbnn_rec, sbwq_rec, MergedRegion, ResolvedBy, SbnnConfig, SbwqConfig};
 use airshare_geom::{meters_to_miles, Point, Rect};
 use airshare_hilbert::Grid;
 use airshare_mobility::{
     GridRoadWaypoint, Mobility, MobilityConfig, QueryScheduler, RandomWaypoint,
 };
-use airshare_p2p::{NeighborGrid, PeerReply, ShareFaults, ShareStats};
+use airshare_obs::{MetricsRecorder, NoopRecorder, Recorder, ShareStats, TraceEvent};
+use airshare_p2p::{NeighborGrid, PeerReply, ShareFaults};
 use airshare_rtree::RTree;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -65,13 +66,17 @@ impl Simulation {
     ///
     /// Panics on configurations [`SimConfig::check`] rejects; use
     /// [`Simulation::try_new`] for externally-sourced configs.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Simulation::try_new`, which surfaces a typed `ConfigError` instead of panicking"
+    )]
     pub fn new(cfg: SimConfig) -> Self {
         Self::try_new(cfg).unwrap_or_else(|e| panic!("invalid SimConfig: {e}"))
     }
 
-    /// Fallible constructor: validates the configuration first, so a bad
-    /// knob surfaces as a typed [`ConfigError`] instead of a panic deep
-    /// inside a substrate crate.
+    /// The canonical constructor: validates the configuration first, so a
+    /// bad knob surfaces as a typed [`ConfigError`] instead of a panic
+    /// deep inside a substrate crate.
     pub fn try_new(cfg: SimConfig) -> Result<Self, ConfigError> {
         cfg.check()?;
         let side = cfg.params.world_mi;
@@ -157,6 +162,27 @@ impl Simulation {
 
     /// Runs the simulation to completion and returns the report.
     pub fn run(&mut self) -> SimReport {
+        self.run_with(&mut NoopRecorder)
+    }
+
+    /// [`Simulation::run`] with a [`MetricsRecorder`] attached: the
+    /// returned report's `metrics` field carries the aggregated trace
+    /// view (per-event counters plus tuning/latency percentiles over
+    /// *every* query, peer-resolved ones included as zeros).
+    pub fn run_metrics(&mut self) -> SimReport {
+        let mut rec = MetricsRecorder::new();
+        let mut report = self.run_with(&mut rec);
+        report.metrics = Some(rec.snapshot());
+        report
+    }
+
+    /// [`Simulation::run`], tracing every query's resolution path into
+    /// `rec`. The recorder observes but never steers: a run with any
+    /// recorder produces the same [`SimReport`] as a plain [`run`] —
+    /// bit-identical, as the umbrella crate's golden test asserts.
+    ///
+    /// [`run`]: Simulation::run
+    pub fn run_with(&mut self, rec: &mut dyn Recorder) -> SimReport {
         let mut report = SimReport::default();
         let cfg = self.cfg.clone();
         let range = meters_to_miles(cfg.params.tx_range_m);
@@ -177,7 +203,7 @@ impl Simulation {
                 grid = self.rebuild_grid(next_epoch, cell);
                 next_epoch += cfg.epoch_min;
             }
-            self.process_query(ev.time, ev.host, &grid, range, slack, &mut report);
+            self.process_query(ev.time, ev.host, &grid, range, slack, &mut report, rec);
         }
         report
     }
@@ -196,6 +222,7 @@ impl Simulation {
         range: f64,
         slack: f64,
         report: &mut SimReport,
+        rec: &mut dyn Recorder,
     ) {
         let cfg = self.cfg.clone();
         let qpos = self.hosts[host].position_at(t);
@@ -203,6 +230,8 @@ impl Simulation {
         let measuring = t >= cfg.warmup_min;
         let nonce = self.query_counter;
         self.query_counter += 1;
+        let tune_in = (t * cfg.ticks_per_min as f64) as u64;
+        rec.begin_query(nonce, tune_in);
         let share_faults = ShareFaults {
             faults: self.faults.as_ref(),
             drop_prob: cfg.faults.peer_drop_prob,
@@ -220,7 +249,7 @@ impl Simulation {
         let mut share = ShareStats::default();
         let mut replies: Vec<PeerReply> = Vec::new();
         if cfg.p2p_hops > 1 {
-            let (r, s) = airshare_p2p::gather_peer_data_multihop_checked(
+            let (r, s) = airshare_p2p::gather_peer_data_multihop_checked_rec(
                 host,
                 qpos,
                 range,
@@ -230,6 +259,7 @@ impl Simulation {
                 &self.caches,
                 Some(&self.world),
                 share_faults,
+                rec,
             );
             replies = r;
             share = s;
@@ -240,12 +270,14 @@ impl Simulation {
                 if ppos.distance(qpos) > range {
                     continue;
                 }
+                rec.record(TraceEvent::PeerContacted { peer: peer as u32 });
                 share.peers_contacted += 1;
                 let regions = self.caches[peer].share_snapshot(CAT);
                 if regions.is_empty() {
                     continue;
                 }
                 if share_faults.drops_reply(peer) {
+                    rec.record(TraceEvent::PeerReplyDropped { peer: peer as u32 });
                     share.replies_dropped += 1;
                     continue;
                 }
@@ -255,6 +287,9 @@ impl Simulation {
                 if regions.is_empty() {
                     continue;
                 }
+                rec.record(TraceEvent::CacheHit {
+                    regions: regions.len() as u32,
+                });
                 share.peers_with_data += 1;
                 share.regions_received += regions.len();
                 share.pois_received += regions.iter().map(|(_, p)| p.len()).sum::<usize>();
@@ -266,11 +301,16 @@ impl Simulation {
             .flat_map(|r| r.regions.into_iter())
             .collect();
         if cfg.use_own_cache {
-            region_pairs.extend(self.caches[host].share_snapshot(CAT));
+            let own = self.caches[host].share_snapshot(CAT);
+            if !own.is_empty() {
+                rec.record(TraceEvent::CacheHit {
+                    regions: own.len() as u32,
+                });
+            }
+            region_pairs.extend(own);
         }
         let mvr = MergedRegion::from_regions(region_pairs);
 
-        let tune_in = (t * cfg.ticks_per_min as f64) as u64;
         // Window sampling needs &mut self (its RNG); do it before any
         // borrow of the channel state.
         let window = matches!(cfg.query_kind, QueryKind::Window)
@@ -296,7 +336,7 @@ impl Simulation {
                     vr_policy: cfg.vr_policy,
                     domain: cfg.clip_domain.then_some(self.world),
                 };
-                let res = sbnn(qpos, &sbnn_cfg, &mvr, Some((&client, tune_in)))
+                let res = sbnn_rec(qpos, &sbnn_cfg, &mvr, Some((&client, tune_in)), rec)
                     .resolved()
                     .expect("channel fallback always resolves");
                 let degraded = res.air.is_some_and(|a| a.is_degraded());
@@ -306,10 +346,11 @@ impl Simulation {
                 // poison every peer it is later shared with.
                 if !degraded {
                     if let Some((vr, pois)) = &res.adoptable {
-                        self.caches[host].insert(
+                        self.caches[host].insert_rec(
                             CAT,
                             RegionEntry::new(*vr, pois.iter().copied(), t),
                             &ctx,
+                            rec,
                         );
                     }
                 }
@@ -322,7 +363,7 @@ impl Simulation {
                 report.queries.total += 1;
                 report.record_share(&share);
                 if degraded {
-                    report.degraded_queries += 1;
+                    report.faults.queries_degraded += 1;
                 }
                 match res.resolved_by {
                     ResolvedBy::PeersVerified => report.queries.by_peers += 1,
@@ -354,7 +395,7 @@ impl Simulation {
                 let sbwq_cfg = SbwqConfig {
                     use_window_reduction: cfg.use_window_reduction,
                 };
-                let res = sbwq(&w, &sbwq_cfg, &mvr, Some((&client, tune_in)))
+                let res = sbwq_rec(&w, &sbwq_cfg, &mvr, Some((&client, tune_in)), rec)
                     .resolved()
                     .expect("channel fallback always resolves");
                 let degraded = res.air.is_some_and(|a| a.is_degraded());
@@ -363,10 +404,11 @@ impl Simulation {
                 // retrieval lost buckets, in which case the window may be
                 // missing POIs and must not become a verified region.
                 if !degraded {
-                    self.caches[host].insert(
+                    self.caches[host].insert_rec(
                         CAT,
                         RegionEntry::new(w, res.pois.iter().copied(), t),
                         &ctx,
+                        rec,
                     );
                 }
                 self.caches[host].touch(CAT, &w, t);
@@ -377,7 +419,7 @@ impl Simulation {
                 report.queries.total += 1;
                 report.record_share(&share);
                 if degraded {
-                    report.degraded_queries += 1;
+                    report.faults.queries_degraded += 1;
                 }
                 match res.resolved_by {
                     ResolvedBy::PeersVerified => report.queries.by_peers += 1,
@@ -486,7 +528,7 @@ mod tests {
 
     #[test]
     fn knn_simulation_answers_are_exact() {
-        let mut sim = Simulation::new(tiny_cfg(QueryKind::Knn));
+        let mut sim = Simulation::try_new(tiny_cfg(QueryKind::Knn)).unwrap();
         let report = sim.run();
         assert!(report.queries.total > 20, "too few queries measured");
         assert_eq!(report.exact_mismatches, 0, "exact answers were wrong");
@@ -503,7 +545,7 @@ mod tests {
 
     #[test]
     fn window_simulation_answers_are_exact() {
-        let mut sim = Simulation::new(tiny_cfg(QueryKind::Window));
+        let mut sim = Simulation::try_new(tiny_cfg(QueryKind::Window)).unwrap();
         let report = sim.run();
         assert!(report.queries.total > 20);
         assert_eq!(report.exact_mismatches, 0);
@@ -516,7 +558,7 @@ mod tests {
 
     #[test]
     fn sharing_reduces_latency_against_baseline() {
-        let mut sim = Simulation::new(tiny_cfg(QueryKind::Knn));
+        let mut sim = Simulation::try_new(tiny_cfg(QueryKind::Knn)).unwrap();
         let report = sim.run();
         // The paper's headline: overall latency with sharing is below
         // the all-broadcast baseline (peer-solved queries cost ~0).
@@ -530,8 +572,8 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let r1 = Simulation::new(tiny_cfg(QueryKind::Knn)).run();
-        let r2 = Simulation::new(tiny_cfg(QueryKind::Knn)).run();
+        let r1 = Simulation::try_new(tiny_cfg(QueryKind::Knn)).unwrap().run();
+        let r2 = Simulation::try_new(tiny_cfg(QueryKind::Knn)).unwrap().run();
         assert_eq!(r1.queries.total, r2.queries.total);
         assert_eq!(r1.queries.by_peers, r2.queries.by_peers);
         assert_eq!(r1.broadcast_latency.sum, r2.broadcast_latency.sum);
@@ -542,7 +584,7 @@ mod tests {
         let mut cfg = tiny_cfg(QueryKind::Knn);
         cfg.params.tx_range_m = 0.0;
         cfg.use_own_cache = false;
-        let report = Simulation::new(cfg).run();
+        let report = Simulation::try_new(cfg).unwrap().run();
         assert_eq!(report.queries.by_peers, 0);
         assert_eq!(report.queries.by_approx, 0);
         assert_eq!(report.queries.by_broadcast, report.queries.total);
@@ -555,7 +597,7 @@ mod tests {
             let mut cfg = tiny_cfg(QueryKind::Knn);
             cfg.p2p_hops = hops;
             cfg.measure_min = 8.0;
-            let r = Simulation::new(cfg).run();
+            let r = Simulation::try_new(cfg).unwrap().run();
             assert_eq!(r.exact_mismatches, 0, "multihop broke exactness");
             (r.mean_peers_contacted(), r.queries.pct_peers() + r.queries.pct_approx())
         };
@@ -587,20 +629,20 @@ mod tests {
         // Raising the retry budget (or any knob that keeps all rates at
         // zero) must not shift a single number: fault decisions are
         // hashed, not drawn from the simulation's RNG stream.
-        let base = Simulation::new(tiny_cfg(QueryKind::Knn)).run();
+        let base = Simulation::try_new(tiny_cfg(QueryKind::Knn)).unwrap().run();
         let mut cfg = tiny_cfg(QueryKind::Knn);
         cfg.faults.retry_budget = 99;
-        let with_inert = Simulation::new(cfg).run();
+        let with_inert = Simulation::try_new(cfg).unwrap().run();
         assert_eq!(base.queries.total, with_inert.queries.total);
         assert_eq!(base.queries.by_peers, with_inert.queries.by_peers);
         assert_eq!(base.queries.by_approx, with_inert.queries.by_approx);
         assert_eq!(base.broadcast_latency.sum, with_inert.broadcast_latency.sum);
         assert_eq!(base.broadcast_tuning.sum, with_inert.broadcast_tuning.sum);
         assert_eq!(base.share_pois, with_inert.share_pois);
-        assert_eq!(with_inert.channel_retries, 0);
-        assert_eq!(with_inert.lost_buckets, 0);
-        assert_eq!(with_inert.degraded_queries, 0);
-        assert_eq!(with_inert.replies_dropped, 0);
+        assert_eq!(with_inert.faults.retries_total, 0);
+        assert_eq!(with_inert.faults.buckets_lost_total, 0);
+        assert_eq!(with_inert.faults.queries_degraded, 0);
+        assert_eq!(with_inert.faults.replies_dropped, 0);
     }
 
     #[test]
@@ -609,10 +651,10 @@ mod tests {
         let mut cfg = tiny_cfg(QueryKind::Knn);
         cfg.faults.bucket_loss_prob = 0.15;
         cfg.faults.retry_budget = 50;
-        let recovered = Simulation::new(cfg).run();
-        assert!(recovered.channel_retries > 0, "15% loss produced no retries");
-        assert_eq!(recovered.lost_buckets, 0);
-        assert_eq!(recovered.degraded_queries, 0);
+        let recovered = Simulation::try_new(cfg).unwrap().run();
+        assert!(recovered.faults.retries_total > 0, "15% loss produced no retries");
+        assert_eq!(recovered.faults.buckets_lost_total, 0);
+        assert_eq!(recovered.faults.queries_degraded, 0);
         assert_eq!(recovered.exact_mismatches, 0);
 
         // No retries allowed: losses surface as degraded queries, never
@@ -620,9 +662,9 @@ mod tests {
         let mut cfg = tiny_cfg(QueryKind::Knn);
         cfg.faults.bucket_loss_prob = 0.3;
         cfg.faults.retry_budget = 0;
-        let degraded = Simulation::new(cfg).run();
-        assert!(degraded.lost_buckets > 0, "30% loss with no retries lost nothing");
-        assert!(degraded.degraded_queries > 0);
+        let degraded = Simulation::try_new(cfg).unwrap().run();
+        assert!(degraded.faults.buckets_lost_total > 0, "30% loss with no retries lost nothing");
+        assert!(degraded.faults.queries_degraded > 0);
         assert_eq!(degraded.exact_mismatches, 0);
     }
 
@@ -631,9 +673,9 @@ mod tests {
         let mut cfg = tiny_cfg(QueryKind::Window);
         cfg.faults.bucket_loss_prob = 0.15;
         cfg.faults.retry_budget = 50;
-        let report = Simulation::new(cfg).run();
-        assert!(report.channel_retries > 0);
-        assert_eq!(report.degraded_queries, 0);
+        let report = Simulation::try_new(cfg).unwrap().run();
+        assert!(report.faults.retries_total > 0);
+        assert_eq!(report.faults.queries_degraded, 0);
         assert_eq!(report.exact_mismatches, 0);
     }
 
@@ -642,8 +684,8 @@ mod tests {
         let mut cfg = tiny_cfg(QueryKind::Knn);
         cfg.faults.peer_drop_prob = 1.0;
         cfg.use_own_cache = false;
-        let report = Simulation::new(cfg).run();
-        assert!(report.replies_dropped > 0, "total drop produced no drops");
+        let report = Simulation::try_new(cfg).unwrap().run();
+        assert!(report.faults.replies_dropped > 0, "total drop produced no drops");
         // With every reply lost and no own cache, nothing resolves by
         // peers — but every answer is still exact via the channel.
         assert_eq!(report.queries.by_peers, 0);
@@ -660,14 +702,14 @@ mod tests {
             c.faults.retry_budget = 2;
             c
         };
-        let r1 = Simulation::new(cfg()).run();
-        let r2 = Simulation::new(cfg()).run();
+        let r1 = Simulation::try_new(cfg()).unwrap().run();
+        let r2 = Simulation::try_new(cfg()).unwrap().run();
         assert_eq!(r1.queries.total, r2.queries.total);
         assert_eq!(r1.broadcast_latency.sum, r2.broadcast_latency.sum);
-        assert_eq!(r1.channel_retries, r2.channel_retries);
-        assert_eq!(r1.lost_buckets, r2.lost_buckets);
-        assert_eq!(r1.degraded_queries, r2.degraded_queries);
-        assert_eq!(r1.replies_dropped, r2.replies_dropped);
+        assert_eq!(r1.faults.retries_total, r2.faults.retries_total);
+        assert_eq!(r1.faults.buckets_lost_total, r2.faults.buckets_lost_total);
+        assert_eq!(r1.faults.queries_degraded, r2.faults.queries_degraded);
+        assert_eq!(r1.faults.replies_dropped, r2.faults.replies_dropped);
     }
 
     #[test]
@@ -677,7 +719,7 @@ mod tests {
             cfg.validate = false;
             cfg.faults.bucket_loss_prob = loss;
             cfg.faults.retry_budget = 50;
-            Simulation::new(cfg).run().broadcast_latency.mean()
+            Simulation::try_new(cfg).unwrap().run().broadcast_latency.mean()
         };
         let (l0, l10, l20) = (run(0.0), run(0.10), run(0.20));
         assert!(l10 > l0, "10% loss should cost latency: {l10} !> {l0}");
@@ -691,7 +733,7 @@ mod tests {
             spacing_milli_mi: 250,
         };
         cfg.measure_min = 5.0;
-        let report = Simulation::new(cfg).run();
+        let report = Simulation::try_new(cfg).unwrap().run();
         assert!(report.queries.total > 0);
         assert_eq!(report.exact_mismatches, 0);
     }

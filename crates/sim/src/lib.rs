@@ -28,6 +28,7 @@ mod engine;
 pub mod params;
 mod report;
 
+pub use airshare_obs::{FaultStats, MetricsSnapshot};
 pub use config::{ConfigError, FaultConfig, MobilityModel, QueryKind, SimConfig};
 pub use engine::Simulation;
 pub use params::ParamSet;

@@ -1,39 +1,17 @@
 //! Simulation output: the series the paper's figures plot.
+//!
+//! The metric primitives and per-operation stats live in `airshare-obs`
+//! (the unified stats surface); this module aggregates them into the
+//! run-level [`SimReport`]. Latency-like quantities are tracked by the
+//! histogram-backed [`LatencySummary`], so every report exposes
+//! p50/p90/p95/p99 alongside the paper's means.
 
-use airshare_broadcast::AccessStats;
-use airshare_p2p::ShareStats;
+use airshare_obs::{AccessStats, FaultStats, MetricsSnapshot, ShareStats};
 
-/// Streaming summary of a latency-like quantity (ticks).
-#[derive(Clone, Copy, Debug, Default)]
-pub struct LatencySummary {
-    /// Number of samples.
-    pub count: u64,
-    /// Sum of samples.
-    pub sum: u64,
-    /// Largest sample.
-    pub max: u64,
-}
-
-impl LatencySummary {
-    /// Adds one sample.
-    pub fn record(&mut self, v: u64) {
-        self.count += 1;
-        self.sum += v;
-        self.max = self.max.max(v);
-    }
-
-    /// Arithmetic mean (0 when empty).
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.count as f64
-        }
-    }
-}
+pub use airshare_obs::LatencySummary;
 
 /// Query-resolution counters — one per workload type.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct QueryStats {
     /// Total measured queries.
     pub total: u64,
@@ -69,13 +47,14 @@ fn percent(n: u64, d: u64) -> f64 {
 }
 
 /// Everything one simulation run produced.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct SimReport {
     /// Resolution counters for the measured window.
     pub queries: QueryStats,
-    /// Access latency of broadcast-solved queries (ticks).
+    /// Access latency of broadcast-solved queries (ticks), with
+    /// percentiles.
     pub broadcast_latency: LatencySummary,
-    /// Tuning time of broadcast-solved queries (ticks).
+    /// Tuning time of broadcast-solved queries (ticks), with percentiles.
     pub broadcast_tuning: LatencySummary,
     /// Buckets downloaded per broadcast-solved query.
     pub broadcast_buckets: LatencySummary,
@@ -105,18 +84,13 @@ pub struct SimReport {
     pub partial_coverage_sum: f64,
     /// Count behind `partial_coverage_sum`.
     pub partial_coverage_count: u64,
-    /// Bucket re-fetches forced by corrupt appearances (fault layer).
-    pub channel_retries: u64,
-    /// Buckets abandoned after the retry budget ran out.
-    pub lost_buckets: u64,
-    /// Queries whose answer may be incomplete because a needed bucket was
-    /// never recovered. Such queries are excluded from exactness
-    /// validation and never feed the caches.
-    pub degraded_queries: u64,
-    /// Peer replies lost in transit (fault layer).
-    pub replies_dropped: u64,
-    /// Peer regions rejected by validation.
-    pub regions_rejected: u64,
+    /// Grouped fault counters (channel retries, lost buckets, degraded
+    /// queries, dropped replies, rejected regions).
+    pub faults: FaultStats,
+    /// Aggregated trace metrics, populated only by
+    /// [`crate::Simulation::run_metrics`]. `None` on plain runs, keeping
+    /// them comparable with pre-observability reports.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl SimReport {
@@ -125,8 +99,8 @@ impl SimReport {
         self.broadcast_latency.record(stats.latency);
         self.broadcast_tuning.record(stats.tuning);
         self.broadcast_buckets.record(stats.buckets);
-        self.channel_retries += stats.retries;
-        self.lost_buckets += stats.lost_buckets;
+        self.faults.retries_total += stats.retries;
+        self.faults.buckets_lost_total += stats.lost_buckets;
     }
 
     /// Accumulates one share exchange.
@@ -134,8 +108,8 @@ impl SimReport {
         self.share_peers_contacted += s.peers_contacted as u64;
         self.share_peers_with_data += s.peers_with_data as u64;
         self.share_pois += s.pois_received as u64;
-        self.replies_dropped += s.replies_dropped as u64;
-        self.regions_rejected += s.regions_rejected as u64;
+        self.faults.replies_dropped += s.replies_dropped as u64;
+        self.faults.regions_rejected += s.regions_rejected as u64;
     }
 
     /// Mean peers contacted per query.
@@ -166,6 +140,36 @@ impl SimReport {
             self.broadcast_latency.sum as f64 / self.queries.total as f64
         }
     }
+
+    /// Old name for [`FaultStats::retries_total`].
+    #[deprecated(since = "0.1.0", note = "use `report.faults.retries_total`")]
+    pub fn channel_retries(&self) -> u64 {
+        self.faults.retries_total
+    }
+
+    /// Old name for [`FaultStats::buckets_lost_total`].
+    #[deprecated(since = "0.1.0", note = "use `report.faults.buckets_lost_total`")]
+    pub fn lost_buckets(&self) -> u64 {
+        self.faults.buckets_lost_total
+    }
+
+    /// Old name for [`FaultStats::queries_degraded`].
+    #[deprecated(since = "0.1.0", note = "use `report.faults.queries_degraded`")]
+    pub fn degraded_queries(&self) -> u64 {
+        self.faults.queries_degraded
+    }
+
+    /// Old name for [`FaultStats::replies_dropped`].
+    #[deprecated(since = "0.1.0", note = "use `report.faults.replies_dropped`")]
+    pub fn replies_dropped(&self) -> u64 {
+        self.faults.replies_dropped
+    }
+
+    /// Old name for [`FaultStats::regions_rejected`].
+    #[deprecated(since = "0.1.0", note = "use `report.faults.regions_rejected`")]
+    pub fn regions_rejected(&self) -> u64 {
+        self.faults.regions_rejected
+    }
 }
 
 #[cfg(test)]
@@ -181,6 +185,8 @@ mod tests {
         assert_eq!(s.count, 2);
         assert_eq!(s.mean(), 20.0);
         assert_eq!(s.max, 30);
+        assert!(s.p50() >= 8 && s.p50() <= 10, "p50 = {}", s.p50());
+        assert!(s.p99() >= 24 && s.p99() <= 30, "p99 = {}", s.p99());
     }
 
     #[test]
@@ -211,5 +217,31 @@ mod tests {
         });
         assert_eq!(r.overall_mean_latency(), 25.0);
         assert_eq!(r.broadcast_latency.mean(), 100.0);
+    }
+
+    #[test]
+    fn fault_counters_group_under_faults() {
+        let mut r = SimReport::default();
+        r.record_air(AccessStats {
+            retries: 3,
+            lost_buckets: 1,
+            ..Default::default()
+        });
+        r.record_share(&ShareStats {
+            replies_dropped: 2,
+            regions_rejected: 4,
+            ..Default::default()
+        });
+        assert_eq!(r.faults.retries_total, 3);
+        assert_eq!(r.faults.buckets_lost_total, 1);
+        assert_eq!(r.faults.replies_dropped, 2);
+        assert_eq!(r.faults.regions_rejected, 4);
+        #[allow(deprecated)]
+        {
+            assert_eq!(r.channel_retries(), 3);
+            assert_eq!(r.lost_buckets(), 1);
+            assert_eq!(r.replies_dropped(), 2);
+            assert_eq!(r.regions_rejected(), 4);
+        }
     }
 }

@@ -19,7 +19,7 @@ fn micro(kind: QueryKind, seed: u64) -> SimConfig {
 fn resolution_counters_partition_totals() {
     for kind in [QueryKind::Knn, QueryKind::Window] {
         for seed in [1, 2, 3] {
-            let r = Simulation::new(micro(kind, seed)).run();
+            let r = Simulation::try_new(micro(kind, seed)).unwrap().run();
             assert_eq!(
                 r.queries.total,
                 r.queries.by_peers + r.queries.by_approx + r.queries.by_broadcast,
@@ -39,7 +39,7 @@ fn resolution_counters_partition_totals() {
 
 #[test]
 fn latency_identity_holds() {
-    let r = Simulation::new(micro(QueryKind::Knn, 7)).run();
+    let r = Simulation::try_new(micro(QueryKind::Knn, 7)).unwrap().run();
     // overall mean latency = (broadcast latency sum) / total.
     if r.queries.total > 0 {
         let expect = r.broadcast_latency.sum as f64 / r.queries.total as f64;
@@ -66,7 +66,7 @@ fn every_policy_and_mobility_combination_runs() {
             cfg.policy = policy;
             cfg.mobility = mobility;
             cfg.validate = true;
-            let r = Simulation::new(cfg).run();
+            let r = Simulation::try_new(cfg).unwrap().run();
             assert_eq!(r.exact_mismatches, 0, "{policy:?}/{mobility:?}");
         }
     }
@@ -78,7 +78,7 @@ fn clip_domain_only_raises_approximate_acceptance() {
         let mut cfg = micro(QueryKind::Knn, 9);
         cfg.warmup_min = 30.0;
         cfg.clip_domain = clip;
-        let r = Simulation::new(cfg).run();
+        let r = Simulation::try_new(cfg).unwrap().run();
         (r.queries.pct_approx(), r.queries.pct_peers())
     };
     let (approx_off, peers_off) = pcts(false);
@@ -98,7 +98,7 @@ fn zero_queries_yield_empty_report() {
     let mut cfg = micro(QueryKind::Knn, 5);
     cfg.warmup_min = 5.0;
     cfg.measure_min = 0.0;
-    let r = Simulation::new(cfg).run();
+    let r = Simulation::try_new(cfg).unwrap().run();
     assert_eq!(r.queries.total, 0);
     assert_eq!(r.overall_mean_latency(), 0.0);
     assert_eq!(r.mean_peers_contacted(), 0.0);
@@ -106,8 +106,8 @@ fn zero_queries_yield_empty_report() {
 
 #[test]
 fn seeds_change_outcomes_but_not_structure() {
-    let a = Simulation::new(micro(QueryKind::Knn, 100)).run();
-    let b = Simulation::new(micro(QueryKind::Knn, 200)).run();
+    let a = Simulation::try_new(micro(QueryKind::Knn, 100)).unwrap().run();
+    let b = Simulation::try_new(micro(QueryKind::Knn, 200)).unwrap().run();
     // Different seeds → different workloads (almost surely).
     assert_ne!(
         (a.queries.total, a.broadcast_latency.sum),

@@ -25,7 +25,7 @@ fn main() {
         params.query_rate,
         (params.world_mi * params.world_mi) as u32
     );
-    let report = Simulation::new(cfg).run();
+    let report = Simulation::try_new(cfg).expect("valid config").run();
     println!(
         "window queries: {:.1}% solved by SBWQ peers, {:.1}% needed the channel \
          (mean coverage of those: {:.0}%)\n",

@@ -60,7 +60,31 @@
 //! | [`cache`] | verified-region host caches + replacement policies |
 //! | [`p2p`] | neighbor discovery, share protocol |
 //! | [`core`] | **SBNN / SBWQ** — the paper's contribution |
+//! | [`obs`] | recorder trait, trace events, counters/histograms, stats |
 //! | [`sim`] | the full-system simulator behind §4 |
+//!
+//! ## Observability
+//!
+//! Every query-path API has a `_rec` twin threading a [`obs::Recorder`]
+//! through the protocol, and [`sim::Simulation::run_with`] accepts one
+//! for a whole run. The default [`obs::NoopRecorder`] is inert — plain
+//! calls behave exactly as before. To get percentiles without writing a
+//! recorder yourself:
+//!
+//! ```
+//! use airshare::prelude::*;
+//!
+//! let p = params::synthetic_suburbia().scaled(0.004);
+//! let mut cfg = SimConfig::paper_defaults(p, QueryKind::Knn, 42);
+//! cfg.warmup_min = 5.0;
+//! cfg.measure_min = 5.0;
+//! cfg.hilbert_order = 6;
+//! let report = Simulation::try_new(cfg).unwrap().run_metrics();
+//! let m = report.metrics.expect("run_metrics always fills this");
+//! // The trace sees warm-up queries too, so it can only count more.
+//! assert!(m.queries_total >= report.queries.total);
+//! println!("p95 tuning = {} ticks", m.tuning.p95);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -71,24 +95,28 @@ pub use airshare_core as core;
 pub use airshare_geom as geom;
 pub use airshare_hilbert as hilbert;
 pub use airshare_mobility as mobility;
+pub use airshare_obs as obs;
 pub use airshare_p2p as p2p;
 pub use airshare_rtree as rtree;
 pub use airshare_sim as sim;
 
 /// The items most programs need, re-exported flat.
 pub mod prelude {
-    pub use airshare_broadcast::{
-        AccessStats, AirIndex, OnAirClient, Poi, PoiCategory, Schedule,
-    };
+    pub use airshare_broadcast::{AirIndex, OnAirClient, Poi, PoiCategory, Schedule};
     pub use airshare_cache::{CacheContext, HostCache, RegionEntry, ReplacementPolicy};
     pub use airshare_core::{
-        nnv, sbnn, sbwq, HeapState, MergedRegion, NnCandidate, ResolvedBy, ResultHeap,
-        SbnnConfig, SbnnOutcome, SbnnResult, SbwqConfig, SbwqOutcome, SbwqResult,
+        nnv, sbnn, sbnn_rec, sbwq, sbwq_rec, HeapState, MergedRegion, NnCandidate, ResolvedBy,
+        ResultHeap, SbnnConfig, SbnnOutcome, SbnnResult, SbwqConfig, SbwqOutcome, SbwqResult,
     };
     pub use airshare_geom::{Point, Rect, RectUnion};
     pub use airshare_hilbert::{Grid, HilbertCurve};
     pub use airshare_mobility::{Mobility, MobilityConfig, QueryScheduler, RandomWaypoint};
-    pub use airshare_p2p::{gather_peer_data, NeighborGrid, PeerReply, ShareStats};
+    pub use airshare_obs::{
+        AccessStats, Counter, FaultStats, Histogram, JsonlTraceRecorder, LatencySummary,
+        MetricsRecorder, MetricsSnapshot, NoopRecorder, PercentileSummary, Recorder, ShareStats,
+        TraceEvent,
+    };
+    pub use airshare_p2p::{gather_peer_data, NeighborGrid, PeerReply};
     pub use airshare_rtree::RTree;
     pub use airshare_sim::{params, QueryKind, SimConfig, SimReport, Simulation};
 }

@@ -18,7 +18,7 @@ fn base(kind: QueryKind, seed: u64) -> SimConfig {
 }
 
 fn run(cfg: SimConfig) -> SimReport {
-    Simulation::new(cfg).run()
+    Simulation::try_new(cfg).expect("valid config").run()
 }
 
 #[test]
