@@ -1,0 +1,52 @@
+//! Parallel-runtime scaling: one fixed simulation at 1/2/4/8 threads.
+//!
+//! Every pool size must produce a report equal to the sequential
+//! `Simulation::run()` — this binary asserts it, so the scaling sweep
+//! doubles as an end-to-end determinism check. Wall-clock timings land
+//! in `BENCH_scaling.json` (speedups are only meaningful on multi-core
+//! machines; correctness is asserted everywhere).
+
+use airshare_exec::ExecPool;
+use airshare_sim::{params, QueryKind, Simulation};
+use std::time::Instant;
+
+fn main() {
+    let scale = airshare_bench::ExpScale::from_env();
+    let cfg = scale.config(params::synthetic_suburbia(), QueryKind::Knn, 42);
+
+    println!("\n## Parallel scaling — Synthetic Suburbia kNN, fixed seed 42");
+    println!("{:>10} {:>12} {:>9}", "threads", "wall(ms)", "speedup");
+
+    let t0 = Instant::now();
+    let reference = Simulation::try_new(cfg.clone())
+        .expect("experiment configs are valid by construction")
+        .run();
+    let seq_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!("{:>10} {:>12.1} {:>9.2}", "seq", seq_ms, 1.0);
+
+    let mut entries = vec![format!(
+        "  {{\"mode\": \"sequential\", \"threads\": 1, \"wall_ms\": {seq_ms:.3}, \"speedup\": 1.0}}"
+    )];
+    for threads in [1usize, 2, 4, 8] {
+        let pool = ExecPool::fixed(threads);
+        let t = Instant::now();
+        let report = Simulation::try_new(cfg.clone())
+            .expect("experiment configs are valid by construction")
+            .run_parallel(&pool);
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            report, reference,
+            "run_parallel with {threads} threads diverged from the sequential run"
+        );
+        let speedup = seq_ms / ms;
+        println!("{threads:>10} {ms:>12.1} {speedup:>9.2}");
+        entries.push(format!(
+            "  {{\"mode\": \"parallel\", \"threads\": {threads}, \"wall_ms\": {ms:.3}, \"speedup\": {speedup:.3}}}"
+        ));
+    }
+    println!("(all parallel reports verified equal to the sequential report)");
+
+    let json = format!("[\n{}\n]\n", entries.join(",\n"));
+    std::fs::write("BENCH_scaling.json", &json).expect("write BENCH_scaling.json");
+    println!("wrote BENCH_scaling.json");
+}

@@ -16,6 +16,7 @@
 
 use airshare_cache::ReplacementPolicy;
 use airshare_core::VrPolicy;
+use airshare_exec::{ExecPool, Parallelism};
 use airshare_sim::{params, MobilityModel, ParamSet, QueryKind, SimConfig, SimReport, Simulation};
 
 /// Sizing of every experiment run.
@@ -69,7 +70,9 @@ impl ExpScale {
         }
     }
 
-    fn config(&self, p: ParamSet, kind: QueryKind, seed: u64) -> SimConfig {
+    /// Builds the [`SimConfig`] for one parameter set at this scale
+    /// (area scaling plus per-workload warm-up and measure windows).
+    pub fn config(&self, p: ParamSet, kind: QueryKind, seed: u64) -> SimConfig {
         let scaled = if self.area < 1.0 { p.scaled(self.area) } else { p };
         let mut cfg = SimConfig::paper_defaults(scaled, kind, seed);
         match kind {
@@ -127,46 +130,23 @@ fn run(cfg: SimConfig) -> SimReport {
         .run()
 }
 
-/// Runs a batch of independent sweep points, optionally in parallel.
-///
-/// `AIRSHARE_THREADS=N` fans the points out over `N` OS threads
-/// (crossbeam scoped threads feeding a `parking_lot`-guarded result
-/// vector); the default is sequential, which is also the best choice on
-/// single-core machines. Results come back in input order either way, so
-/// output is deterministic regardless of the thread count.
-fn run_points(points: Vec<(&'static str, f64, SimConfig)>) -> Vec<Row> {
-    let threads: usize = std::env::var("AIRSHARE_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1);
-    if threads <= 1 {
-        return points
-            .into_iter()
-            .map(|(set, x, cfg)| row(set, x, &run(cfg)))
-            .collect();
+/// The worker pool sweeps fan out over: `AIRSHARE_THREADS=N` sizes it to
+/// `N` threads; unset defaults to sequential, the best choice both on
+/// single-core machines and for apples-to-apples timing. Each sweep
+/// point runs its simulation sequentially inside its task, so the pool
+/// is the only layer of parallelism.
+fn sweep_pool() -> ExecPool {
+    match Parallelism::from_env() {
+        Parallelism::Fixed(n) => ExecPool::fixed(n),
+        Parallelism::Auto => ExecPool::sequential(),
     }
-    let slots: parking_lot::Mutex<Vec<Option<Row>>> =
-        parking_lot::Mutex::new(vec![None; points.len()]);
-    let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
-    let points_ref = &points;
-    crossbeam::scope(|scope| {
-        for _ in 0..threads.min(points_ref.len()) {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some((set, x, cfg)) = points_ref.get(i) else {
-                    break;
-                };
-                let r = row(set, *x, &run(cfg.clone()));
-                slots.lock()[i] = Some(r);
-            });
-        }
-    })
-    .expect("sweep worker panicked");
-    slots
-        .into_inner()
-        .into_iter()
-        .map(|r| r.expect("every point computed"))
-        .collect()
+}
+
+/// Runs a batch of independent sweep points on the [`sweep_pool`].
+/// `ExecPool::map` returns results in input order, so output is
+/// deterministic regardless of the thread count.
+fn run_points(points: Vec<(&'static str, f64, SimConfig)>) -> Vec<Row> {
+    sweep_pool().map(points, |_, (set, x, cfg)| row(set, x, &run(cfg)))
 }
 
 fn row(set: &'static str, x: f64, r: &SimReport) -> Row {
@@ -396,15 +376,18 @@ pub fn latency(scale: &ExpScale) -> Vec<LatencyRow> {
         "{:<20} {:>12} {:>12} {:>9} {:>12} {:>12} {:>8} {:>8} {:>8}",
         "set", "shared lat", "on-air lat", "saved%", "tuning(bc)", "tuning(base)", "lat p95", "lat p99", "tun p95"
     );
-    for p in params::all() {
-        let cfg = scale.config(p, QueryKind::Knn, 42);
-        let r = run(cfg);
+    let points: Vec<(&'static str, SimConfig)> = params::all()
+        .into_iter()
+        .map(|p| (p.name, scale.config(p, QueryKind::Knn, 42)))
+        .collect();
+    let reports = sweep_pool().map(points, |_, (set, cfg)| (set, run(cfg)));
+    for (set, r) in reports {
         let shared = r.overall_mean_latency();
         let base = r.baseline_latency.mean();
         let saved = if base > 0.0 { 100.0 * (1.0 - shared / base) } else { 0.0 };
         println!(
             "{:<20} {:>12.1} {:>12.1} {:>9.1} {:>12.1} {:>12.1} {:>8} {:>8} {:>8}",
-            p.name,
+            set,
             shared,
             base,
             saved,
@@ -415,7 +398,7 @@ pub fn latency(scale: &ExpScale) -> Vec<LatencyRow> {
             r.broadcast_tuning.p95()
         );
         rows.push(LatencyRow {
-            set: p.name,
+            set,
             shared_latency: shared,
             baseline_latency: base,
             shared_tuning: r.broadcast_tuning.mean(),
@@ -640,13 +623,18 @@ pub fn faults(scale: &ExpScale) -> Vec<FaultRow> {
         "{:>6} {:>10} {:>9} {:>8} {:>6} {:>9} {:>9} {:>6}",
         "loss%", "latency", "tuning", "retries", "lost", "degraded", "dropped", "wrong"
     );
-    for loss in [0.0, 0.02, 0.05, 0.10, 0.15, 0.20] {
-        let mut cfg = scale.config(p, QueryKind::Knn, 99);
-        cfg.validate = true;
-        cfg.faults.bucket_loss_prob = loss;
-        cfg.faults.peer_drop_prob = loss / 2.0;
-        cfg.faults.retry_budget = 8;
-        let r = run(cfg);
+    let points: Vec<(f64, SimConfig)> = [0.0, 0.02, 0.05, 0.10, 0.15, 0.20]
+        .into_iter()
+        .map(|loss| {
+            let mut cfg = scale.config(p, QueryKind::Knn, 99);
+            cfg.validate = true;
+            cfg.faults.bucket_loss_prob = loss;
+            cfg.faults.peer_drop_prob = loss / 2.0;
+            cfg.faults.retry_budget = 8;
+            (loss, cfg)
+        })
+        .collect();
+    for (loss, r) in sweep_pool().map(points, |_, (loss, cfg)| (loss, run(cfg))) {
         let row = FaultRow {
             loss,
             mean_latency: r.overall_mean_latency(),

@@ -43,13 +43,6 @@ pub mod wire;
 
 pub use bucket::{Bucket, BucketId};
 pub use client::{OnAirClient, OnAirKnnResult, OnAirWindowResult};
-
-/// Moved to the observability crate's unified stats surface.
-#[deprecated(
-    since = "0.1.0",
-    note = "moved to `airshare_obs::AccessStats` (re-exported from `airshare::prelude`)"
-)]
-pub use airshare_obs::AccessStats;
 pub use fault::ChannelFaults;
 pub use index::{AirIndex, IndexError};
 pub use poi::{Poi, PoiCategory, PoiId};

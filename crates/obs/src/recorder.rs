@@ -66,6 +66,42 @@ pub struct MetricsSnapshot {
     pub tuning: PercentileSummary,
     /// Access-latency percentiles across resolved queries (ticks).
     pub latency: PercentileSummary,
+    /// The full tuning-time histogram behind [`MetricsSnapshot::tuning`].
+    /// Histogram bounds are fixed, so snapshots merge exactly.
+    pub tuning_hist: Histogram,
+    /// The full access-latency histogram behind
+    /// [`MetricsSnapshot::latency`].
+    pub latency_hist: Histogram,
+}
+
+impl MetricsSnapshot {
+    /// Folds another snapshot in: counters add, histograms merge, and
+    /// the percentile summaries are recomputed from the merged
+    /// histograms.
+    ///
+    /// Every ingredient is a commutative, associative exact sum, so
+    /// folding shard-local snapshots in any grouping yields the same
+    /// result as one recorder having observed every event — the property
+    /// the parallel runtime's per-worker recorders rely on (and that
+    /// `tests/parallel.rs` checks).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        self.queries_total += other.queries_total;
+        self.resolved_peers_verified += other.resolved_peers_verified;
+        self.resolved_peers_approximate += other.resolved_peers_approximate;
+        self.resolved_broadcast += other.resolved_broadcast;
+        self.probes_total += other.probes_total;
+        self.index_buckets_total += other.index_buckets_total;
+        self.data_buckets_total += other.data_buckets_total;
+        self.frames_lost_total += other.frames_lost_total;
+        self.peers_contacted_total += other.peers_contacted_total;
+        self.peer_replies_dropped += other.peer_replies_dropped;
+        self.cache_hits_total += other.cache_hits_total;
+        self.cache_rejected_total += other.cache_rejected_total;
+        self.tuning_hist.merge(&other.tuning_hist);
+        self.latency_hist.merge(&other.latency_hist);
+        self.tuning = self.tuning_hist.percentiles();
+        self.latency = self.latency_hist.percentiles();
+    }
 }
 
 /// Aggregates trace events into counters and log-scaled histograms.
@@ -115,7 +151,28 @@ impl MetricsRecorder {
             cache_rejected_total: self.cache_rejected.get(),
             tuning: self.tuning.percentiles(),
             latency: self.latency.percentiles(),
+            tuning_hist: self.tuning.clone(),
+            latency_hist: self.latency.clone(),
         }
+    }
+
+    /// Folds another recorder's observations in (exact; see
+    /// [`MetricsSnapshot::merge`]).
+    pub fn merge(&mut self, other: &MetricsRecorder) {
+        self.queries.merge(other.queries);
+        self.peers_verified.merge(other.peers_verified);
+        self.peers_approximate.merge(other.peers_approximate);
+        self.broadcast.merge(other.broadcast);
+        self.probes.merge(other.probes);
+        self.index_buckets.merge(other.index_buckets);
+        self.data_buckets.merge(other.data_buckets);
+        self.frames_lost.merge(other.frames_lost);
+        self.peers_contacted.merge(other.peers_contacted);
+        self.replies_dropped.merge(other.replies_dropped);
+        self.cache_hits.merge(other.cache_hits);
+        self.cache_rejected.merge(other.cache_rejected);
+        self.tuning.merge(&other.tuning);
+        self.latency.merge(&other.latency);
     }
 }
 
@@ -325,6 +382,43 @@ mod tests {
         for line in a.lines() {
             assert!(line.starts_with('{') && line.ends_with('}'));
         }
+    }
+
+    #[test]
+    fn snapshot_merge_matches_single_recorder() {
+        // Two shard recorders vs one recorder observing everything.
+        let mut a = MetricsRecorder::new();
+        let mut b = MetricsRecorder::new();
+        let mut whole = MetricsRecorder::new();
+        a.begin_query(0, 120);
+        whole.begin_query(0, 120);
+        for e in sample_events() {
+            a.record(e);
+            whole.record(e);
+        }
+        b.begin_query(1, 200);
+        whole.begin_query(1, 200);
+        let done = TraceEvent::QueryResolved {
+            by: ResolutionKind::PeersApproximate,
+            tuning: 5,
+            latency: 7,
+        };
+        b.record(done);
+        whole.record(done);
+
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, whole.snapshot());
+
+        // Recorder-level merge agrees with snapshot-level merge.
+        let mut rec = a.clone();
+        rec.merge(&b);
+        assert_eq!(rec.snapshot(), whole.snapshot());
+
+        // Merging an empty snapshot is the identity.
+        let before = merged.clone();
+        merged.merge(&MetricsRecorder::new().snapshot());
+        assert_eq!(merged, before);
     }
 
     #[test]

@@ -120,6 +120,13 @@ impl Counter {
     pub fn get(self) -> u64 {
         self.0
     }
+
+    /// Folds another counter in. Counter addition is commutative and
+    /// associative, so shard-local counters merge exactly in any order.
+    #[inline]
+    pub fn merge(&mut self, other: Counter) {
+        self.0 += other.0;
+    }
 }
 
 /// Number of sub-buckets per power-of-two octave (4 ⇒ 2 sub-bucket
@@ -363,6 +370,16 @@ impl LatencySummary {
     pub fn percentiles(&self) -> PercentileSummary {
         self.hist.percentiles()
     }
+
+    /// Folds another summary in; exact, like [`Histogram::merge`].
+    pub fn merge(&mut self, other: &LatencySummary) {
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.max > self.max {
+            self.max = other.max;
+        }
+        self.hist.merge(&other.hist);
+    }
 }
 
 #[cfg(test)]
@@ -375,6 +392,27 @@ mod tests {
         c.incr();
         c.add(4);
         assert_eq!(c.get(), 5);
+        let mut d = Counter::new();
+        d.add(7);
+        d.merge(c);
+        assert_eq!(d.get(), 12);
+    }
+
+    #[test]
+    fn latency_summary_merge_equals_combined_recording() {
+        let mut a = LatencySummary::new();
+        let mut b = LatencySummary::new();
+        let mut both = LatencySummary::new();
+        for v in [3u64, 99, 1_024, 0] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [17u64, 4_095] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
     }
 
     #[test]

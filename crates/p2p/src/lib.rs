@@ -12,8 +12,8 @@
 //!   within `r` of this point" in O(output) for `r ≤ cell size`; the
 //!   simulator rebuilds it as hosts move.
 //! * [`gather_peer_data`] — the request/reply exchange, with
-//!   [`ShareStats`] accounting (peers contacted, regions and POIs
-//!   transferred) so experiments can report P2P traffic.
+//!   [`airshare_obs::ShareStats`] accounting (peers contacted, regions
+//!   and POIs transferred) so experiments can report P2P traffic.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,10 +27,3 @@ pub use protocol::{
     gather_peer_data_multihop, gather_peer_data_multihop_checked,
     gather_peer_data_multihop_checked_rec, sanitize_regions, PeerReply, ShareFaults,
 };
-
-/// Moved to the observability crate's unified stats surface.
-#[deprecated(
-    since = "0.1.0",
-    note = "moved to `airshare_obs::ShareStats` (re-exported from `airshare::prelude`)"
-)]
-pub use airshare_obs::ShareStats;

@@ -32,6 +32,10 @@ pub enum ConfigError {
     /// `knn_k == 0` on a kNN workload: the channel fallback can never
     /// answer a 0-NN query.
     ZeroKnnK,
+    /// `epoch_min` is non-positive or non-finite: the epoch-sharded
+    /// engine needs a positive epoch length to group events. Carries the
+    /// offending value.
+    BadEpoch(f64),
     /// A probability knob is outside `[0, 1]` or non-finite. Carries the
     /// knob name and offending value.
     BadProbability(&'static str, f64),
@@ -57,6 +61,9 @@ impl fmt::Display for ConfigError {
                 write!(f, "{name} must be non-negative and finite")
             }
             ConfigError::ZeroKnnK => write!(f, "params.knn_k must be ≥ 1 for kNN workloads"),
+            ConfigError::BadEpoch(v) => {
+                write!(f, "epoch_min must be positive and finite, got {v}")
+            }
             ConfigError::BadProbability(name, v) => {
                 write!(f, "{name} must be a probability in [0, 1], got {v}")
             }
@@ -205,9 +212,11 @@ pub struct SimConfig {
     pub p2p_hops: usize,
     /// Mobility model.
     pub mobility: MobilityModel,
-    /// Neighbor-grid refresh interval in minutes (peers are filtered by
-    /// exact positions afterwards, so this only bounds the candidate
-    /// search slack, not correctness).
+    /// Epoch length in minutes: the neighbor grid is rebuilt and cache
+    /// writes become visible to peers at each epoch boundary. Within an
+    /// epoch every host observes the same committed snapshot, which is
+    /// what makes `Simulation::run_parallel` bit-identical to the
+    /// sequential run. Must be positive and finite.
     pub epoch_min: f64,
     /// Cross-check every resolved query against the R-tree oracle and
     /// count mismatches (slower; used by tests and the Lemma 3.2
@@ -302,6 +311,9 @@ impl SimConfig {
                 return Err(ConfigError::BadDuration(name));
             }
         }
+        if !(self.epoch_min.is_finite() && self.epoch_min > 0.0) {
+            return Err(ConfigError::BadEpoch(self.epoch_min));
+        }
         if self.query_kind == QueryKind::Knn && self.params.knn_k == 0 {
             return Err(ConfigError::ZeroKnnK);
         }
@@ -393,6 +405,14 @@ mod tests {
         let mut c = good();
         c.warmup_min = -1.0;
         assert_eq!(c.check(), Err(ConfigError::BadDuration("warmup_min")));
+
+        let mut c = good();
+        c.epoch_min = 0.0;
+        assert_eq!(c.check(), Err(ConfigError::BadEpoch(0.0)));
+
+        let mut c = good();
+        c.epoch_min = f64::NAN;
+        assert!(matches!(c.check(), Err(ConfigError::BadEpoch(_))));
 
         let mut c = good();
         c.params.knn_k = 0;

@@ -1,26 +1,47 @@
-//! The simulation event loop.
+//! The simulation event loop: epoch-sharded, deterministically parallel.
+//!
+//! Queries are grouped by *epoch* (the neighbor-grid refresh interval).
+//! Within one epoch every host observes the same committed world: peer
+//! positions from the epoch-start [`NeighborGrid`] and peer caches from
+//! the epoch-start snapshot. A host's own cache stays live to itself, and
+//! its writes commit at the epoch barrier in host-id order. Per-query
+//! randomness comes from RNG streams seed-split per `(host, epoch)`, and
+//! per-query outcomes are folded into the report in global event order —
+//! so [`Simulation::run_parallel`] is **bit-identical** to the sequential
+//! [`Simulation::run`] for every thread count.
 
 use crate::{ConfigError, MobilityModel, QueryKind, SimConfig, SimReport};
 use airshare_broadcast::{wire, AirIndex, ChannelFaults, OnAirClient, Poi, PoiCategory, Schedule};
 use airshare_cache::{CacheContext, HostCache, RegionEntry};
 use airshare_core::{sbnn_rec, sbwq_rec, MergedRegion, ResolvedBy, SbnnConfig, SbwqConfig};
+use airshare_exec::{split_seed, ExecPool};
 use airshare_geom::{meters_to_miles, Point, Rect};
 use airshare_hilbert::Grid;
 use airshare_mobility::{
     GridRoadWaypoint, Mobility, MobilityConfig, QueryScheduler, RandomWaypoint,
 };
-use airshare_obs::{MetricsRecorder, NoopRecorder, Recorder, ShareStats, TraceEvent};
-use airshare_p2p::{NeighborGrid, PeerReply, ShareFaults};
+use airshare_obs::{
+    AccessStats, MetricsRecorder, NoopRecorder, Recorder, ShareStats, TraceEvent,
+};
+use airshare_p2p::{NeighborGrid, ShareFaults};
 use airshare_rtree::RTree;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
 
 /// The single POI category the paper's experiments use (gas stations).
 const CAT: PoiCategory = PoiCategory::GAS_STATION;
 
+/// Salt separating the window-sampling seed domain from every other
+/// stream derived from the master seed.
+const WINDOW_SEED_SALT: u64 = 0x5EED_0001_CAFE_F00D;
+
 enum HostMobility {
     Waypoint(Box<RandomWaypoint>),
     Roads(Box<GridRoadWaypoint>),
+    /// Placeholder left behind while the host's state is moved into an
+    /// epoch task; restored at the barrier, never observed in between.
+    Vacant,
 }
 
 impl Mobility for HostMobility {
@@ -28,14 +49,86 @@ impl Mobility for HostMobility {
         match self {
             HostMobility::Waypoint(m) => m.position_at(t),
             HostMobility::Roads(m) => m.position_at(t),
+            HostMobility::Vacant => unreachable!("host state vacated into an epoch task"),
         }
     }
     fn velocity_at(&mut self, t: f64) -> (f64, f64) {
         match self {
             HostMobility::Waypoint(m) => m.velocity_at(t),
             HostMobility::Roads(m) => m.velocity_at(t),
+            HostMobility::Vacant => unreachable!("host state vacated into an epoch task"),
         }
     }
+}
+
+/// How one query was resolved, as the report counts it.
+enum Resolution {
+    Peers,
+    Approx,
+    Broadcast,
+}
+
+/// Everything one measured query contributes to the report. Buffered
+/// shard-locally and folded in global event order at the epoch barrier,
+/// so float and counter accumulation order is independent of scheduling.
+struct QueryOutcome {
+    share: ShareStats,
+    degraded: bool,
+    resolution: Resolution,
+    air: Option<AccessStats>,
+    /// On-air baseline `(latency, tuning)` for the same query.
+    baseline: Option<(u64, u64)>,
+    filter_saved: u64,
+    /// MVR coverage, for window queries that needed the channel.
+    window_coverage: Option<f64>,
+    /// Lemma 3.2 calibration sample, for validated approximate answers.
+    calibration: Option<(f64, bool)>,
+    mismatch: bool,
+}
+
+/// One host's slice of an epoch: its mutable state moved out of the
+/// simulation, plus its time-ordered events.
+struct HostTask {
+    host: usize,
+    mobility: HostMobility,
+    cache: HostCache,
+    rng: SmallRng,
+    /// `(global event index, query time)`, time-ordered.
+    events: Vec<(u64, f64)>,
+}
+
+struct HostDone {
+    host: usize,
+    mobility: HostMobility,
+    cache: HostCache,
+    outcomes: Vec<(u64, QueryOutcome)>,
+}
+
+/// The immutable world every worker shares within one epoch.
+struct EpochCtx<'a> {
+    cfg: &'a SimConfig,
+    world: &'a Rect,
+    index: &'a AirIndex,
+    schedule: &'a Schedule,
+    oracle: &'a RTree<u32>,
+    faults: Option<&'a ChannelFaults>,
+    grid: &'a NeighborGrid,
+    /// Previous epoch's committed caches — what peers see.
+    snapshot: &'a [HostCache],
+    range: f64,
+}
+
+/// Who executes the epoch's host tasks.
+enum Driver<'d> {
+    /// One thread, one recorder, tasks in host-id order.
+    Sequential(&'d mut dyn Recorder),
+    /// Pool workers with inert recorders.
+    Parallel { pool: &'d ExecPool },
+    /// Pool workers, each folding into its own shard-local recorder.
+    ParallelMetrics {
+        pool: &'d ExecPool,
+        recorders: &'d mut Vec<MetricsRecorder>,
+    },
 }
 
 /// One full system: base station, channel, fleet, caches.
@@ -48,33 +141,16 @@ pub struct Simulation {
     oracle: RTree<u32>,
     hosts: Vec<HostMobility>,
     caches: Vec<HostCache>,
-    mobility_cfg: MobilityConfig,
-    rng: SmallRng,
     /// Deterministic fault decision source; `None` when the fault config
     /// is inert, so the ideal-channel path pays nothing.
     faults: Option<ChannelFaults>,
-    /// Monotone query counter: the nonce that makes per-query fault
-    /// decisions (peer drops) unique yet reproducible.
-    query_counter: u64,
 }
 
 impl Simulation {
     /// Builds the world: POIs placed uniformly at random (the paper's
     /// own Poisson-field assumption), the Hilbert air index over them,
     /// the `(1, m)` schedule, the ground-truth R-tree, and the host
-    /// fleet with empty caches.
-    ///
-    /// Panics on configurations [`SimConfig::check`] rejects; use
-    /// [`Simulation::try_new`] for externally-sourced configs.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Simulation::try_new`, which surfaces a typed `ConfigError` instead of panicking"
-    )]
-    pub fn new(cfg: SimConfig) -> Self {
-        Self::try_new(cfg).unwrap_or_else(|e| panic!("invalid SimConfig: {e}"))
-    }
-
-    /// The canonical constructor: validates the configuration first, so a
+    /// fleet with empty caches. Validates the configuration first, so a
     /// bad knob surfaces as a typed [`ConfigError`] instead of a panic
     /// deep inside a substrate crate.
     pub fn try_new(cfg: SimConfig) -> Result<Self, ConfigError> {
@@ -126,8 +202,8 @@ impl Simulation {
             })
             .collect();
         // Fault decisions are hashed from their own seed (derived from
-        // the master seed), never drawn from `rng`: an inert fault config
-        // leaves every other random stream untouched.
+        // the master seed), never drawn from an RNG stream: an inert
+        // fault config leaves every other random stream untouched.
         let faults = (!cfg.faults.is_inert()).then(|| {
             cfg.faults.channel_faults(
                 cfg.seed ^ 0xFA17_5EED_0000_0001,
@@ -143,10 +219,7 @@ impl Simulation {
             oracle,
             hosts,
             caches,
-            mobility_cfg,
-            rng,
             faults,
-            query_counter: 0,
         })
     }
 
@@ -171,7 +244,7 @@ impl Simulation {
     /// *every* query, peer-resolved ones included as zeros).
     pub fn run_metrics(&mut self) -> SimReport {
         let mut rec = MetricsRecorder::new();
-        let mut report = self.run_with(&mut rec);
+        let mut report = self.run_engine(Driver::Sequential(&mut rec));
         report.metrics = Some(rec.snapshot());
         report
     }
@@ -181,127 +254,250 @@ impl Simulation {
     /// recorder produces the same [`SimReport`] as a plain [`run`] —
     /// bit-identical, as the umbrella crate's golden test asserts.
     ///
+    /// Events are traced in commit order (host-id order within each
+    /// epoch), which is also deterministic.
+    ///
     /// [`run`]: Simulation::run
     pub fn run_with(&mut self, rec: &mut dyn Recorder) -> SimReport {
-        let mut report = SimReport::default();
-        let cfg = self.cfg.clone();
-        let range = meters_to_miles(cfg.params.tx_range_m);
-        let slack = 2.0 * self.mobility_cfg.speed_max * cfg.epoch_min;
-        let total_min = cfg.total_min();
+        self.run_engine(Driver::Sequential(rec))
+    }
 
-        let mut scheduler =
-            QueryScheduler::new(cfg.params.query_rate, cfg.params.mh_number, cfg.seed ^ 0xA5);
-        let events = scheduler.events_until(total_min);
+    /// Runs the simulation with each epoch's host shards fanned out
+    /// across `pool`'s workers.
+    ///
+    /// The report is **bit-identical** to [`Simulation::run`] for every
+    /// thread count (including 1): within an epoch shards share no
+    /// mutable state, every RNG draw comes from a seed-split
+    /// per-`(host, epoch)` stream, and outcomes are committed in global
+    /// event order at the barrier. Scheduling affects only wall-clock
+    /// time. `tests/parallel.rs` asserts this end to end.
+    pub fn run_parallel(&mut self, pool: &ExecPool) -> SimReport {
+        self.run_engine(Driver::Parallel { pool })
+    }
 
-        // Initial neighbor grid at t = 0; cell = search radius.
-        let cell = (range + slack).max(1e-3);
-        let mut grid = self.rebuild_grid(0.0, cell);
-        let mut next_epoch = cfg.epoch_min;
-
-        for ev in events {
-            while ev.time >= next_epoch {
-                grid = self.rebuild_grid(next_epoch, cell);
-                next_epoch += cfg.epoch_min;
-            }
-            self.process_query(ev.time, ev.host, &grid, range, slack, &mut report, rec);
+    /// [`Simulation::run_parallel`] with per-worker [`MetricsRecorder`]s:
+    /// each worker records into its own shard, and the shards are merged
+    /// associatively into the report's `metrics` snapshot — equal to the
+    /// snapshot a sequential [`Simulation::run_metrics`] produces.
+    pub fn run_parallel_metrics(&mut self, pool: &ExecPool) -> SimReport {
+        let mut recorders: Vec<MetricsRecorder> =
+            (0..pool.threads()).map(|_| MetricsRecorder::new()).collect();
+        let mut report = self.run_engine(Driver::ParallelMetrics {
+            pool,
+            recorders: &mut recorders,
+        });
+        let mut merged = MetricsRecorder::new();
+        for rec in &recorders {
+            merged.merge(rec);
         }
+        report.metrics = Some(merged.snapshot());
         report
     }
 
-    fn rebuild_grid(&mut self, t: f64, cell: f64) -> NeighborGrid {
-        let positions: Vec<Point> = self.hosts.iter_mut().map(|h| h.position_at(t)).collect();
-        NeighborGrid::build(positions, cell)
+    /// The epoch loop shared by every public entry point.
+    ///
+    /// Per epoch: rebuild the neighbor grid at the epoch boundary,
+    /// snapshot the committed caches, move each active host's state into
+    /// its shard task, execute the shards (inline or on the pool), then
+    /// commit state back in host-id order and fold outcomes in global
+    /// event order.
+    fn run_engine(&mut self, mut driver: Driver<'_>) -> SimReport {
+        let cfg = self.cfg.clone();
+        let range = meters_to_miles(cfg.params.tx_range_m);
+        let cell = range.max(1e-3);
+        let epoch_len = cfg.epoch_min;
+
+        let mut scheduler =
+            QueryScheduler::new(cfg.params.query_rate, cfg.params.mh_number, cfg.seed ^ 0xA5);
+        let events = scheduler.events_until(cfg.total_min());
+
+        let mut report = SimReport::default();
+        let mut i = 0usize;
+        while i < events.len() {
+            let epoch = (events[i].time / epoch_len) as u64;
+            let mut j = i;
+            while j < events.len() && (events[j].time / epoch_len) as u64 == epoch {
+                j += 1;
+            }
+
+            // Grid positions at the epoch boundary; clamped to the first
+            // event so host clocks never run backwards on the boundary's
+            // floating-point edge.
+            let t_build = (epoch as f64 * epoch_len).min(events[i].time);
+            let positions: Vec<Point> =
+                self.hosts.iter_mut().map(|h| h.position_at(t_build)).collect();
+            let grid = NeighborGrid::build(positions, cell);
+
+            // The committed cache state peers observe this epoch. A
+            // host's *own* inserts stay visible to itself immediately;
+            // everyone else sees them from the next epoch on.
+            let snapshot: Vec<HostCache> = self.caches.clone();
+
+            // Shard by host: all of one host's events stay on one worker,
+            // in time order. BTreeMap gives host-id task order.
+            let mut by_host: BTreeMap<usize, Vec<(u64, f64)>> = BTreeMap::new();
+            for (k, ev) in events[i..j].iter().enumerate() {
+                by_host
+                    .entry(ev.host)
+                    .or_default()
+                    .push(((i + k) as u64, ev.time));
+            }
+            let tasks: Vec<HostTask> = by_host
+                .into_iter()
+                .map(|(host, evs)| HostTask {
+                    host,
+                    mobility: std::mem::replace(&mut self.hosts[host], HostMobility::Vacant),
+                    cache: std::mem::replace(
+                        &mut self.caches[host],
+                        HostCache::new(0, cfg.policy),
+                    ),
+                    rng: SmallRng::seed_from_u64(split_seed(
+                        cfg.seed ^ WINDOW_SEED_SALT,
+                        host as u64,
+                        epoch,
+                    )),
+                    events: evs,
+                })
+                .collect();
+
+            let ctx = EpochCtx {
+                cfg: &cfg,
+                world: &self.world,
+                index: &self.index,
+                schedule: &self.schedule,
+                oracle: &self.oracle,
+                faults: self.faults.as_ref(),
+                grid: &grid,
+                snapshot: &snapshot,
+                range,
+            };
+            let done: Vec<HostDone> = match &mut driver {
+                Driver::Sequential(rec) => {
+                    let mut v = Vec::with_capacity(tasks.len());
+                    for task in tasks {
+                        v.push(ctx.run_host(task, &mut **rec));
+                    }
+                    v
+                }
+                Driver::Parallel { pool } => {
+                    let mut inert = vec![NoopRecorder; pool.threads()];
+                    pool.map_with(&mut inert, tasks, |rec, _, task| ctx.run_host(task, rec))
+                }
+                Driver::ParallelMetrics { pool, recorders } => {
+                    pool.map_with(recorders, tasks, |rec, _, task| ctx.run_host(task, rec))
+                }
+            };
+
+            // Barrier: commit host state in host-id order (`map` returns
+            // results in task order), then fold outcomes in global event
+            // order so every accumulation is scheduling-independent.
+            let mut outcomes: Vec<(u64, QueryOutcome)> = Vec::new();
+            for d in done {
+                self.hosts[d.host] = d.mobility;
+                self.caches[d.host] = d.cache;
+                outcomes.extend(d.outcomes);
+            }
+            outcomes.sort_by_key(|&(idx, _)| idx);
+            for (_, o) in outcomes {
+                fold_outcome(&mut report, cfg.calibration_cap, o);
+            }
+            i = j;
+        }
+        report
+    }
+}
+
+impl EpochCtx<'_> {
+    /// Runs one host's epoch shard: its events in time order, against
+    /// the shared epoch snapshot, with all mutations host-local.
+    fn run_host(&self, task: HostTask, rec: &mut dyn Recorder) -> HostDone {
+        let HostTask {
+            host,
+            mut mobility,
+            mut cache,
+            mut rng,
+            events,
+        } = task;
+        let mut outcomes = Vec::new();
+        for (idx, t) in events {
+            if let Some(o) =
+                self.process_query(idx, t, host, &mut mobility, &mut cache, &mut rng, rec)
+            {
+                outcomes.push((idx, o));
+            }
+        }
+        HostDone {
+            host,
+            mobility,
+            cache,
+            outcomes,
+        }
     }
 
+    /// Resolves one query. Returns its contribution to the report, or
+    /// `None` during warm-up (cache effects still apply).
     #[allow(clippy::too_many_arguments)]
     fn process_query(
-        &mut self,
+        &self,
+        nonce: u64,
         t: f64,
         host: usize,
-        grid: &NeighborGrid,
-        range: f64,
-        slack: f64,
-        report: &mut SimReport,
+        mobility: &mut HostMobility,
+        cache: &mut HostCache,
+        rng: &mut SmallRng,
         rec: &mut dyn Recorder,
-    ) {
-        let cfg = self.cfg.clone();
-        let qpos = self.hosts[host].position_at(t);
-        let heading = self.hosts[host].heading_at(t);
+    ) -> Option<QueryOutcome> {
+        let cfg = self.cfg;
+        let qpos = mobility.position_at(t);
+        let heading = mobility.heading_at(t);
         let measuring = t >= cfg.warmup_min;
-        let nonce = self.query_counter;
-        self.query_counter += 1;
         let tune_in = (t * cfg.ticks_per_min as f64) as u64;
         rec.begin_query(nonce, tune_in);
         let share_faults = ShareFaults {
-            faults: self.faults.as_ref(),
+            faults: self.faults,
             drop_prob: cfg.faults.peer_drop_prob,
             nonce,
         };
 
-        // --- P2P gather: candidates from the (slightly stale) grid,
-        // confirmed against exact current positions. Multi-hop gathers
-        // (the extension) relay through grid positions directly: the
-        // ε-staleness of relays is immaterial to an ablation that asks
-        // "how much more knowledge do extra hops reach". Replies pass
-        // through drop decisions (fault layer) and region validation, so
-        // a flaky or inconsistent peer costs coverage, never correctness.
-        // ---
-        let mut share = ShareStats::default();
-        let mut replies: Vec<PeerReply> = Vec::new();
-        if cfg.p2p_hops > 1 {
-            let (r, s) = airshare_p2p::gather_peer_data_multihop_checked_rec(
+        // --- P2P gather against the epoch snapshot: peer positions from
+        // the epoch-start grid, peer caches from the epoch-start commit.
+        // The ε-staleness is bounded by the epoch length and is the price
+        // of a racefree shard; replies still pass through drop decisions
+        // (fault layer) and region validation, so a flaky or inconsistent
+        // peer costs coverage, never correctness. ---
+        let (replies, share) = if cfg.p2p_hops > 1 {
+            airshare_p2p::gather_peer_data_multihop_checked_rec(
                 host,
                 qpos,
-                range,
+                self.range,
                 cfg.p2p_hops,
                 CAT,
-                grid,
-                &self.caches,
-                Some(&self.world),
+                self.grid,
+                self.snapshot,
+                Some(self.world),
                 share_faults,
                 rec,
-            );
-            replies = r;
-            share = s;
+            )
         } else {
-            let candidates = grid.neighbors_within(qpos, range + slack, Some(host));
-            for peer in candidates {
-                let ppos = self.hosts[peer].position_at(t);
-                if ppos.distance(qpos) > range {
-                    continue;
-                }
-                rec.record(TraceEvent::PeerContacted { peer: peer as u32 });
-                share.peers_contacted += 1;
-                let regions = self.caches[peer].share_snapshot(CAT);
-                if regions.is_empty() {
-                    continue;
-                }
-                if share_faults.drops_reply(peer) {
-                    rec.record(TraceEvent::PeerReplyDropped { peer: peer as u32 });
-                    share.replies_dropped += 1;
-                    continue;
-                }
-                let (regions, rejected) =
-                    airshare_p2p::sanitize_regions(regions, Some(&self.world));
-                share.regions_rejected += rejected;
-                if regions.is_empty() {
-                    continue;
-                }
-                rec.record(TraceEvent::CacheHit {
-                    regions: regions.len() as u32,
-                });
-                share.peers_with_data += 1;
-                share.regions_received += regions.len();
-                share.pois_received += regions.iter().map(|(_, p)| p.len()).sum::<usize>();
-                replies.push(PeerReply { peer, regions });
-            }
-        }
+            airshare_p2p::gather_peer_data_checked_rec(
+                host,
+                qpos,
+                self.range,
+                CAT,
+                self.grid,
+                self.snapshot,
+                Some(self.world),
+                share_faults,
+                rec,
+            )
+        };
         let mut region_pairs: Vec<(Rect, Vec<Poi>)> = replies
             .into_iter()
             .flat_map(|r| r.regions.into_iter())
             .collect();
         if cfg.use_own_cache {
-            let own = self.caches[host].share_snapshot(CAT);
+            // Own reads are live — a host always trusts its freshest self.
+            let own = cache.share_snapshot(CAT);
             if !own.is_empty() {
                 rec.record(TraceEvent::CacheHit {
                     regions: own.len() as u32,
@@ -311,13 +507,11 @@ impl Simulation {
         }
         let mvr = MergedRegion::from_regions(region_pairs);
 
-        // Window sampling needs &mut self (its RNG); do it before any
-        // borrow of the channel state.
-        let window = matches!(cfg.query_kind, QueryKind::Window)
-            .then(|| self.sample_window(qpos));
-        let client = match &self.faults {
-            Some(f) => OnAirClient::with_faults(&self.index, &self.schedule, f),
-            None => OnAirClient::new(&self.index, &self.schedule),
+        let window =
+            matches!(cfg.query_kind, QueryKind::Window).then(|| self.sample_window(qpos, rng));
+        let client = match self.faults {
+            Some(f) => OnAirClient::with_faults(self.index, self.schedule, f),
+            None => OnAirClient::new(self.index, self.schedule),
         };
         let ctx = CacheContext {
             pos: qpos,
@@ -334,7 +528,7 @@ impl Simulation {
                     lambda: cfg.params.poi_density(),
                     use_bound_filtering: cfg.use_bound_filtering,
                     vr_policy: cfg.vr_policy,
-                    domain: cfg.clip_domain.then_some(self.world),
+                    domain: cfg.clip_domain.then_some(*self.world),
                 };
                 let res = sbnn_rec(qpos, &sbnn_cfg, &mvr, Some((&client, tune_in)), rec)
                     .resolved()
@@ -346,7 +540,7 @@ impl Simulation {
                 // poison every peer it is later shared with.
                 if !degraded {
                     if let Some((vr, pois)) = &res.adoptable {
-                        self.caches[host].insert_rec(
+                        cache.insert_rec(
                             CAT,
                             RegionEntry::new(*vr, pois.iter().copied(), t),
                             &ctx,
@@ -354,41 +548,58 @@ impl Simulation {
                         );
                     }
                 }
-                self.caches[host]
-                    .touch(CAT, &Rect::centered_square(qpos, range), t);
+                cache.touch(CAT, &Rect::centered_square(qpos, self.range), t);
 
                 if !measuring {
-                    return;
+                    return None;
                 }
-                report.queries.total += 1;
-                report.record_share(&share);
-                if degraded {
-                    report.faults.queries_degraded += 1;
-                }
-                match res.resolved_by {
-                    ResolvedBy::PeersVerified => report.queries.by_peers += 1,
-                    ResolvedBy::PeersApproximate => report.queries.by_approx += 1,
-                    ResolvedBy::Broadcast => report.queries.by_broadcast += 1,
-                }
-                if let Some(air) = res.air {
-                    report.record_air(air);
-                }
+                let mut out = QueryOutcome {
+                    share,
+                    degraded,
+                    resolution: match res.resolved_by {
+                        ResolvedBy::PeersVerified => Resolution::Peers,
+                        ResolvedBy::PeersApproximate => Resolution::Approx,
+                        ResolvedBy::Broadcast => Resolution::Broadcast,
+                    },
+                    air: res.air,
+                    baseline: None,
+                    filter_saved: 0,
+                    window_coverage: None,
+                    calibration: None,
+                    mismatch: false,
+                };
                 // What the pure on-air algorithm would have paid.
                 if let Some(base) = client.knn(tune_in, qpos, sbnn_cfg.k) {
-                    report.baseline_latency.record(base.stats.latency);
-                    report.baseline_tuning.record(base.stats.tuning);
+                    out.baseline = Some((base.stats.latency, base.stats.tuning));
                     if let Some(air) = res.air {
                         debug_assert!(
                             air.buckets <= base.stats.buckets,
                             "bound filtering fetched more than a cold query"
                         );
-                        report.filter_saved_buckets +=
-                            base.stats.buckets.saturating_sub(air.buckets);
+                        out.filter_saved = base.stats.buckets.saturating_sub(air.buckets);
                     }
                 }
                 if cfg.validate && !degraded {
-                    self.validate_knn(qpos, &res, report);
+                    let truth = self.oracle.knn(qpos, res.neighbors.len());
+                    let matches = res
+                        .neighbors
+                        .iter()
+                        .zip(&truth)
+                        .all(|(a, b)| (a.distance - b.distance).abs() < 1e-9);
+                    match res.resolved_by {
+                        ResolvedBy::PeersApproximate => {
+                            let min_c = res
+                                .neighbors
+                                .iter()
+                                .filter(|n| !n.verified)
+                                .filter_map(|n| n.correctness)
+                                .fold(1.0_f64, f64::min);
+                            out.calibration = Some((min_c, matches));
+                        }
+                        _ => out.mismatch = !matches,
+                    }
                 }
+                Some(out)
             }
             QueryKind::Window => {
                 let w = window.expect("sampled above for window workloads");
@@ -404,37 +615,34 @@ impl Simulation {
                 // retrieval lost buckets, in which case the window may be
                 // missing POIs and must not become a verified region.
                 if !degraded {
-                    self.caches[host].insert_rec(
+                    cache.insert_rec(
                         CAT,
                         RegionEntry::new(w, res.pois.iter().copied(), t),
                         &ctx,
                         rec,
                     );
                 }
-                self.caches[host].touch(CAT, &w, t);
+                cache.touch(CAT, &w, t);
 
                 if !measuring {
-                    return;
+                    return None;
                 }
-                report.queries.total += 1;
-                report.record_share(&share);
-                if degraded {
-                    report.faults.queries_degraded += 1;
-                }
-                match res.resolved_by {
-                    ResolvedBy::PeersVerified => report.queries.by_peers += 1,
-                    _ => {
-                        report.queries.by_broadcast += 1;
-                        report.partial_coverage_sum += res.coverage;
-                        report.partial_coverage_count += 1;
-                    }
-                }
-                if let Some(air) = res.air {
-                    report.record_air(air);
-                }
+                let (resolution, window_coverage) = match res.resolved_by {
+                    ResolvedBy::PeersVerified => (Resolution::Peers, None),
+                    _ => (Resolution::Broadcast, Some(res.coverage)),
+                };
                 let base = client.window(tune_in, &w);
-                report.baseline_latency.record(base.stats.latency);
-                report.baseline_tuning.record(base.stats.tuning);
+                let mut out = QueryOutcome {
+                    share,
+                    degraded,
+                    resolution,
+                    air: res.air,
+                    baseline: Some((base.stats.latency, base.stats.tuning)),
+                    filter_saved: 0,
+                    window_coverage,
+                    calibration: None,
+                    mismatch: false,
+                };
                 if cfg.validate && !degraded {
                     let mut got: Vec<u32> = res.pois.iter().map(|p| p.id).collect();
                     got.sort_unstable();
@@ -445,68 +653,71 @@ impl Simulation {
                         .map(|(_, &id)| id)
                         .collect();
                     want.sort_unstable();
-                    if got != want {
-                        report.exact_mismatches += 1;
-                    }
+                    out.mismatch = got != want;
                 }
-            }
-        }
-    }
-
-    fn validate_knn(
-        &mut self,
-        qpos: Point,
-        res: &airshare_core::SbnnResult,
-        report: &mut SimReport,
-    ) {
-        let truth = self.oracle.knn(qpos, res.neighbors.len());
-        let matches = res
-            .neighbors
-            .iter()
-            .zip(&truth)
-            .all(|(a, b)| (a.distance - b.distance).abs() < 1e-9);
-        match res.resolved_by {
-            ResolvedBy::PeersApproximate => {
-                if report.calibration.len() < self.cfg.calibration_cap {
-                    let min_c = res
-                        .neighbors
-                        .iter()
-                        .filter(|n| !n.verified)
-                        .filter_map(|n| n.correctness)
-                        .fold(1.0_f64, f64::min);
-                    report.calibration.push((min_c, matches));
-                }
-            }
-            _ => {
-                if !matches {
-                    report.exact_mismatches += 1;
-                }
+                Some(out)
             }
         }
     }
 
     /// Samples a query window per Table 4: mean area = `window_pct` % of
     /// the search space; centre at a normally-distributed distance from
-    /// the host in a uniform direction, clamped into the world.
-    fn sample_window(&mut self, qpos: Point) -> Rect {
+    /// the host in a uniform direction, clamped into the world. Draws
+    /// come from the caller's `(host, epoch)` stream.
+    fn sample_window(&self, qpos: Point, rng: &mut SmallRng) -> Rect {
         let p = &self.cfg.params;
         let side = (p.window_pct / 100.0).sqrt() * p.world_mi;
-        let dist = (self.sample_normal(p.distance_mi, p.distance_mi / 3.0)).abs();
-        let theta = self.rng.gen_range(0.0..std::f64::consts::TAU);
+        let dist = sample_normal(rng, p.distance_mi, p.distance_mi / 3.0).abs();
+        let theta = rng.gen_range(0.0..std::f64::consts::TAU);
         let center = self.world.clamp_point(Point::new(
             qpos.x + dist * theta.cos(),
             qpos.y + dist * theta.sin(),
         ));
         let half = side / 2.0;
         let w = Rect::centered_square(center, half);
-        w.intersection(&self.world).unwrap_or(w)
+        w.intersection(self.world).unwrap_or(w)
     }
+}
 
-    fn sample_normal(&mut self, mean: f64, sd: f64) -> f64 {
-        // Box–Muller.
-        let u1: f64 = 1.0 - self.rng.gen::<f64>();
-        let u2: f64 = self.rng.gen();
-        mean + sd * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+fn sample_normal(rng: &mut SmallRng, mean: f64, sd: f64) -> f64 {
+    // Box–Muller.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    mean + sd * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Folds one measured query into the report. Called in global event
+/// order regardless of thread count.
+fn fold_outcome(report: &mut SimReport, calibration_cap: usize, o: QueryOutcome) {
+    report.queries.total += 1;
+    report.record_share(&o.share);
+    if o.degraded {
+        report.faults.queries_degraded += 1;
+    }
+    match o.resolution {
+        Resolution::Peers => report.queries.by_peers += 1,
+        Resolution::Approx => report.queries.by_approx += 1,
+        Resolution::Broadcast => report.queries.by_broadcast += 1,
+    }
+    if let Some(air) = o.air {
+        report.record_air(air);
+    }
+    if let Some((latency, tuning)) = o.baseline {
+        report.baseline_latency.record(latency);
+        report.baseline_tuning.record(tuning);
+    }
+    report.filter_saved_buckets += o.filter_saved;
+    if let Some(cov) = o.window_coverage {
+        report.partial_coverage_sum += cov;
+        report.partial_coverage_count += 1;
+    }
+    if o.mismatch {
+        report.exact_mismatches += 1;
+    }
+    if let Some(sample) = o.calibration {
+        if report.calibration.len() < calibration_cap {
+            report.calibration.push(sample);
+        }
     }
 }
 
@@ -580,6 +791,28 @@ mod tests {
     }
 
     #[test]
+    fn run_parallel_is_bit_identical_to_run() {
+        let sequential = Simulation::try_new(tiny_cfg(QueryKind::Knn)).unwrap().run();
+        for threads in [1, 2, 4] {
+            let parallel = Simulation::try_new(tiny_cfg(QueryKind::Knn))
+                .unwrap()
+                .run_parallel(&ExecPool::fixed(threads));
+            assert_eq!(parallel, sequential, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn run_parallel_window_matches_run() {
+        let sequential = Simulation::try_new(tiny_cfg(QueryKind::Window))
+            .unwrap()
+            .run();
+        let parallel = Simulation::try_new(tiny_cfg(QueryKind::Window))
+            .unwrap()
+            .run_parallel(&ExecPool::fixed(3));
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
     fn zero_range_disables_sharing() {
         let mut cfg = tiny_cfg(QueryKind::Knn);
         cfg.params.tx_range_m = 0.0;
@@ -628,7 +861,7 @@ mod tests {
     fn inert_fault_config_is_bit_identical() {
         // Raising the retry budget (or any knob that keeps all rates at
         // zero) must not shift a single number: fault decisions are
-        // hashed, not drawn from the simulation's RNG stream.
+        // hashed, not drawn from the simulation's RNG streams.
         let base = Simulation::try_new(tiny_cfg(QueryKind::Knn)).unwrap().run();
         let mut cfg = tiny_cfg(QueryKind::Knn);
         cfg.faults.retry_budget = 99;

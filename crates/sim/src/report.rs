@@ -141,35 +141,6 @@ impl SimReport {
         }
     }
 
-    /// Old name for [`FaultStats::retries_total`].
-    #[deprecated(since = "0.1.0", note = "use `report.faults.retries_total`")]
-    pub fn channel_retries(&self) -> u64 {
-        self.faults.retries_total
-    }
-
-    /// Old name for [`FaultStats::buckets_lost_total`].
-    #[deprecated(since = "0.1.0", note = "use `report.faults.buckets_lost_total`")]
-    pub fn lost_buckets(&self) -> u64 {
-        self.faults.buckets_lost_total
-    }
-
-    /// Old name for [`FaultStats::queries_degraded`].
-    #[deprecated(since = "0.1.0", note = "use `report.faults.queries_degraded`")]
-    pub fn degraded_queries(&self) -> u64 {
-        self.faults.queries_degraded
-    }
-
-    /// Old name for [`FaultStats::replies_dropped`].
-    #[deprecated(since = "0.1.0", note = "use `report.faults.replies_dropped`")]
-    pub fn replies_dropped(&self) -> u64 {
-        self.faults.replies_dropped
-    }
-
-    /// Old name for [`FaultStats::regions_rejected`].
-    #[deprecated(since = "0.1.0", note = "use `report.faults.regions_rejected`")]
-    pub fn regions_rejected(&self) -> u64 {
-        self.faults.regions_rejected
-    }
 }
 
 #[cfg(test)]
@@ -236,12 +207,5 @@ mod tests {
         assert_eq!(r.faults.buckets_lost_total, 1);
         assert_eq!(r.faults.replies_dropped, 2);
         assert_eq!(r.faults.regions_rejected, 4);
-        #[allow(deprecated)]
-        {
-            assert_eq!(r.channel_retries(), 3);
-            assert_eq!(r.lost_buckets(), 1);
-            assert_eq!(r.replies_dropped(), 2);
-            assert_eq!(r.regions_rejected(), 4);
-        }
     }
 }

@@ -61,7 +61,30 @@
 //! | [`p2p`] | neighbor discovery, share protocol |
 //! | [`core`] | **SBNN / SBWQ** — the paper's contribution |
 //! | [`obs`] | recorder trait, trace events, counters/histograms, stats |
+//! | [`exec`] | deterministic worker pool, work stealing, seed splitting |
 //! | [`sim`] | the full-system simulator behind §4 |
+//!
+//! ## Parallelism
+//!
+//! [`sim::Simulation::run_parallel`] shards each epoch's hosts across an
+//! [`exec::ExecPool`] and produces a report **bit-identical** to the
+//! sequential [`sim::Simulation::run`] for any thread count: within an
+//! epoch peers observe the previous epoch's committed caches, every RNG
+//! draw comes from a per-`(host, epoch)` stream, and outcomes commit in
+//! global event order at the epoch barrier.
+//!
+//! ```
+//! use airshare::prelude::*;
+//!
+//! let p = params::synthetic_suburbia().scaled(0.004);
+//! let mut cfg = SimConfig::paper_defaults(p, QueryKind::Knn, 42);
+//! cfg.warmup_min = 5.0;
+//! cfg.measure_min = 5.0;
+//! cfg.hilbert_order = 6;
+//! let sequential = Simulation::try_new(cfg.clone()).unwrap().run();
+//! let parallel = Simulation::try_new(cfg).unwrap().run_parallel(&ExecPool::fixed(4));
+//! assert_eq!(parallel, sequential);
+//! ```
 //!
 //! ## Observability
 //!
@@ -92,6 +115,7 @@
 pub use airshare_broadcast as broadcast;
 pub use airshare_cache as cache;
 pub use airshare_core as core;
+pub use airshare_exec as exec;
 pub use airshare_geom as geom;
 pub use airshare_hilbert as hilbert;
 pub use airshare_mobility as mobility;
@@ -108,6 +132,7 @@ pub mod prelude {
         nnv, sbnn, sbnn_rec, sbwq, sbwq_rec, HeapState, MergedRegion, NnCandidate, ResolvedBy,
         ResultHeap, SbnnConfig, SbnnOutcome, SbnnResult, SbwqConfig, SbwqOutcome, SbwqResult,
     };
+    pub use airshare_exec::{ExecPool, Parallelism};
     pub use airshare_geom::{Point, Rect, RectUnion};
     pub use airshare_hilbert::{Grid, HilbertCurve};
     pub use airshare_mobility::{Mobility, MobilityConfig, QueryScheduler, RandomWaypoint};
