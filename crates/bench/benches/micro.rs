@@ -50,6 +50,54 @@ fn bench_hilbert(c: &mut Criterion) {
             },
         );
     }
+    // The table-driven codec against the retained bitwise reference, at
+    // the orders the simulation actually runs (6–8) and above.
+    for order in [8u32, 10, 12] {
+        let c = HilbertCurve::new(order);
+        g.bench_with_input(BenchmarkId::new("encode", order), &order, |b, _| {
+            let mut i = 0u32;
+            b.iter(|| {
+                i = i.wrapping_add(2654435761);
+                black_box(c.encode(i % c.side(), (i >> 8) % c.side()))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("encode_reference", order), &order, |b, _| {
+            let mut i = 0u32;
+            b.iter(|| {
+                i = i.wrapping_add(2654435761);
+                black_box(c.encode_reference(i % c.side(), (i >> 8) % c.side()))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("decode", order), &order, |b, _| {
+            let mut d = 0u64;
+            b.iter(|| {
+                d = d.wrapping_add(0x9E3779B97F4A7C15) % c.cell_count();
+                black_box(c.decode(d))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("decode_reference", order), &order, |b, _| {
+            let mut d = 0u64;
+            b.iter(|| {
+                d = d.wrapping_add(0x9E3779B97F4A7C15) % c.cell_count();
+                black_box(c.decode_reference(d))
+            })
+        });
+        // Allocation-free decomposition into a reused buffer: a window
+        // covering ~1/16 of the grid side at each order.
+        g.bench_with_input(
+            BenchmarkId::new("intervals_for_rect_into", order),
+            &order,
+            |b, _| {
+                let span = (c.side() / 16).max(2) - 1;
+                let rect = CellRect::new(1, 2, 1 + span, 2 + span);
+                let mut out = Vec::new();
+                b.iter(|| {
+                    c.intervals_for_rect_into(&rect, &mut out);
+                    black_box(out.len())
+                })
+            },
+        );
+    }
     g.finish();
 }
 

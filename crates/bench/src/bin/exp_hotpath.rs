@@ -1,0 +1,257 @@
+//! Hot-path before/after benchmark: the evidence behind the table-driven
+//! Hilbert codec, the allocation-free decomposition/bucket-mapping path,
+//! and the end-to-end effect on simulation throughput.
+//!
+//! The "before" side of the micro benchmarks is measured **in this
+//! binary** against the retained reference implementations
+//! (`encode_reference`, `decode_reference`, `intervals_for_rect_reference`
+//! — the pre-optimization bitwise/recursive code, kept as correctness
+//! oracles), so codec and decomposition speedups are genuine same-run,
+//! same-machine comparisons. The end-to-end "before" numbers cannot be
+//! re-measured here (the old query path no longer exists), so they are
+//! the committed anchors captured at commit 5566f57 — the last commit
+//! before the optimization pass — on the reference machine that produced
+//! the committed `BENCH_hotpath.json`.
+//!
+//! Set `AIRSHARE_QUICK=1` for a CI-sized smoke run: same JSON shape,
+//! drastically fewer iterations (throughput numbers are then only
+//! sanity-scale, as `meta.mode` records).
+
+use airshare_broadcast::{AirIndex, Poi, QueryScratch};
+use airshare_exec::ExecPool;
+use airshare_geom::{Point, Rect};
+use airshare_hilbert::{CellRect, Grid, HilbertCurve};
+use airshare_sim::{params, QueryKind, SimConfig, Simulation};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// End-to-end throughput anchors captured at commit 5566f57 (pre-
+/// optimization), same config and machine as the committed baseline:
+/// `run_parallel` on a 4-thread pool, LA-city scaled 0.01, order-8 index.
+const E2E_BEFORE_KNN_QPS: f64 = 4189.0;
+const E2E_BEFORE_WINDOW_QPS: f64 = 9933.0;
+
+struct Micro {
+    name: &'static str,
+    reference_ns: f64,
+    optimized_ns: f64,
+}
+
+impl Micro {
+    fn speedup(&self) -> f64 {
+        self.reference_ns / self.optimized_ns
+    }
+    fn json(&self) -> String {
+        format!(
+            "    \"{}\": {{\"reference_ns\": {:.2}, \"optimized_ns\": {:.2}, \"speedup\": {:.2}}}",
+            self.name,
+            self.reference_ns,
+            self.optimized_ns,
+            self.speedup()
+        )
+    }
+}
+
+fn time_per_iter(iters: u64, mut f: impl FnMut()) -> f64 {
+    let t = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn main() {
+    let quick = std::env::var_os("AIRSHARE_QUICK").is_some();
+    let mode = if quick { "quick" } else { "full" };
+    let codec_iters: u64 = if quick { 200_000 } else { 4_000_000 };
+
+    println!("\n## Hot-path before/after — mode: {mode}");
+    let mut micros: Vec<Micro> = Vec::new();
+
+    // --- Codec: bitwise reference loop vs table-driven LUT, order 16. ---
+    let curve = HilbertCurve::new(16);
+    let side = curve.side();
+    let mut i = 0u32;
+    let mut acc = 0u64;
+    let reference_ns = time_per_iter(codec_iters, || {
+        i = i.wrapping_add(2654435761);
+        acc = acc.wrapping_add(curve.encode_reference(i % side, (i >> 8) % side));
+    });
+    black_box(acc);
+    let mut i = 0u32;
+    let mut acc = 0u64;
+    let optimized_ns = time_per_iter(codec_iters, || {
+        i = i.wrapping_add(2654435761);
+        acc = acc.wrapping_add(curve.encode(i % side, (i >> 8) % side));
+    });
+    black_box(acc);
+    micros.push(Micro {
+        name: "encode_o16",
+        reference_ns,
+        optimized_ns,
+    });
+
+    let cells = curve.cell_count();
+    let mut d = 0u64;
+    let mut acc = 0u32;
+    let reference_ns = time_per_iter(codec_iters, || {
+        d = d.wrapping_add(0x9E3779B97F4A7C15) % cells;
+        let (x, y) = curve.decode_reference(d);
+        acc = acc.wrapping_add(x ^ y);
+    });
+    black_box(acc);
+    let mut d = 0u64;
+    let mut acc = 0u32;
+    let optimized_ns = time_per_iter(codec_iters, || {
+        d = d.wrapping_add(0x9E3779B97F4A7C15) % cells;
+        let (x, y) = curve.decode(d);
+        acc = acc.wrapping_add(x ^ y);
+    });
+    black_box(acc);
+    micros.push(Micro {
+        name: "decode_o16",
+        reference_ns,
+        optimized_ns,
+    });
+
+    // --- Decomposition: recursive + sort + merge reference vs the
+    // iterative merge-on-the-fly loop into a reused buffer. ---
+    for span in [8u32, 64, 512] {
+        let rect = CellRect::new(100, 200, 100 + span, 200 + span);
+        let iters = (if quick { 20_000 } else { 200_000 }) / span as u64;
+        let reference_ns = time_per_iter(iters, || {
+            black_box(curve.intervals_for_rect_reference(black_box(&rect)));
+        });
+        let mut out = Vec::new();
+        let optimized_ns = time_per_iter(iters, || {
+            curve.intervals_for_rect_into(black_box(&rect), &mut out);
+            black_box(&out);
+        });
+        micros.push(Micro {
+            name: match span {
+                8 => "decompose_span8",
+                64 => "decompose_span64",
+                _ => "decompose_span512",
+            },
+            reference_ns,
+            optimized_ns,
+        });
+    }
+
+    // --- Bucket mapping: allocating API vs warm scratch, on an index
+    // sized like the paper's LA-city world. ---
+    let world = Rect::from_coords(0.0, 0.0, 20.0, 20.0);
+    let pois: Vec<Poi> = {
+        let mut state = 7u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 16) & 0xFFFF) as f64 / 3277.0
+        };
+        (0..2750)
+            .map(|i| {
+                let x = next();
+                let y = next();
+                Poi::new(i as u32, Point::new(x, y))
+            })
+            .collect()
+    };
+    let index = AirIndex::build(pois, Grid::new(world, 8), 10);
+    let q = Point::new(10.0, 10.0);
+    let w = Rect::centered_square(q, 0.5 * (0.01f64.sqrt() * 20.0));
+    let iters: u64 = if quick { 20_000 } else { 200_000 };
+    let mut scratch = QueryScratch::new();
+    let reference_ns = time_per_iter(iters, || {
+        black_box(index.buckets_for_window(black_box(&w)));
+    });
+    let optimized_ns = time_per_iter(iters, || {
+        index.buckets_for_window_scratch(black_box(&w), &mut scratch);
+        black_box(scratch.buckets());
+    });
+    micros.push(Micro {
+        name: "buckets_for_window",
+        reference_ns,
+        optimized_ns,
+    });
+    let reference_ns = time_per_iter(iters, || {
+        black_box(index.buckets_for_knn(black_box(q), 1.0));
+    });
+    let optimized_ns = time_per_iter(iters, || {
+        index.buckets_for_knn_scratch(black_box(q), 1.0, &mut scratch);
+        black_box(scratch.buckets());
+    });
+    micros.push(Micro {
+        name: "buckets_for_knn",
+        reference_ns,
+        optimized_ns,
+    });
+
+    println!(
+        "{:>22} {:>14} {:>14} {:>9}",
+        "micro", "reference(ns)", "optimized(ns)", "speedup"
+    );
+    for m in &micros {
+        println!(
+            "{:>22} {:>14.2} {:>14.2} {:>8.2}x",
+            m.name,
+            m.reference_ns,
+            m.optimized_ns,
+            m.speedup()
+        );
+    }
+
+    // --- End to end: the full simulation, current code, against the
+    // committed pre-optimization anchors. ---
+    let scale = if quick { 0.005 } else { 0.01 };
+    let mut p = params::la_city().scaled(scale);
+    p.cache_size = 30;
+    let mut cfg = SimConfig::paper_defaults(p, QueryKind::Knn, 7);
+    cfg.warmup_min = 10.0;
+    cfg.measure_min = if quick { 10.0 } else { 30.0 };
+    cfg.validate = false;
+    cfg.hilbert_order = 8;
+    let pool = ExecPool::fixed(4);
+
+    let mut e2e_entries: Vec<String> = Vec::new();
+    println!(
+        "{:>10} {:>9} {:>9} {:>11} {:>11}",
+        "e2e", "queries", "wall(s)", "before_qps", "after_qps"
+    );
+    for (kind, name, before_qps) in [
+        (QueryKind::Knn, "knn", E2E_BEFORE_KNN_QPS),
+        (QueryKind::Window, "window", E2E_BEFORE_WINDOW_QPS),
+    ] {
+        cfg.query_kind = kind;
+        let mut sim = Simulation::try_new(cfg.clone())
+            .expect("experiment configs are valid by construction");
+        let t = Instant::now();
+        let r = sim.run_parallel(&pool);
+        let wall_s = t.elapsed().as_secs_f64();
+        let after_qps = r.queries.total as f64 / wall_s;
+        println!(
+            "{name:>10} {:>9} {wall_s:>9.3} {before_qps:>11.0} {after_qps:>11.0}",
+            r.queries.total
+        );
+        e2e_entries.push(format!(
+            "    \"{name}\": {{\"before_qps\": {before_qps:.0}, \"after_qps\": {after_qps:.0}, \
+             \"queries\": {}, \"wall_s\": {wall_s:.3}}}",
+            r.queries.total
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"meta\": {{\n    \"mode\": \"{mode}\",\n    \"baseline_commit\": \"5566f57\",\n    \
+         \"note\": \"codec and decompose 'reference' columns are the retained pre-optimization \
+         implementations, measured in the same run; buckets_for_* rows compare the allocating \
+         wrapper against the warm-scratch path; e2e 'before_qps' anchors were captured at \
+         baseline_commit on the machine that produced the committed file\"\n  }},\n  \"micro\": {{\n{}\n  }},\n  \
+         \"end_to_end\": {{\n{}\n  }}\n}}\n",
+        micros
+            .iter()
+            .map(Micro::json)
+            .collect::<Vec<_>>()
+            .join(",\n"),
+        e2e_entries.join(",\n")
+    );
+    std::fs::write("BENCH_hotpath.json", &json).expect("write BENCH_hotpath.json");
+    println!("wrote BENCH_hotpath.json");
+}

@@ -1,6 +1,6 @@
 //! The client access protocol and the on-air spatial query baselines.
 
-use crate::{AirIndex, BucketId, ChannelFaults, Poi, Schedule};
+use crate::{AirIndex, BucketId, ChannelFaults, Poi, QueryScratch, Schedule};
 use airshare_geom::{Point, Rect};
 use airshare_obs::{AccessStats, NoopRecorder, Recorder, TraceEvent};
 
@@ -172,20 +172,23 @@ impl<'a> OnAirClient<'a> {
     ///
     /// Returns `None` when the data file holds fewer than `k` POIs.
     pub fn knn(&self, tune_in: u64, q: Point, k: usize) -> Option<OnAirKnnResult> {
-        self.knn_rec(tune_in, q, k, &mut NoopRecorder)
+        self.knn_rec(tune_in, q, k, &mut QueryScratch::new(), &mut NoopRecorder)
     }
 
-    /// [`OnAirClient::knn`], tracing the underlying retrieval into `rec`.
+    /// [`OnAirClient::knn`], tracing the underlying retrieval into `rec`
+    /// and doing its index-path work in `scratch` (allocation-free once
+    /// the scratch is warm).
     pub fn knn_rec(
         &self,
         tune_in: u64,
         q: Point,
         k: usize,
+        scratch: &mut QueryScratch,
         rec: &mut dyn Recorder,
     ) -> Option<OnAirKnnResult> {
         let radius = self.index.knn_search_radius(q, k)?;
-        let buckets = self.index.buckets_for_knn(q, radius);
-        let (pois, stats) = self.retrieve_rec(tune_in, &buckets, rec);
+        self.index.buckets_for_knn_scratch(q, radius, scratch);
+        let (pois, stats) = self.retrieve_rec(tune_in, &scratch.buckets, rec);
         let neighbors = top_k_by_distance(pois.clone(), q, k);
         // Lost buckets may leave fewer than k candidates; the degraded
         // flag in `stats` tells the caller not to trust the shortfall.
@@ -216,11 +219,20 @@ impl<'a> OnAirClient<'a> {
         inner: Option<f64>,
         outer: Option<f64>,
     ) -> Option<OnAirKnnResult> {
-        self.knn_filtered_rec(tune_in, q, k, known, inner, outer, &mut NoopRecorder)
+        self.knn_filtered_rec(
+            tune_in,
+            q,
+            k,
+            known,
+            inner,
+            outer,
+            &mut QueryScratch::new(),
+            &mut NoopRecorder,
+        )
     }
 
     /// [`OnAirClient::knn_filtered`], tracing the underlying retrieval
-    /// into `rec`.
+    /// into `rec` and doing its index-path work in `scratch`.
     #[allow(clippy::too_many_arguments)]
     pub fn knn_filtered_rec(
         &self,
@@ -230,6 +242,7 @@ impl<'a> OnAirClient<'a> {
         known: &[Poi],
         inner: Option<f64>,
         outer: Option<f64>,
+        scratch: &mut QueryScratch,
         rec: &mut dyn Recorder,
     ) -> Option<OnAirKnnResult> {
         // Both the caller's upper bound and the index-scan radius are
@@ -242,8 +255,9 @@ impl<'a> OnAirClient<'a> {
             (None, Some(r)) => r,
             (None, None) => return None,
         };
-        let buckets = self.index.buckets_for_knn_filtered(q, outer, inner);
-        let (mut pois, stats) = self.retrieve_rec(tune_in, &buckets, rec);
+        self.index
+            .buckets_for_knn_filtered_scratch(q, outer, inner, scratch);
+        let (mut pois, stats) = self.retrieve_rec(tune_in, &scratch.buckets, rec);
         // Merge peer knowledge, deduplicating by id.
         pois.extend(known.iter().copied());
         pois.sort_by_key(|p| p.id);
@@ -265,14 +279,20 @@ impl<'a> OnAirClient<'a> {
     /// the curve for the window's cells, the buckets covering them, then
     /// an exact containment filter.
     pub fn window(&self, tune_in: u64, w: &Rect) -> OnAirWindowResult {
-        self.window_rec(tune_in, w, &mut NoopRecorder)
+        self.window_rec(tune_in, w, &mut QueryScratch::new(), &mut NoopRecorder)
     }
 
     /// [`OnAirClient::window`], tracing the underlying retrieval into
-    /// `rec`.
-    pub fn window_rec(&self, tune_in: u64, w: &Rect, rec: &mut dyn Recorder) -> OnAirWindowResult {
-        let buckets = self.index.buckets_for_window(w);
-        let (pois, stats) = self.retrieve_rec(tune_in, &buckets, rec);
+    /// `rec` and doing its index-path work in `scratch`.
+    pub fn window_rec(
+        &self,
+        tune_in: u64,
+        w: &Rect,
+        scratch: &mut QueryScratch,
+        rec: &mut dyn Recorder,
+    ) -> OnAirWindowResult {
+        self.index.buckets_for_window_scratch(w, scratch);
+        let (pois, stats) = self.retrieve_rec(tune_in, &scratch.buckets, rec);
         let pois = pois.into_iter().filter(|p| w.contains(p.pos)).collect();
         OnAirWindowResult { pois, stats }
     }
@@ -280,19 +300,20 @@ impl<'a> OnAirClient<'a> {
     /// Reduced-window retrieval (§3.4.2): one on-air pass over the union
     /// of the reduced windows `w′`, returning POIs inside any of them.
     pub fn window_reduced(&self, tune_in: u64, windows: &[Rect]) -> OnAirWindowResult {
-        self.window_reduced_rec(tune_in, windows, &mut NoopRecorder)
+        self.window_reduced_rec(tune_in, windows, &mut QueryScratch::new(), &mut NoopRecorder)
     }
 
     /// [`OnAirClient::window_reduced`], tracing the underlying retrieval
-    /// into `rec`.
+    /// into `rec` and doing its index-path work in `scratch`.
     pub fn window_reduced_rec(
         &self,
         tune_in: u64,
         windows: &[Rect],
+        scratch: &mut QueryScratch,
         rec: &mut dyn Recorder,
     ) -> OnAirWindowResult {
-        let buckets = self.index.buckets_for_windows(windows);
-        let (pois, stats) = self.retrieve_rec(tune_in, &buckets, rec);
+        self.index.buckets_for_windows_scratch(windows, scratch);
+        let (pois, stats) = self.retrieve_rec(tune_in, &scratch.buckets, rec);
         let pois = pois
             .into_iter()
             .filter(|p| windows.iter().any(|w| w.contains(p.pos)))

@@ -1,6 +1,6 @@
 //! The server-side air index: POIs in Hilbert order, packed into buckets.
 
-use crate::{Bucket, BucketId, Poi};
+use crate::{Bucket, BucketId, Poi, QueryScratch};
 use airshare_geom::{Point, Rect};
 use airshare_hilbert::Grid;
 
@@ -108,8 +108,18 @@ impl AirIndex {
 
     /// Buckets (sorted, deduplicated) whose Hilbert ranges intersect any
     /// of the given inclusive curve intervals.
+    ///
+    /// Allocating wrapper over [`AirIndex::buckets_for_intervals_into`].
     pub fn buckets_for_intervals(&self, intervals: &[(u64, u64)]) -> Vec<BucketId> {
         let mut out = Vec::new();
+        self.buckets_for_intervals_into(intervals, &mut out);
+        out
+    }
+
+    /// Like [`AirIndex::buckets_for_intervals`], writing into `out`
+    /// (cleared first) so a reused buffer makes the call allocation-free.
+    pub fn buckets_for_intervals_into(&self, intervals: &[(u64, u64)], out: &mut Vec<BucketId>) {
+        out.clear();
         for &(lo, hi) in intervals {
             // Binary search for the first bucket whose range may reach lo.
             let start = self
@@ -124,13 +134,22 @@ impl AirIndex {
         }
         out.sort_unstable();
         out.dedup();
-        out
     }
 
     /// Buckets needed for a world-space window query.
+    ///
+    /// Allocating wrapper over [`AirIndex::buckets_for_window_scratch`].
     pub fn buckets_for_window(&self, w: &Rect) -> Vec<BucketId> {
-        let intervals = self.grid.intervals_for_world_rect(w);
-        self.buckets_for_intervals(&intervals)
+        let mut scratch = QueryScratch::new();
+        self.buckets_for_window_scratch(w, &mut scratch);
+        scratch.buckets
+    }
+
+    /// Window-query bucket set, left in `scratch.buckets()`.
+    pub fn buckets_for_window_scratch(&self, w: &Rect, scratch: &mut QueryScratch) {
+        self.grid
+            .intervals_for_world_rect_into(w, &mut scratch.intervals);
+        self.buckets_for_intervals_into(&scratch.intervals, &mut scratch.buckets);
     }
 
     /// The on-air kNN *first scan*: from the index alone (Hilbert values
@@ -179,44 +198,99 @@ impl AirIndex {
     /// Buckets needed to answer a kNN query exactly, given the search
     /// radius from [`AirIndex::knn_search_radius`]: all buckets covering
     /// the MBR of the search circle (the paper's Figure 4 range).
+    ///
+    /// Allocating wrapper over [`AirIndex::buckets_for_knn_scratch`].
     pub fn buckets_for_knn(&self, q: Point, radius: f64) -> Vec<BucketId> {
+        let mut scratch = QueryScratch::new();
+        self.buckets_for_knn_scratch(q, radius, &mut scratch);
+        scratch.buckets
+    }
+
+    /// kNN bucket set, left in `scratch.buckets()`.
+    pub fn buckets_for_knn_scratch(&self, q: Point, radius: f64, scratch: &mut QueryScratch) {
         let mbr = Rect::centered_square(q, radius);
-        self.buckets_for_window(&mbr)
+        self.buckets_for_window_scratch(&mbr, scratch);
     }
 
     /// Bound-filtered bucket set (§3.3.3): buckets covering the outer
     /// search MBR, *minus* buckets whose MBR lies entirely within the
     /// verified inner circle `C_i` of radius `inner` around `q` — their
     /// contents are already known to the client.
+    ///
+    /// Allocating wrapper over
+    /// [`AirIndex::buckets_for_knn_filtered_scratch`].
     pub fn buckets_for_knn_filtered(
         &self,
         q: Point,
         outer: f64,
         inner: Option<f64>,
     ) -> Vec<BucketId> {
-        let base = self.buckets_for_knn(q, outer);
-        match inner {
-            None => base,
-            Some(r_in) => base
-                .into_iter()
-                .filter(|&id| {
-                    let b = &self.buckets[id];
-                    b.mbr.max_distance_to_point(q) > r_in
-                })
-                .collect(),
+        let mut scratch = QueryScratch::new();
+        self.buckets_for_knn_filtered_scratch(q, outer, inner, &mut scratch);
+        scratch.buckets
+    }
+
+    /// Bound-filtered kNN bucket set, left in `scratch.buckets()`.
+    pub fn buckets_for_knn_filtered_scratch(
+        &self,
+        q: Point,
+        outer: f64,
+        inner: Option<f64>,
+        scratch: &mut QueryScratch,
+    ) {
+        self.buckets_for_knn_scratch(q, outer, scratch);
+        if let Some(r_in) = inner {
+            scratch
+                .buckets
+                .retain(|&id| self.buckets[id].mbr.max_distance_to_point(q) > r_in);
         }
     }
 
     /// Bucket set for a collection of reduced windows (§3.4.2): the union
     /// of the buckets of each window `w′`.
+    ///
+    /// Allocating wrapper over [`AirIndex::buckets_for_windows_scratch`].
     pub fn buckets_for_windows(&self, windows: &[Rect]) -> Vec<BucketId> {
-        let mut out: Vec<BucketId> = windows
-            .iter()
-            .flat_map(|w| self.buckets_for_window(w))
-            .collect();
-        out.sort_unstable();
-        out.dedup();
-        out
+        let mut scratch = QueryScratch::new();
+        self.buckets_for_windows_scratch(windows, &mut scratch);
+        scratch.buckets
+    }
+
+    /// Reduced-window bucket set, left in `scratch.buckets()`.
+    ///
+    /// The interval lists of all windows are merged *before* mapping to
+    /// buckets, so overlapping reduced windows — SBWQ routinely produces
+    /// them when several uncovered slivers meet — never scan the same
+    /// curve interval twice. Merging only fuses overlapping or integer-
+    /// adjacent intervals, which preserves the covered cell set exactly,
+    /// so the bucket output is identical to mapping each window alone and
+    /// deduplicating.
+    pub fn buckets_for_windows_scratch(&self, windows: &[Rect], scratch: &mut QueryScratch) {
+        let QueryScratch {
+            intervals,
+            tmp_intervals,
+            buckets,
+        } = scratch;
+        intervals.clear();
+        for w in windows {
+            self.grid.intervals_for_world_rect_into(w, tmp_intervals);
+            intervals.extend_from_slice(tmp_intervals);
+        }
+        intervals.sort_unstable();
+        let mut write = 0usize;
+        for i in 0..intervals.len() {
+            let (lo, hi) = intervals[i];
+            if write > 0 && lo <= intervals[write - 1].1.saturating_add(1) {
+                if hi > intervals[write - 1].1 {
+                    intervals[write - 1].1 = hi;
+                }
+            } else {
+                intervals[write] = (lo, hi);
+                write += 1;
+            }
+        }
+        intervals.truncate(write);
+        self.buckets_for_intervals_into(intervals, buckets);
     }
 }
 
@@ -328,6 +402,56 @@ mod tests {
         let err = AirIndex::try_build(Vec::new(), Grid::new(world, 3), 0).unwrap_err();
         assert_eq!(err, IndexError::ZeroBucketCapacity);
         assert!(AirIndex::try_build(Vec::new(), Grid::new(world, 3), 1).is_ok());
+    }
+
+    #[test]
+    fn overlapping_windows_merge_intervals_before_mapping() {
+        let idx = setup(500, 8);
+        // Two windows with substantial overlap, as SBWQ's reduced windows
+        // routinely produce.
+        let w1 = Rect::from_coords(10.0, 10.0, 30.0, 25.0);
+        let w2 = Rect::from_coords(20.0, 15.0, 40.0, 35.0);
+        let merged = idx.buckets_for_windows(&[w1, w2]);
+        // Oracle: per-window mapping, concatenated and deduplicated.
+        let mut naive: Vec<BucketId> = idx
+            .buckets_for_window(&w1)
+            .into_iter()
+            .chain(idx.buckets_for_window(&w2))
+            .collect();
+        naive.sort_unstable();
+        naive.dedup();
+        assert_eq!(merged, naive);
+        // The merged interval list must itself be disjoint: no curve
+        // position is scanned twice.
+        let mut scratch = QueryScratch::new();
+        idx.buckets_for_windows_scratch(&[w1, w2], &mut scratch);
+        for w in scratch.intervals.windows(2) {
+            assert!(w[1].0 > w[0].1 + 1, "intervals overlap or abut: {w:?}");
+        }
+        // Duplicated and disjoint window lists behave too.
+        assert_eq!(idx.buckets_for_windows(&[w1, w1]), idx.buckets_for_window(&w1));
+        assert!(idx.buckets_for_windows(&[]).is_empty());
+    }
+
+    #[test]
+    fn scratch_calls_match_allocating_wrappers() {
+        let idx = setup(400, 6);
+        let q = Point::new(30.0, 20.0);
+        let w = Rect::from_coords(5.0, 40.0, 25.0, 60.0);
+        let mut scratch = QueryScratch::new();
+        // Interleave different query kinds through ONE scratch to prove
+        // no state leaks between calls.
+        idx.buckets_for_window_scratch(&w, &mut scratch);
+        assert_eq!(scratch.buckets(), idx.buckets_for_window(&w));
+        idx.buckets_for_knn_scratch(q, 9.0, &mut scratch);
+        assert_eq!(scratch.buckets(), idx.buckets_for_knn(q, 9.0));
+        idx.buckets_for_knn_filtered_scratch(q, 9.0, Some(4.0), &mut scratch);
+        assert_eq!(
+            scratch.buckets(),
+            idx.buckets_for_knn_filtered(q, 9.0, Some(4.0))
+        );
+        idx.buckets_for_window_scratch(&w, &mut scratch);
+        assert_eq!(scratch.buckets(), idx.buckets_for_window(&w));
     }
 
     #[test]

@@ -39,6 +39,7 @@ mod fault;
 mod index;
 mod poi;
 mod schedule;
+mod scratch;
 pub mod wire;
 
 pub use bucket::{Bucket, BucketId};
@@ -47,3 +48,4 @@ pub use fault::ChannelFaults;
 pub use index::{AirIndex, IndexError};
 pub use poi::{Poi, PoiCategory, PoiId};
 pub use schedule::{Schedule, ScheduleError};
+pub use scratch::QueryScratch;

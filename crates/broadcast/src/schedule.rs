@@ -105,28 +105,36 @@ impl Schedule {
     }
 
     /// Cycle-relative time at which data bucket `b` begins transmission.
+    ///
+    /// Closed form: the slice containing `b` is the largest `s` with
+    /// `⌊s·D/m⌋ ≤ b`, i.e. `s = min(m-1, ⌊((b+1)·m - 1) / D⌋)` for `D`
+    /// data buckets — no scan over the slices.
     pub fn bucket_offset(&self, b: BucketId) -> u64 {
         debug_assert!(b < self.data_buckets);
-        // Find the slice containing b: slice_start(s) ≤ b < slice_start(s+1).
-        let s = (0..self.m)
-            .rev()
-            .find(|&s| self.slice_start(s) <= b)
-            .expect("bucket belongs to some slice");
+        let s = (((b + 1) * self.m - 1) / self.data_buckets.max(1)).min(self.m - 1);
+        debug_assert!(self.slice_start(s) <= b);
+        debug_assert!(s + 1 == self.m || self.slice_start(s + 1) > b);
         self.segment_start(s) + (self.index_buckets + b - self.slice_start(s)) as u64
     }
 
     /// Earliest absolute start time `≥ t` of an index segment — the
     /// client's *initial probe* target.
+    ///
+    /// Closed form: with cycle length `L` and cycle-relative time `w`,
+    /// the first segment not yet started is `s = ⌈w·m / L⌉`, because
+    /// `segment_start(s) = s·I + ⌊s·D/m⌋` is sandwiched in
+    /// `[s·L/m - 1, s·L/m]` — so no scan over the segments either.
     pub fn next_index_start(&self, t: u64) -> u64 {
         let cl = self.cycle_len();
         let cycle = t / cl;
         let within = t % cl;
-        for s in 0..self.m {
-            if self.segment_start(s) >= within {
-                return cycle * cl + self.segment_start(s);
-            }
+        let s = ((within * self.m as u64).div_ceil(cl)) as usize;
+        if s == self.m {
+            return (cycle + 1) * cl; // first segment of the next cycle
         }
-        (cycle + 1) * cl // first segment of the next cycle (offset 0)
+        debug_assert!(self.segment_start(s) >= within);
+        debug_assert!(s == 0 || self.segment_start(s - 1) < within);
+        cycle * cl + self.segment_start(s)
     }
 
     /// Earliest absolute completion time of data bucket `b` whose
@@ -218,6 +226,49 @@ mod tests {
     fn m_clamped_to_data_buckets() {
         let s = Schedule::new(2, 1, 100);
         assert_eq!(s.m(), 2);
+    }
+
+    #[test]
+    fn closed_forms_match_linear_scans() {
+        // The pre-optimization O(m) scans, kept as the oracle.
+        fn bucket_offset_scan(s: &Schedule, b: BucketId) -> u64 {
+            let sl = (0..s.m())
+                .rev()
+                .find(|&sl| s.slice_start(sl) <= b)
+                .expect("bucket belongs to some slice");
+            s.segment_start(sl) + (s.index_buckets() + b - s.slice_start(sl)) as u64
+        }
+        fn next_index_start_scan(s: &Schedule, t: u64) -> u64 {
+            let cl = s.cycle_len();
+            let (cycle, within) = (t / cl, t % cl);
+            for sl in 0..s.m() {
+                if s.segment_start(sl) >= within {
+                    return cycle * cl + s.segment_start(sl);
+                }
+            }
+            (cycle + 1) * cl
+        }
+        for data in [1usize, 2, 5, 6, 7, 13, 120] {
+            for idx in [1usize, 2, 4] {
+                for m in [1usize, 2, 3, 5, 12, 200] {
+                    let s = Schedule::new(data, idx, m);
+                    for b in 0..data {
+                        assert_eq!(
+                            s.bucket_offset(b),
+                            bucket_offset_scan(&s, b),
+                            "offset(D={data}, I={idx}, m={m}, b={b})"
+                        );
+                    }
+                    for t in 0..2 * s.cycle_len() {
+                        assert_eq!(
+                            s.next_index_start(t),
+                            next_index_start_scan(&s, t),
+                            "probe(D={data}, I={idx}, m={m}, t={t})"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

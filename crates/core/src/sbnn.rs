@@ -3,7 +3,7 @@
 
 use crate::approx::{candidate_correctness, surpassing_ratio, unverified_area};
 use crate::{HeapState, MergedRegion, NnCandidate, ResultHeap};
-use airshare_broadcast::{OnAirClient, Poi};
+use airshare_broadcast::{OnAirClient, Poi, QueryScratch};
 use airshare_geom::{Point, Rect};
 use airshare_obs::{AccessStats, NoopRecorder, Recorder, ResolutionKind, TraceEvent};
 
@@ -244,21 +244,24 @@ pub fn sbnn(
     mvr: &MergedRegion,
     air: Option<(&OnAirClient<'_>, u64)>,
 ) -> SbnnOutcome {
-    sbnn_rec(q, cfg, mvr, air, &mut NoopRecorder)
+    sbnn_rec(q, cfg, mvr, air, &mut QueryScratch::new(), &mut NoopRecorder)
 }
 
 /// [`sbnn`], tracing the channel fallback's protocol steps into `rec`
 /// and emitting the terminal [`TraceEvent::QueryResolved`] (with the
 /// broadcast cost, or zeros for peer-resolved queries) whenever the
-/// outcome is resolved.
+/// outcome is resolved. Channel index work happens in `scratch`, so a
+/// per-worker scratch keeps the fallback path allocation-free on the
+/// index side.
 pub fn sbnn_rec(
     q: Point,
     cfg: &SbnnConfig,
     mvr: &MergedRegion,
     air: Option<(&OnAirClient<'_>, u64)>,
+    scratch: &mut QueryScratch,
     rec: &mut dyn Recorder,
 ) -> SbnnOutcome {
-    let outcome = sbnn_inner(q, cfg, mvr, air, rec);
+    let outcome = sbnn_inner(q, cfg, mvr, air, scratch, rec);
     if let SbnnOutcome::Resolved(res) = &outcome {
         let cost = res.air.unwrap_or_default();
         rec.record(TraceEvent::QueryResolved {
@@ -275,6 +278,7 @@ fn sbnn_inner(
     cfg: &SbnnConfig,
     mvr: &MergedRegion,
     air: Option<(&OnAirClient<'_>, u64)>,
+    scratch: &mut QueryScratch,
     rec: &mut dyn Recorder,
 ) -> SbnnOutcome {
     let (heap, verified_radius, pruned) = nnv_detailed(q, cfg.k, mvr, cfg.lambda, cfg.domain);
@@ -309,10 +313,11 @@ fn sbnn_inner(
     } else {
         (None, None)
     };
-    let result = match client.knn_filtered_rec(tune_in, q, cfg.k, mvr.pois(), inner, outer, rec) {
-        Some(r) => Some(r),
-        None => client.knn_rec(tune_in, q, cfg.k, rec),
-    };
+    let result =
+        match client.knn_filtered_rec(tune_in, q, cfg.k, mvr.pois(), inner, outer, scratch, rec) {
+            Some(r) => Some(r),
+            None => client.knn_rec(tune_in, q, cfg.k, scratch, rec),
+        };
     let Some(res) = result else {
         // Fewer than k POIs exist in the whole dataset.
         return SbnnOutcome::Unresolved(heap);

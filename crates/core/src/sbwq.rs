@@ -1,7 +1,7 @@
 //! Sharing-based window queries (Algorithm 3, §3.4).
 
 use crate::MergedRegion;
-use airshare_broadcast::{OnAirClient, Poi};
+use airshare_broadcast::{OnAirClient, Poi, QueryScratch};
 use airshare_geom::{Rect, RectUnion};
 use airshare_obs::{AccessStats, NoopRecorder, Recorder, TraceEvent};
 
@@ -80,21 +80,24 @@ pub fn sbwq(
     mvr: &MergedRegion,
     air: Option<(&OnAirClient<'_>, u64)>,
 ) -> SbwqOutcome {
-    sbwq_rec(w, cfg, mvr, air, &mut NoopRecorder)
+    sbwq_rec(w, cfg, mvr, air, &mut QueryScratch::new(), &mut NoopRecorder)
 }
 
 /// [`sbwq`], tracing the channel fallback's protocol steps into `rec`
 /// and emitting the terminal [`TraceEvent::QueryResolved`] (with the
 /// broadcast cost, or zeros for peer-resolved queries) whenever the
-/// outcome is resolved.
+/// outcome is resolved. Channel index work happens in `scratch`, so a
+/// per-worker scratch keeps the fallback path allocation-free on the
+/// index side.
 pub fn sbwq_rec(
     w: &Rect,
     cfg: &SbwqConfig,
     mvr: &MergedRegion,
     air: Option<(&OnAirClient<'_>, u64)>,
+    scratch: &mut QueryScratch,
     rec: &mut dyn Recorder,
 ) -> SbwqOutcome {
-    let outcome = sbwq_inner(w, cfg, mvr, air, rec);
+    let outcome = sbwq_inner(w, cfg, mvr, air, scratch, rec);
     if let SbwqOutcome::Resolved(res) = &outcome {
         let cost = res.air.unwrap_or_default();
         rec.record(TraceEvent::QueryResolved {
@@ -111,6 +114,7 @@ fn sbwq_inner(
     cfg: &SbwqConfig,
     mvr: &MergedRegion,
     air: Option<(&OnAirClient<'_>, u64)>,
+    scratch: &mut QueryScratch,
     rec: &mut dyn Recorder,
 ) -> SbwqOutcome {
     let missing = mvr.region().rect_difference(w);
@@ -141,9 +145,12 @@ fn sbwq_inner(
     };
 
     let (fetched, reduced_windows) = if cfg.use_window_reduction {
-        (client.window_reduced_rec(tune_in, &missing, rec), missing)
+        (
+            client.window_reduced_rec(tune_in, &missing, scratch, rec),
+            missing,
+        )
     } else {
-        (client.window_rec(tune_in, w, rec), vec![*w])
+        (client.window_rec(tune_in, w, scratch, rec), vec![*w])
     };
     let stats = fetched.stats;
 

@@ -20,16 +20,38 @@
 //!   host may adopt for its own cache after answering a query from peers.
 
 use crate::{IntervalSet, Point, Rect, Segment, EPSILON};
+use std::sync::OnceLock;
 
 /// A union of axis-aligned rectangles in the plane.
 ///
 /// The rectangle list is kept as provided (minus degenerate members);
 /// all queries are answered by sweeps over the list, so construction is
 /// O(n) and queries are O(n log n) in the number of rectangles — peers
-/// number in the tens, so this is far from hot.
-#[derive(Clone, Debug, Default)]
+/// number in the tens. The boundary-edge set, however, is consulted per
+/// verification step by SBNN's MVR pruning, so it is computed once on
+/// first use and cached until the member list changes.
+#[derive(Debug, Default)]
 pub struct RectUnion {
     rects: Vec<Rect>,
+    /// Lazily computed boundary edges; invalidated by [`RectUnion::push`].
+    /// `OnceLock` (not `OnceCell`) so cached regions stay `Sync` for the
+    /// parallel simulation runtime's shared snapshots.
+    edges: OnceLock<Vec<Segment>>,
+}
+
+impl Clone for RectUnion {
+    fn clone(&self) -> Self {
+        // Carry the cache across clones: pruned copies are rebuilt from
+        // scratch anyway, and verbatim clones keep their edges valid.
+        let edges = OnceLock::new();
+        if let Some(e) = self.edges.get() {
+            let _ = edges.set(e.clone());
+        }
+        Self {
+            rects: self.rects.clone(),
+            edges,
+        }
+    }
 }
 
 impl RectUnion {
@@ -42,6 +64,7 @@ impl RectUnion {
     pub fn from_rects<I: IntoIterator<Item = Rect>>(rects: I) -> Self {
         Self {
             rects: rects.into_iter().filter(|r| !r.is_degenerate()).collect(),
+            edges: OnceLock::new(),
         }
     }
 
@@ -49,6 +72,7 @@ impl RectUnion {
     pub fn push(&mut self, r: Rect) {
         if !r.is_degenerate() {
             self.rects.push(r);
+            self.edges = OnceLock::new();
         }
     }
 
@@ -99,11 +123,23 @@ impl RectUnion {
     /// two sides is interior to the union. For each candidate grid line we
     /// build the interval sets covered on either side and keep their
     /// symmetric difference.
+    ///
+    /// Allocating wrapper over [`RectUnion::boundary_edges_cached`].
     pub fn boundary_edges(&self) -> Vec<Segment> {
-        let mut out = Vec::new();
-        self.boundary_sweep(true, &mut out);
-        self.boundary_sweep(false, &mut out);
-        out
+        self.boundary_edges_cached().to_vec()
+    }
+
+    /// The boundary edges, computed on first call and cached until the
+    /// next [`RectUnion::push`]. This is what the hot verification path
+    /// reads: repeated distance queries against an unchanged region cost
+    /// no sweeps and no allocation.
+    pub fn boundary_edges_cached(&self) -> &[Segment] {
+        self.edges.get_or_init(|| {
+            let mut out = Vec::new();
+            self.boundary_sweep(true, &mut out);
+            self.boundary_sweep(false, &mut out);
+            out
+        })
     }
 
     /// One sweep direction: `vertical = true` emits vertical edges
@@ -158,9 +194,9 @@ impl RectUnion {
     /// Lemma 3.1: every POI closer to `p` than this distance is a
     /// guaranteed (verified) nearest neighbor.
     pub fn distance_to_boundary(&self, p: Point) -> Option<(f64, Segment)> {
-        self.boundary_edges()
-            .into_iter()
-            .map(|s| (s.distance_to_point(p), s))
+        self.boundary_edges_cached()
+            .iter()
+            .map(|&s| (s.distance_to_point(p), s))
             .min_by(|a, b| a.0.total_cmp(&b.0))
     }
 
@@ -518,6 +554,22 @@ mod tests {
     fn largest_inscribed_square_outside_is_none() {
         let u = RectUnion::from(r(0.0, 0.0, 1.0, 1.0));
         assert_eq!(u.largest_inscribed_square(Point::new(5.0, 5.0), 1.0), None);
+    }
+
+    #[test]
+    fn boundary_cache_invalidates_on_push() {
+        let mut u = RectUnion::from(r(0.0, 0.0, 1.0, 1.0));
+        let perimeter: f64 = u.boundary_edges_cached().iter().map(Segment::len).sum();
+        assert!(approx_eq(perimeter, 4.0));
+        // Extending the union must drop the cached edges: the fused shape
+        // is a 2x1 box with perimeter 6, not two unit boxes.
+        u.push(r(1.0, 0.0, 2.0, 1.0));
+        let perimeter: f64 = u.boundary_edges_cached().iter().map(Segment::len).sum();
+        assert!(approx_eq(perimeter, 6.0));
+        // Clones carry a still-valid cache.
+        let c = u.clone();
+        let cloned: f64 = c.boundary_edges_cached().iter().map(Segment::len).sum();
+        assert!(approx_eq(cloned, 6.0));
     }
 
     #[test]

@@ -96,10 +96,22 @@ impl Grid {
 
     /// Curve intervals (inclusive) covering a world rectangle — the set of
     /// air-index ranges a client must listen to for a window query.
+    ///
+    /// Allocating convenience wrapper around
+    /// [`Grid::intervals_for_world_rect_into`].
     pub fn intervals_for_world_rect(&self, r: &Rect) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        self.intervals_for_world_rect_into(r, &mut out);
+        out
+    }
+
+    /// Like [`Grid::intervals_for_world_rect`], but writes into `out`
+    /// (cleared first) so a reused buffer makes the call allocation-free.
+    /// Leaves `out` empty when `r` lies entirely outside the world.
+    pub fn intervals_for_world_rect_into(&self, r: &Rect, out: &mut Vec<(u64, u64)>) {
         match self.cell_rect_for(r) {
-            Some(cr) => self.curve.intervals_for_rect(&cr),
-            None => Vec::new(),
+            Some(cr) => self.curve.intervals_for_rect_into(&cr, out),
+            None => out.clear(),
         }
     }
 }

@@ -89,6 +89,38 @@ proptest! {
     }
 
     #[test]
+    fn lut_codec_matches_bitwise_reference(order in 1u32..=12, seed in any::<u64>()) {
+        let c = HilbertCurve::new(order);
+        // A random cell: the table-driven codec and the bitwise
+        // reference loop must agree in both directions.
+        let d = seed % c.cell_count();
+        let (x, y) = c.decode_reference(d);
+        prop_assert_eq!(c.decode(d), (x, y));
+        prop_assert_eq!(c.encode(x, y), c.encode_reference(x, y));
+        prop_assert_eq!(c.encode(x, y), d);
+    }
+
+    #[test]
+    fn iterative_decomposition_matches_allocating_api(
+        order in 2u32..=10,
+        ax in any::<u32>(), ay in any::<u32>(), w in 0u32..512, h in 0u32..512,
+    ) {
+        let c = HilbertCurve::new(order);
+        let m = c.side() - 1;
+        let x1 = ax % c.side();
+        let y1 = ay % c.side();
+        let rect = CellRect::new(x1, y1, x1.saturating_add(w).min(m), y1.saturating_add(h).min(m));
+        let alloc = c.intervals_for_rect(&rect);
+        // The `_into` variant clears stale contents and produces the
+        // identical interval list.
+        let mut reused = vec![(9999u64, 9999u64); 3];
+        c.intervals_for_rect_into(&rect, &mut reused);
+        prop_assert_eq!(&reused, &alloc);
+        // And both match the recursive pre-optimization oracle.
+        prop_assert_eq!(alloc, c.intervals_for_rect_reference(&rect));
+    }
+
+    #[test]
     fn window_span_is_tight(order in 2u32..=6, ax in 0u32..64, ay in 0u32..64, s in 0u32..16) {
         let c = HilbertCurve::new(order);
         let m = c.side() - 1;

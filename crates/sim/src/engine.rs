@@ -11,7 +11,9 @@
 //! [`Simulation::run`] for every thread count.
 
 use crate::{ConfigError, MobilityModel, QueryKind, SimConfig, SimReport};
-use airshare_broadcast::{wire, AirIndex, ChannelFaults, OnAirClient, Poi, PoiCategory, Schedule};
+use airshare_broadcast::{
+    wire, AirIndex, ChannelFaults, OnAirClient, Poi, PoiCategory, QueryScratch, Schedule,
+};
 use airshare_cache::{CacheContext, HostCache, RegionEntry};
 use airshare_core::{sbnn_rec, sbwq_rec, MergedRegion, ResolvedBy, SbnnConfig, SbwqConfig};
 use airshare_exec::{split_seed, ExecPool};
@@ -301,7 +303,33 @@ impl Simulation {
     /// its shard task, execute the shards (inline or on the pool), then
     /// commit state back in host-id order and fold outcomes in global
     /// event order.
-    fn run_engine(&mut self, mut driver: Driver<'_>) -> SimReport {
+    fn run_engine(&mut self, driver: Driver<'_>) -> SimReport {
+        // Per-worker `(recorder, scratch)` state, hoisted out of the
+        // epoch loop: the scratch buffers reach their high-water marks
+        // during warm-up and every later index-path query runs without
+        // heap allocation.
+        enum Workers<'d> {
+            Sequential(&'d mut dyn Recorder, QueryScratch),
+            Parallel(&'d ExecPool, Vec<(NoopRecorder, QueryScratch)>),
+            ParallelMetrics(&'d ExecPool, Vec<(&'d mut MetricsRecorder, QueryScratch)>),
+        }
+        let mut workers = match driver {
+            Driver::Sequential(rec) => Workers::Sequential(rec, QueryScratch::new()),
+            Driver::Parallel { pool } => Workers::Parallel(
+                pool,
+                (0..pool.threads())
+                    .map(|_| (NoopRecorder, QueryScratch::new()))
+                    .collect(),
+            ),
+            Driver::ParallelMetrics { pool, recorders } => Workers::ParallelMetrics(
+                pool,
+                recorders
+                    .iter_mut()
+                    .map(|r| (r, QueryScratch::new()))
+                    .collect(),
+            ),
+        };
+
         let cfg = self.cfg.clone();
         let range = meters_to_miles(cfg.params.tx_range_m);
         let cell = range.max(1e-3);
@@ -371,20 +399,23 @@ impl Simulation {
                 snapshot: &snapshot,
                 range,
             };
-            let done: Vec<HostDone> = match &mut driver {
-                Driver::Sequential(rec) => {
+            let done: Vec<HostDone> = match &mut workers {
+                Workers::Sequential(rec, scratch) => {
                     let mut v = Vec::with_capacity(tasks.len());
                     for task in tasks {
-                        v.push(ctx.run_host(task, &mut **rec));
+                        v.push(ctx.run_host(task, scratch, &mut **rec));
                     }
                     v
                 }
-                Driver::Parallel { pool } => {
-                    let mut inert = vec![NoopRecorder; pool.threads()];
-                    pool.map_with(&mut inert, tasks, |rec, _, task| ctx.run_host(task, rec))
+                Workers::Parallel(pool, ctxs) => {
+                    pool.map_with(ctxs, tasks, |(rec, scratch), _, task| {
+                        ctx.run_host(task, scratch, rec)
+                    })
                 }
-                Driver::ParallelMetrics { pool, recorders } => {
-                    pool.map_with(recorders, tasks, |rec, _, task| ctx.run_host(task, rec))
+                Workers::ParallelMetrics(pool, ctxs) => {
+                    pool.map_with(ctxs, tasks, |(rec, scratch), _, task| {
+                        ctx.run_host(task, scratch, &mut **rec)
+                    })
                 }
             };
 
@@ -410,7 +441,12 @@ impl Simulation {
 impl EpochCtx<'_> {
     /// Runs one host's epoch shard: its events in time order, against
     /// the shared epoch snapshot, with all mutations host-local.
-    fn run_host(&self, task: HostTask, rec: &mut dyn Recorder) -> HostDone {
+    fn run_host(
+        &self,
+        task: HostTask,
+        scratch: &mut QueryScratch,
+        rec: &mut dyn Recorder,
+    ) -> HostDone {
         let HostTask {
             host,
             mut mobility,
@@ -420,8 +456,8 @@ impl EpochCtx<'_> {
         } = task;
         let mut outcomes = Vec::new();
         for (idx, t) in events {
-            if let Some(o) =
-                self.process_query(idx, t, host, &mut mobility, &mut cache, &mut rng, rec)
+            if let Some(o) = self
+                .process_query(idx, t, host, &mut mobility, &mut cache, &mut rng, scratch, rec)
             {
                 outcomes.push((idx, o));
             }
@@ -445,6 +481,7 @@ impl EpochCtx<'_> {
         mobility: &mut HostMobility,
         cache: &mut HostCache,
         rng: &mut SmallRng,
+        scratch: &mut QueryScratch,
         rec: &mut dyn Recorder,
     ) -> Option<QueryOutcome> {
         let cfg = self.cfg;
@@ -530,7 +567,7 @@ impl EpochCtx<'_> {
                     vr_policy: cfg.vr_policy,
                     domain: cfg.clip_domain.then_some(*self.world),
                 };
-                let res = sbnn_rec(qpos, &sbnn_cfg, &mvr, Some((&client, tune_in)), rec)
+                let res = sbnn_rec(qpos, &sbnn_cfg, &mvr, Some((&client, tune_in)), scratch, rec)
                     .resolved()
                     .expect("channel fallback always resolves");
                 let degraded = res.air.is_some_and(|a| a.is_degraded());
@@ -569,7 +606,9 @@ impl EpochCtx<'_> {
                     mismatch: false,
                 };
                 // What the pure on-air algorithm would have paid.
-                if let Some(base) = client.knn(tune_in, qpos, sbnn_cfg.k) {
+                if let Some(base) =
+                    client.knn_rec(tune_in, qpos, sbnn_cfg.k, scratch, &mut NoopRecorder)
+                {
                     out.baseline = Some((base.stats.latency, base.stats.tuning));
                     if let Some(air) = res.air {
                         debug_assert!(
@@ -606,7 +645,7 @@ impl EpochCtx<'_> {
                 let sbwq_cfg = SbwqConfig {
                     use_window_reduction: cfg.use_window_reduction,
                 };
-                let res = sbwq_rec(&w, &sbwq_cfg, &mvr, Some((&client, tune_in)), rec)
+                let res = sbwq_rec(&w, &sbwq_cfg, &mvr, Some((&client, tune_in)), scratch, rec)
                     .resolved()
                     .expect("channel fallback always resolves");
                 let degraded = res.air.is_some_and(|a| a.is_degraded());
@@ -631,7 +670,7 @@ impl EpochCtx<'_> {
                     ResolvedBy::PeersVerified => (Resolution::Peers, None),
                     _ => (Resolution::Broadcast, Some(res.coverage)),
                 };
-                let base = client.window(tune_in, &w);
+                let base = client.window_rec(tune_in, &w, scratch, &mut NoopRecorder);
                 let mut out = QueryOutcome {
                     share,
                     degraded,

@@ -1,0 +1,154 @@
+//! Pins fixed-seed simulation output to values captured **before** the
+//! hot-path optimization pass (table-driven Hilbert codec, iterative
+//! decomposition, scratch-buffer query path, closed-form schedule math).
+//!
+//! Every optimization in that pass claims bit-identical results; this
+//! test is the end-to-end enforcement. If any of these numbers moves,
+//! an "optimization" changed observable behavior and must be fixed, or
+//! the change is intentionally semantic and the pins must be re-captured
+//! with a note in the commit message explaining why.
+//!
+//! Reference values were captured at commit 5566f57 (the last commit
+//! before the optimization pass) on the exact configuration below.
+
+use airshare_exec::ExecPool;
+use airshare_sim::{params, QueryKind, SimConfig, SimReport, Simulation};
+
+/// The same configuration as the engine's `tiny_cfg` unit-test helper:
+/// small enough to run in well under a second, large enough to exercise
+/// peer resolution, the approximate tier, bound filtering, window
+/// reduction, and the broadcast fallback.
+fn pin_cfg(kind: QueryKind) -> SimConfig {
+    let mut p = params::la_city().scaled(0.005);
+    p.cache_size = 30;
+    let mut cfg = SimConfig::paper_defaults(p, kind, 42);
+    cfg.warmup_min = 5.0;
+    cfg.measure_min = 10.0;
+    cfg.validate = true;
+    cfg.hilbert_order = 6;
+    cfg
+}
+
+/// The pinned slice of a report. Floats are compared via `to_bits`, so
+/// the pin is exact, not epsilon-approximate.
+#[derive(Debug, PartialEq, Eq)]
+struct Pin {
+    total: u64,
+    by_peers: u64,
+    by_approx: u64,
+    by_broadcast: u64,
+    broadcast_latency_sum: u64,
+    broadcast_latency_count: u64,
+    broadcast_latency_max: u64,
+    broadcast_tuning_sum: u64,
+    broadcast_buckets_sum: u64,
+    baseline_latency_sum: u64,
+    baseline_tuning_sum: u64,
+    filter_saved_buckets: u64,
+    share_peers_contacted: u64,
+    share_peers_with_data: u64,
+    share_pois: u64,
+    exact_mismatches: u64,
+    calibration_len: usize,
+    partial_coverage_sum_bits: u64,
+    partial_coverage_count: u64,
+}
+
+impl Pin {
+    fn of(r: &SimReport) -> Self {
+        Pin {
+            total: r.queries.total,
+            by_peers: r.queries.by_peers,
+            by_approx: r.queries.by_approx,
+            by_broadcast: r.queries.by_broadcast,
+            broadcast_latency_sum: r.broadcast_latency.sum,
+            broadcast_latency_count: r.broadcast_latency.count,
+            broadcast_latency_max: r.broadcast_latency.max,
+            broadcast_tuning_sum: r.broadcast_tuning.sum,
+            broadcast_buckets_sum: r.broadcast_buckets.sum,
+            baseline_latency_sum: r.baseline_latency.sum,
+            baseline_tuning_sum: r.baseline_tuning.sum,
+            filter_saved_buckets: r.filter_saved_buckets,
+            share_peers_contacted: r.share_peers_contacted,
+            share_peers_with_data: r.share_peers_with_data,
+            share_pois: r.share_pois,
+            exact_mismatches: r.exact_mismatches,
+            calibration_len: r.calibration.len(),
+            partial_coverage_sum_bits: r.partial_coverage_sum.to_bits(),
+            partial_coverage_count: r.partial_coverage_count,
+        }
+    }
+}
+
+/// Captured pre-optimization reference for the kNN workload.
+const KNN_PIN: Pin = Pin {
+    total: 287,
+    by_peers: 100,
+    by_approx: 78,
+    by_broadcast: 109,
+    broadcast_latency_sum: 476,
+    broadcast_latency_count: 109,
+    broadcast_latency_max: 5,
+    broadcast_tuning_sum: 423,
+    broadcast_buckets_sum: 205,
+    baseline_latency_sum: 1295,
+    baseline_tuning_sum: 1141,
+    filter_saved_buckets: 6,
+    share_peers_contacted: 4980,
+    share_peers_with_data: 2266,
+    share_pois: 14344,
+    exact_mismatches: 0,
+    calibration_len: 78,
+    partial_coverage_sum_bits: 0x0,
+    partial_coverage_count: 0,
+};
+
+/// Captured pre-optimization reference for the window workload.
+const WINDOW_PIN: Pin = Pin {
+    total: 287,
+    by_peers: 73,
+    by_approx: 0,
+    by_broadcast: 214,
+    broadcast_latency_sum: 793,
+    broadcast_latency_count: 214,
+    broadcast_latency_max: 5,
+    broadcast_tuning_sum: 691,
+    broadcast_buckets_sum: 263,
+    baseline_latency_sum: 1133,
+    baseline_tuning_sum: 962,
+    filter_saved_buckets: 0,
+    share_peers_contacted: 4980,
+    share_peers_with_data: 2266,
+    share_pois: 1379,
+    exact_mismatches: 0,
+    calibration_len: 0,
+    partial_coverage_sum_bits: 0x4065b28614f813fd,
+    partial_coverage_count: 214,
+};
+
+#[test]
+fn knn_run_matches_pre_optimization_reference() {
+    let report = Simulation::try_new(pin_cfg(QueryKind::Knn)).unwrap().run();
+    assert_eq!(Pin::of(&report), KNN_PIN);
+}
+
+#[test]
+fn window_run_matches_pre_optimization_reference() {
+    let report = Simulation::try_new(pin_cfg(QueryKind::Window))
+        .unwrap()
+        .run();
+    assert_eq!(Pin::of(&report), WINDOW_PIN);
+}
+
+#[test]
+fn parallel_runs_match_pre_optimization_reference() {
+    let pool = ExecPool::fixed(4);
+    let knn = Simulation::try_new(pin_cfg(QueryKind::Knn))
+        .unwrap()
+        .run_parallel(&pool);
+    assert_eq!(Pin::of(&knn), KNN_PIN);
+    let window = Simulation::try_new(pin_cfg(QueryKind::Window))
+        .unwrap()
+        .run_parallel(&pool);
+    assert_eq!(Pin::of(&window), WINDOW_PIN);
+}
