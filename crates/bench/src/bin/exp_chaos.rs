@@ -1,0 +1,72 @@
+//! Fleet-level chaos: host churn × base-station outages, with peer
+//! quarantine active throughout.
+//!
+//! Runs the 3×3 (crash rate, outage fraction) grid from
+//! [`airshare_bench::chaos`] and asserts the chaos oracle on every cell:
+//! exact answers match ground truth, non-exact answers respect their
+//! declared bound, and the zero-chaos cell serves every query `Exact`.
+//! Per-quality answer counts land in `BENCH_chaos.json`.
+
+fn main() {
+    let scale = airshare_bench::ExpScale::from_env();
+    let rows = airshare_bench::chaos(&scale);
+
+    let mut entries = Vec::new();
+    for r in &rows {
+        assert_eq!(
+            r.bound_violations, 0,
+            "chaos oracle: a non-exact answer broke its bound at crash={} outage={}",
+            r.crash_prob, r.outage_frac
+        );
+        assert_eq!(
+            r.mismatches, 0,
+            "chaos oracle: an exact answer was wrong at crash={} outage={}",
+            r.crash_prob, r.outage_frac
+        );
+        if r.crash_prob == 0.0 && r.outage_frac == 0.0 {
+            assert_eq!(r.stale, 0, "stale answers without an outage");
+            assert_eq!(r.failed, 0, "failed answers without an outage");
+            assert_eq!(r.crashes, 0, "crashes with churn disabled");
+        }
+        if r.outage_frac > 0.0 {
+            assert!(
+                r.stale + r.failed > 0,
+                "outage fraction {} produced no degraded service",
+                r.outage_frac
+            );
+            assert!(r.resyncs > 0, "nobody resynced after the outage");
+        }
+        if r.crash_prob > 0.0 {
+            assert!(r.crashes > 0, "crash rate {} crashed nobody", r.crash_prob);
+            assert!(r.restarts > 0, "crashes were never followed by restarts");
+        }
+        entries.push(format!(
+            "  {{\"crash_prob\": {}, \"outage_frac\": {}, \
+             \"exact\": {}, \"degraded\": {}, \"stale\": {}, \"failed\": {}, \
+             \"mean_stale_age_min\": {:.4}, \"max_stale_age_min\": {:.4}, \
+             \"crashes\": {}, \"restarts\": {}, \"resyncs\": {}, \
+             \"quarantine_strikes\": {}, \"peers_quarantined\": {}, \
+             \"bound_violations\": {}, \"mismatches\": {}}}",
+            r.crash_prob,
+            r.outage_frac,
+            r.exact,
+            r.degraded,
+            r.stale,
+            r.failed,
+            r.mean_stale_age_min,
+            r.max_stale_age_min,
+            r.crashes,
+            r.restarts,
+            r.resyncs,
+            r.quarantine_strikes,
+            r.peers_quarantined,
+            r.bound_violations,
+            r.mismatches
+        ));
+    }
+    println!("(all cells passed the chaos-oracle assertions)");
+
+    let json = format!("[\n{}\n]\n", entries.join(",\n"));
+    std::fs::write("BENCH_chaos.json", &json).expect("write BENCH_chaos.json");
+    println!("wrote BENCH_chaos.json");
+}

@@ -766,3 +766,132 @@ pub fn m_sweep() -> Vec<MSweepRow> {
     }
     rows
 }
+
+// ----------------------------------------------------------------------
+// Chaos sweep (churn × outages — DESIGN.md §12)
+// ----------------------------------------------------------------------
+
+/// One chaos-sweep data point: a (crash rate, outage fraction) cell.
+#[derive(Clone, Debug)]
+pub struct ChaosRow {
+    /// Per-host per-epoch crash probability swept.
+    pub crash_prob: f64,
+    /// Fraction of the measured epochs spent in base-station outage.
+    pub outage_frac: f64,
+    /// Measured queries answered `Exact`.
+    pub exact: u64,
+    /// Measured queries answered `Degraded` (lossy retrieval).
+    pub degraded: u64,
+    /// Measured queries answered `Stale` (outage, cached/peer data).
+    pub stale: u64,
+    /// Measured queries answered `Failed` (outage, no covering data).
+    pub failed: u64,
+    /// Mean staleness bound over `Stale` answers (minutes).
+    pub mean_stale_age_min: f64,
+    /// Largest staleness bound observed (minutes).
+    pub max_stale_age_min: f64,
+    /// Host crash transitions applied.
+    pub crashes: u64,
+    /// Host restart / late-join transitions applied.
+    pub restarts: u64,
+    /// Hosts that resynchronized after answering through an outage.
+    pub resyncs: u64,
+    /// Quarantine strikes recorded against malforming peers.
+    pub quarantine_strikes: u64,
+    /// Peer contacts skipped because the peer was quarantined.
+    pub peers_quarantined: u64,
+    /// Chaos-oracle bound violations (must be 0).
+    pub bound_violations: u64,
+    /// Ground-truth mismatches among exact answers (must be 0).
+    pub mismatches: u64,
+}
+
+/// Sweeps host churn against broadcast outages on a 3×3 grid (with a
+/// small peer-malform rate throughout, so quarantine is exercised) and
+/// reports the per-quality answer counts plus the recovery counters.
+/// Validation stays on for every cell: the sweep doubles as the chaos
+/// oracle — non-`Exact` answers must respect their declared bound, and
+/// `Exact` answers must match ground truth, under every fault mix.
+pub fn chaos(scale: &ExpScale) -> Vec<ChaosRow> {
+    use airshare_sim::ChurnConfig;
+
+    let p = params::synthetic_suburbia();
+    let mut rows = Vec::new();
+    println!("\n## Chaos sweep — churn × outage (Synthetic Suburbia, kNN)");
+    println!(
+        "{:>7} {:>8} {:>7} {:>8} {:>6} {:>7} {:>9} {:>8} {:>8} {:>8} {:>7} {:>6}",
+        "crash%", "outage%", "exact", "degraded", "stale", "failed", "stale-age", "crashes",
+        "restart", "resyncs", "strikes", "wrong"
+    );
+
+    let mut points = Vec::new();
+    for crash_prob in [0.0, 0.01, 0.03] {
+        for outage_frac in [0.0, 0.15, 0.30] {
+            let mut cfg = scale.config(p, QueryKind::Knn, 4242);
+            cfg.validate = true;
+            cfg.faults.peer_malform_prob = 0.05;
+            cfg.churn = ChurnConfig {
+                crash_prob,
+                restart_prob: 0.3,
+                late_join_frac: if crash_prob > 0.0 { 0.1 } else { 0.0 },
+            };
+            cfg.outages = outage_windows(&cfg, outage_frac);
+            points.push(((crash_prob, outage_frac), cfg));
+        }
+    }
+    for ((crash_prob, outage_frac), r) in
+        sweep_pool().map(points, |_, (cell, cfg)| (cell, run(cfg)))
+    {
+        let row = ChaosRow {
+            crash_prob,
+            outage_frac,
+            exact: r.quality.exact,
+            degraded: r.quality.degraded,
+            stale: r.quality.stale,
+            failed: r.quality.failed,
+            mean_stale_age_min: r.mean_stale_age_min(),
+            max_stale_age_min: r.stale_age_min_max,
+            crashes: r.hosts_crashed,
+            restarts: r.hosts_restarted,
+            resyncs: r.outage_resyncs,
+            quarantine_strikes: r.faults.quarantine_strikes,
+            peers_quarantined: r.faults.peers_quarantined,
+            bound_violations: r.bound_violations,
+            mismatches: r.exact_mismatches,
+        };
+        println!(
+            "{:>7.0} {:>8.0} {:>7} {:>8} {:>6} {:>7} {:>9.2} {:>8} {:>8} {:>8} {:>7} {:>6}",
+            100.0 * row.crash_prob,
+            100.0 * row.outage_frac,
+            row.exact,
+            row.degraded,
+            row.stale,
+            row.failed,
+            row.mean_stale_age_min,
+            row.crashes,
+            row.restarts,
+            row.resyncs,
+            row.quarantine_strikes,
+            row.bound_violations + row.mismatches
+        );
+        rows.push(row);
+    }
+    rows
+}
+
+/// Carves `frac` of the measured epochs into two equal outage windows,
+/// one early and one late in the measurement phase. Returns an empty
+/// schedule for `frac <= 0`.
+fn outage_windows(cfg: &SimConfig, frac: f64) -> Vec<(u64, u64)> {
+    if frac <= 0.0 {
+        return Vec::new();
+    }
+    let warm = (cfg.warmup_min / cfg.epoch_min).ceil() as u64;
+    let total = (cfg.total_min() / cfg.epoch_min).ceil() as u64;
+    let span = total.saturating_sub(warm);
+    let silent = ((span as f64) * frac).round() as u64;
+    let half = (silent / 2).max(1);
+    let first = warm + span / 5;
+    let second = warm + (3 * span) / 5;
+    vec![(first, first + half), (second, second + half)]
+}

@@ -90,6 +90,16 @@ impl<'a> OnAirClient<'a> {
     /// budget is exhausted the bucket is abandoned and counted in
     /// [`AccessStats::lost_buckets`], so the caller can report the
     /// operation as degraded instead of returning silently wrong data.
+    ///
+    /// **Retry-budget contract** (the off-by-one, pinned by tests): a
+    /// budget of `N` permits up to `N` *re-fetches after* the free first
+    /// appearance, so at most `N + 1` appearances of each bucket are
+    /// examined. Budget 0 means single-shot: any corrupt appearance
+    /// immediately abandons the bucket. Each re-fetch adds one tick to
+    /// [`AccessStats::tuning`] and one to [`AccessStats::retries`]; on a
+    /// fully dead channel (`loss_prob == 1.0`) a retrieval therefore
+    /// books exactly `N` retries plus one lost bucket per requested
+    /// bucket, i.e. `N + 1` `FrameLost` events apiece.
     pub fn retrieve(&self, tune_in: u64, buckets: &[BucketId]) -> (Vec<Poi>, AccessStats) {
         self.retrieve_rec(tune_in, buckets, &mut NoopRecorder)
     }
@@ -572,6 +582,39 @@ mod tests {
         assert_eq!(stats.lost_buckets, 3);
         assert_eq!(stats.retries, 6); // 2 retries per bucket, all futile
         assert!(stats.is_degraded());
+    }
+
+    #[test]
+    fn retry_budget_contract_is_pinned_at_zero_one_and_n() {
+        // Budget N = up to N re-fetches after the free first appearance.
+        // On a fully dead channel every appearance is corrupt, so the
+        // counters are exact: N retries + 1 lost bucket per request, and
+        // N + 1 FrameLost events apiece.
+        use airshare_obs::MetricsRecorder;
+        let (index, schedule) = channel(200, 1);
+        let buckets = [0usize, 1, 2];
+        for budget in [0u32, 1, 5] {
+            let faults = ChannelFaults::from_loss_prob(1, 1.0, budget);
+            let client = OnAirClient::with_faults(&index, &schedule, &faults);
+            let mut rec = MetricsRecorder::new();
+            let (pois, stats) = client.retrieve_rec(0, &buckets, &mut rec);
+            assert!(pois.is_empty());
+            assert_eq!(stats.lost_buckets, buckets.len() as u64, "budget {budget}");
+            assert_eq!(
+                stats.retries,
+                u64::from(budget) * buckets.len() as u64,
+                "budget {budget}"
+            );
+            assert_eq!(
+                rec.snapshot().frames_lost_total,
+                u64::from(budget + 1) * buckets.len() as u64,
+                "budget {budget}"
+            );
+            // Each re-fetch costs one extra tuning tick over the
+            // lossless base of probe + index + data appearances.
+            let base = 1 + schedule.index_buckets() as u64 + buckets.len() as u64;
+            assert_eq!(stats.tuning, base + stats.retries, "budget {budget}");
+        }
     }
 
     #[test]

@@ -62,7 +62,10 @@ impl ChannelFaults {
         self.loss_prob
     }
 
-    /// Maximum re-fetch attempts after a lost appearance.
+    /// Maximum re-fetches *after* the free first appearance of each
+    /// bucket — budget `N` examines at most `N + 1` appearances, and
+    /// budget 0 means single-shot (any loss abandons the bucket). See
+    /// `OnAirClient::retrieve` for the full contract.
     pub fn retry_budget(&self) -> u32 {
         self.retry_budget
     }

@@ -37,6 +37,7 @@ mod bucket;
 mod client;
 mod fault;
 mod index;
+mod outage;
 mod poi;
 mod schedule;
 mod scratch;
@@ -46,6 +47,7 @@ pub use bucket::{Bucket, BucketId};
 pub use client::{OnAirClient, OnAirKnnResult, OnAirWindowResult};
 pub use fault::ChannelFaults;
 pub use index::{AirIndex, IndexError};
+pub use outage::OutageSchedule;
 pub use poi::{Poi, PoiCategory, PoiId};
 pub use schedule::{Schedule, ScheduleError};
 pub use scratch::QueryScratch;

@@ -17,6 +17,9 @@
 //! * [`ReplacementPolicy`] — the paper's direction + distance policy
 //!   (after Ren & Dunham's semantic caching), plus distance-only and LRU
 //!   baselines for the ablation benchmarks.
+//! * [`QuarantineLedger`] — per-host memory of misbehaving peers, with
+//!   seeded exponential backoff and strike decay, so the share protocol
+//!   stops re-contacting peers that return malformed data.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,7 +27,9 @@
 mod entry;
 mod host_cache;
 mod policy;
+mod quarantine;
 
 pub use entry::RegionEntry;
 pub use host_cache::{CacheContext, HostCache, InsertOutcome};
 pub use policy::ReplacementPolicy;
+pub use quarantine::{QuarantineConfig, QuarantineLedger};

@@ -26,6 +26,50 @@ impl ResolutionKind {
     }
 }
 
+/// The quality of one answered query, from best to worst.
+///
+/// Replaces the older binary "degraded" flag: under fleet-level chaos
+/// (base-station outages, host churn) an answer can be worse than
+/// *missing a few buckets* — it can be served entirely from possibly
+/// stale cached knowledge, or not at all. Every non-`Exact` quality
+/// carries a declared bound the chaos oracle can check: the answer set
+/// is a subset of the ground truth (window queries) or its distances
+/// dominate the true nearest neighbors (kNN).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AnswerQuality {
+    /// Resolved normally: verified peer data, an accepted approximate
+    /// answer, or a clean broadcast retrieval.
+    Exact,
+    /// The broadcast retrieval lost buckets past the retry budget; the
+    /// answer may be incomplete.
+    Degraded,
+    /// The channel was silent (base-station outage) and the answer was
+    /// served best-effort from cached/peer knowledge, tagged with a
+    /// staleness bound (minutes since the host last heard the channel).
+    Stale,
+    /// The channel was silent and no cached or peer knowledge covered
+    /// the query at all.
+    Failed,
+}
+
+impl AnswerQuality {
+    /// Stable string form (used by the JSONL trace).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AnswerQuality::Exact => "exact",
+            AnswerQuality::Degraded => "degraded",
+            AnswerQuality::Stale => "stale",
+            AnswerQuality::Failed => "failed",
+        }
+    }
+
+    /// Whether the answer may be treated as exact (complete and correct
+    /// under validation).
+    pub fn is_exact(self) -> bool {
+        self == AnswerQuality::Exact
+    }
+}
+
 /// Why a cache refused an offered entry.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum CacheRejectReason {
@@ -111,6 +155,55 @@ pub enum TraceEvent {
         /// answers).
         latency: u64,
     },
+    /// Quality grade of a measured query's answer (emitted by the
+    /// simulation engine after resolution; absent during warm-up).
+    QueryQuality {
+        /// The answer's quality tier.
+        quality: AnswerQuality,
+    },
+    /// A host crashed at an epoch boundary: it goes offline and its
+    /// cache (and quarantine memory) is wiped.
+    HostCrashed {
+        /// The crashed host's id.
+        host: u32,
+        /// The epoch at whose boundary the crash took effect.
+        epoch: u64,
+    },
+    /// A host came (back) online at an epoch boundary — a restart after
+    /// a crash, or a late joiner admitted mid-run. It starts cold.
+    HostRestarted {
+        /// The restarted host's id.
+        host: u32,
+        /// The epoch at whose boundary the host came online.
+        epoch: u64,
+    },
+    /// A query was issued while the base station was silent (outage
+    /// window): no channel fallback is available.
+    OutageBlocked {
+        /// Absolute channel tick of the blocked query.
+        tick: u64,
+    },
+    /// A host's first successful channel access after answering queries
+    /// through an outage: it is now resynchronized to the air index.
+    Resynced {
+        /// The resynchronized host's id.
+        host: u32,
+    },
+    /// A peer was struck for a malformed or consistency-failing reply
+    /// and is quarantined until the given epoch (seeded exponential
+    /// backoff with decay).
+    PeerQuarantined {
+        /// The offending peer's host id.
+        peer: u32,
+        /// First epoch at which the peer may be contacted again.
+        until_epoch: u64,
+    },
+    /// A share request skipped a peer because it is currently
+    /// quarantined.
+    QuarantinedPeerSkipped {
+        /// The skipped peer's host id.
+        peer: u32,
+    },
 }
 
 impl TraceEvent {
@@ -127,6 +220,13 @@ impl TraceEvent {
             TraceEvent::CacheHit { .. } => "cache_hit",
             TraceEvent::CacheRejected { .. } => "cache_rejected",
             TraceEvent::QueryResolved { .. } => "query_resolved",
+            TraceEvent::QueryQuality { .. } => "query_quality",
+            TraceEvent::HostCrashed { .. } => "host_crashed",
+            TraceEvent::HostRestarted { .. } => "host_restarted",
+            TraceEvent::OutageBlocked { .. } => "outage_blocked",
+            TraceEvent::Resynced { .. } => "resynced",
+            TraceEvent::PeerQuarantined { .. } => "peer_quarantined",
+            TraceEvent::QuarantinedPeerSkipped { .. } => "quarantined_peer_skipped",
         }
     }
 }
@@ -153,10 +253,38 @@ mod tests {
                 tuning: 0,
                 latency: 0,
             },
+            TraceEvent::QueryQuality {
+                quality: AnswerQuality::Stale,
+            },
+            TraceEvent::HostCrashed { host: 0, epoch: 1 },
+            TraceEvent::HostRestarted { host: 0, epoch: 2 },
+            TraceEvent::OutageBlocked { tick: 0 },
+            TraceEvent::Resynced { host: 0 },
+            TraceEvent::PeerQuarantined {
+                peer: 0,
+                until_epoch: 3,
+            },
+            TraceEvent::QuarantinedPeerSkipped { peer: 0 },
         ];
         let mut names: Vec<&str> = events.iter().map(TraceEvent::name).collect();
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), events.len());
+    }
+
+    #[test]
+    fn answer_quality_strings_are_stable_and_distinct() {
+        let all = [
+            AnswerQuality::Exact,
+            AnswerQuality::Degraded,
+            AnswerQuality::Stale,
+            AnswerQuality::Failed,
+        ];
+        let mut names: Vec<&str> = all.iter().map(|q| q.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+        assert!(AnswerQuality::Exact.is_exact());
+        assert!(!AnswerQuality::Stale.is_exact());
     }
 }

@@ -35,7 +35,7 @@ mod event;
 mod recorder;
 pub mod stats;
 
-pub use event::{CacheRejectReason, ResolutionKind, TraceEvent};
+pub use event::{AnswerQuality, CacheRejectReason, ResolutionKind, TraceEvent};
 pub use recorder::{JsonlTraceRecorder, MetricsRecorder, MetricsSnapshot, NoopRecorder, Recorder};
 pub use stats::{
     AccessStats, Counter, FaultStats, Histogram, LatencySummary, PercentileSummary, ShareStats,

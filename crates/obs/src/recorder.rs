@@ -1,6 +1,6 @@
 //! The `Recorder` sink trait and the concrete recorders.
 
-use crate::event::{ResolutionKind, TraceEvent};
+use crate::event::{AnswerQuality, ResolutionKind, TraceEvent};
 use crate::stats::{Counter, Histogram, PercentileSummary};
 use std::fmt::Write as _;
 
@@ -62,6 +62,26 @@ pub struct MetricsSnapshot {
     pub cache_hits_total: u64,
     /// Cache admissions refused.
     pub cache_rejected_total: u64,
+    /// Measured answers graded `Exact`.
+    pub answers_exact: u64,
+    /// Measured answers graded `Degraded` (lost buckets).
+    pub answers_degraded: u64,
+    /// Measured answers graded `Stale` (served through an outage).
+    pub answers_stale: u64,
+    /// Measured answers graded `Failed` (outage, no knowledge).
+    pub answers_failed: u64,
+    /// Host crashes applied at epoch boundaries.
+    pub hosts_crashed_total: u64,
+    /// Host restarts / late-join admissions at epoch boundaries.
+    pub hosts_restarted_total: u64,
+    /// Queries issued while the base station was silent.
+    pub outages_blocked_total: u64,
+    /// Hosts resynchronized to the index after an outage.
+    pub resyncs_total: u64,
+    /// Quarantine strikes booked against peers.
+    pub quarantine_strikes_total: u64,
+    /// Peer contacts avoided due to active quarantine.
+    pub quarantine_skips_total: u64,
     /// Tuning-time percentiles across resolved queries (ticks).
     pub tuning: PercentileSummary,
     /// Access-latency percentiles across resolved queries (ticks).
@@ -97,6 +117,16 @@ impl MetricsSnapshot {
         self.peer_replies_dropped += other.peer_replies_dropped;
         self.cache_hits_total += other.cache_hits_total;
         self.cache_rejected_total += other.cache_rejected_total;
+        self.answers_exact += other.answers_exact;
+        self.answers_degraded += other.answers_degraded;
+        self.answers_stale += other.answers_stale;
+        self.answers_failed += other.answers_failed;
+        self.hosts_crashed_total += other.hosts_crashed_total;
+        self.hosts_restarted_total += other.hosts_restarted_total;
+        self.outages_blocked_total += other.outages_blocked_total;
+        self.resyncs_total += other.resyncs_total;
+        self.quarantine_strikes_total += other.quarantine_strikes_total;
+        self.quarantine_skips_total += other.quarantine_skips_total;
         self.tuning_hist.merge(&other.tuning_hist);
         self.latency_hist.merge(&other.latency_hist);
         self.tuning = self.tuning_hist.percentiles();
@@ -124,6 +154,16 @@ pub struct MetricsRecorder {
     replies_dropped: Counter,
     cache_hits: Counter,
     cache_rejected: Counter,
+    answers_exact: Counter,
+    answers_degraded: Counter,
+    answers_stale: Counter,
+    answers_failed: Counter,
+    hosts_crashed: Counter,
+    hosts_restarted: Counter,
+    outages_blocked: Counter,
+    resyncs: Counter,
+    quarantine_strikes: Counter,
+    quarantine_skips: Counter,
     tuning: Histogram,
     latency: Histogram,
 }
@@ -149,6 +189,16 @@ impl MetricsRecorder {
             peer_replies_dropped: self.replies_dropped.get(),
             cache_hits_total: self.cache_hits.get(),
             cache_rejected_total: self.cache_rejected.get(),
+            answers_exact: self.answers_exact.get(),
+            answers_degraded: self.answers_degraded.get(),
+            answers_stale: self.answers_stale.get(),
+            answers_failed: self.answers_failed.get(),
+            hosts_crashed_total: self.hosts_crashed.get(),
+            hosts_restarted_total: self.hosts_restarted.get(),
+            outages_blocked_total: self.outages_blocked.get(),
+            resyncs_total: self.resyncs.get(),
+            quarantine_strikes_total: self.quarantine_strikes.get(),
+            quarantine_skips_total: self.quarantine_skips.get(),
             tuning: self.tuning.percentiles(),
             latency: self.latency.percentiles(),
             tuning_hist: self.tuning.clone(),
@@ -171,6 +221,16 @@ impl MetricsRecorder {
         self.replies_dropped.merge(other.replies_dropped);
         self.cache_hits.merge(other.cache_hits);
         self.cache_rejected.merge(other.cache_rejected);
+        self.answers_exact.merge(other.answers_exact);
+        self.answers_degraded.merge(other.answers_degraded);
+        self.answers_stale.merge(other.answers_stale);
+        self.answers_failed.merge(other.answers_failed);
+        self.hosts_crashed.merge(other.hosts_crashed);
+        self.hosts_restarted.merge(other.hosts_restarted);
+        self.outages_blocked.merge(other.outages_blocked);
+        self.resyncs.merge(other.resyncs);
+        self.quarantine_strikes.merge(other.quarantine_strikes);
+        self.quarantine_skips.merge(other.quarantine_skips);
         self.tuning.merge(&other.tuning);
         self.latency.merge(&other.latency);
     }
@@ -204,6 +264,18 @@ impl Recorder for MetricsRecorder {
                 self.tuning.record(tuning);
                 self.latency.record(latency);
             }
+            TraceEvent::QueryQuality { quality } => match quality {
+                AnswerQuality::Exact => self.answers_exact.incr(),
+                AnswerQuality::Degraded => self.answers_degraded.incr(),
+                AnswerQuality::Stale => self.answers_stale.incr(),
+                AnswerQuality::Failed => self.answers_failed.incr(),
+            },
+            TraceEvent::HostCrashed { .. } => self.hosts_crashed.incr(),
+            TraceEvent::HostRestarted { .. } => self.hosts_restarted.incr(),
+            TraceEvent::OutageBlocked { .. } => self.outages_blocked.incr(),
+            TraceEvent::Resynced { .. } => self.resyncs.incr(),
+            TraceEvent::PeerQuarantined { .. } => self.quarantine_strikes.incr(),
+            TraceEvent::QuarantinedPeerSkipped { .. } => self.quarantine_skips.incr(),
         }
     }
 }
@@ -297,6 +369,35 @@ impl Recorder for JsonlTraceRecorder {
                 self.buf,
                 "{{\"query\":{q},\"event\":\"{name}\",\"by\":\"{}\",\"tuning\":{tuning},\"latency\":{latency}}}",
                 by.as_str()
+            ),
+            TraceEvent::QueryQuality { quality } => writeln!(
+                self.buf,
+                "{{\"query\":{q},\"event\":\"{name}\",\"quality\":\"{}\"}}",
+                quality.as_str()
+            ),
+            TraceEvent::HostCrashed { host, epoch } => writeln!(
+                self.buf,
+                "{{\"query\":{q},\"event\":\"{name}\",\"host\":{host},\"epoch\":{epoch}}}"
+            ),
+            TraceEvent::HostRestarted { host, epoch } => writeln!(
+                self.buf,
+                "{{\"query\":{q},\"event\":\"{name}\",\"host\":{host},\"epoch\":{epoch}}}"
+            ),
+            TraceEvent::OutageBlocked { tick } => writeln!(
+                self.buf,
+                "{{\"query\":{q},\"event\":\"{name}\",\"tick\":{tick}}}"
+            ),
+            TraceEvent::Resynced { host } => writeln!(
+                self.buf,
+                "{{\"query\":{q},\"event\":\"{name}\",\"host\":{host}}}"
+            ),
+            TraceEvent::PeerQuarantined { peer, until_epoch } => writeln!(
+                self.buf,
+                "{{\"query\":{q},\"event\":\"{name}\",\"peer\":{peer},\"until_epoch\":{until_epoch}}}"
+            ),
+            TraceEvent::QuarantinedPeerSkipped { peer } => writeln!(
+                self.buf,
+                "{{\"query\":{q},\"event\":\"{name}\",\"peer\":{peer}}}"
             ),
         };
     }
@@ -419,6 +520,58 @@ mod tests {
         let before = merged.clone();
         merged.merge(&MetricsRecorder::new().snapshot());
         assert_eq!(merged, before);
+    }
+
+    #[test]
+    fn chaos_events_aggregate_and_render() {
+        let chaos = [
+            TraceEvent::HostCrashed { host: 3, epoch: 7 },
+            TraceEvent::HostRestarted { host: 3, epoch: 9 },
+            TraceEvent::OutageBlocked { tick: 4200 },
+            TraceEvent::QueryQuality {
+                quality: AnswerQuality::Stale,
+            },
+            TraceEvent::QueryQuality {
+                quality: AnswerQuality::Failed,
+            },
+            TraceEvent::QueryQuality {
+                quality: AnswerQuality::Exact,
+            },
+            TraceEvent::Resynced { host: 3 },
+            TraceEvent::PeerQuarantined {
+                peer: 5,
+                until_epoch: 12,
+            },
+            TraceEvent::QuarantinedPeerSkipped { peer: 5 },
+        ];
+        let mut m = MetricsRecorder::new();
+        m.begin_query(0, 0);
+        for e in chaos {
+            m.record(e);
+        }
+        let s = m.snapshot();
+        assert_eq!(s.hosts_crashed_total, 1);
+        assert_eq!(s.hosts_restarted_total, 1);
+        assert_eq!(s.outages_blocked_total, 1);
+        assert_eq!(s.answers_exact, 1);
+        assert_eq!(s.answers_stale, 1);
+        assert_eq!(s.answers_failed, 1);
+        assert_eq!(s.answers_degraded, 0);
+        assert_eq!(s.resyncs_total, 1);
+        assert_eq!(s.quarantine_strikes_total, 1);
+        assert_eq!(s.quarantine_skips_total, 1);
+
+        let mut t = JsonlTraceRecorder::new();
+        t.begin_query(1, 0);
+        for e in chaos {
+            t.record(e);
+        }
+        let log = t.into_string();
+        assert!(log.contains(
+            "{\"query\":1,\"event\":\"peer_quarantined\",\"peer\":5,\"until_epoch\":12}"
+        ));
+        assert!(log.contains("{\"query\":1,\"event\":\"query_quality\",\"quality\":\"stale\"}"));
+        assert!(log.contains("{\"query\":1,\"event\":\"host_crashed\",\"host\":3,\"epoch\":7}"));
     }
 
     #[test]

@@ -66,6 +66,11 @@ pub struct ShareStats {
     /// Regions rejected by validation (malformed shape, disjoint from
     /// the world, or POIs outside the claimed region).
     pub regions_rejected: usize,
+    /// Peers skipped because they were under active quarantine.
+    pub peers_quarantined: usize,
+    /// Peers struck (newly or re-quarantined) during this exchange for
+    /// malformed or consistency-failing replies.
+    pub peers_struck: usize,
 }
 
 /// Run-level fault accounting, grouped in one place.
@@ -85,6 +90,11 @@ pub struct FaultStats {
     pub replies_dropped: u64,
     /// Shared regions rejected by validation.
     pub regions_rejected: u64,
+    /// Peer contacts avoided because the peer was under quarantine.
+    pub peers_quarantined: u64,
+    /// Quarantine strikes booked against peers for malformed or
+    /// consistency-failing replies.
+    pub quarantine_strikes: u64,
 }
 
 impl FaultStats {

@@ -18,10 +18,26 @@ pub struct NeighborGrid {
 impl NeighborGrid {
     /// Builds a grid over host positions (index = host id).
     pub fn build(positions: Vec<Point>, cell: f64) -> Self {
+        Self::build_filtered(positions, cell, |_| true)
+    }
+
+    /// Builds a grid where only hosts with `online[i] == true` are
+    /// discoverable. Positions are kept for *all* hosts (so
+    /// [`NeighborGrid::position`] stays total — multihop relays need
+    /// it), but offline hosts never appear in any neighbor query:
+    /// a crashed or not-yet-joined host is radio-silent.
+    pub fn build_active(positions: Vec<Point>, cell: f64, online: &[bool]) -> Self {
+        assert_eq!(positions.len(), online.len(), "one flag per host");
+        Self::build_filtered(positions, cell, |i| online[i])
+    }
+
+    fn build_filtered(positions: Vec<Point>, cell: f64, keep: impl Fn(usize) -> bool) -> Self {
         assert!(cell > 0.0 && cell.is_finite(), "cell size must be positive");
         let mut buckets: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
         for (i, p) in positions.iter().enumerate() {
-            buckets.entry(Self::key(*p, cell)).or_default().push(i);
+            if keep(i) {
+                buckets.entry(Self::key(*p, cell)).or_default().push(i);
+            }
         }
         Self {
             cell,
@@ -165,6 +181,28 @@ mod tests {
         let g = NeighborGrid::build(pts, 1.0);
         let n = g.neighbors_within(Point::new(-0.4, -0.4), 0.3, None);
         assert_eq!(n, vec![0]);
+    }
+
+    #[test]
+    fn offline_hosts_are_invisible_but_addressable() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(0.1, 0.0), Point::new(0.2, 0.0)];
+        let online = [true, false, true];
+        let g = NeighborGrid::build_active(pts, 1.0, &online);
+        let mut n = g.neighbors_within(Point::ORIGIN, 1.0, None);
+        n.sort_unstable();
+        assert_eq!(n, vec![0, 2], "offline host 1 must not be discoverable");
+        // Positions stay total: relays can still be located by id.
+        assert_eq!(g.position(1), Point::new(0.1, 0.0));
+        assert_eq!(g.len(), 3);
+        // All-online build_active matches plain build.
+        let pts2 = vec![Point::new(0.0, 0.0), Point::new(0.1, 0.0)];
+        let a = NeighborGrid::build_active(pts2.clone(), 1.0, &[true, true]);
+        let b = NeighborGrid::build(pts2, 1.0);
+        let mut na = a.neighbors_within(Point::ORIGIN, 1.0, None);
+        let mut nb = b.neighbors_within(Point::ORIGIN, 1.0, None);
+        na.sort_unstable();
+        nb.sort_unstable();
+        assert_eq!(na, nb);
     }
 
     #[test]

@@ -24,6 +24,7 @@ mod protocol;
 pub use grid::NeighborGrid;
 pub use protocol::{
     gather_peer_data, gather_peer_data_checked, gather_peer_data_checked_rec,
-    gather_peer_data_multihop, gather_peer_data_multihop_checked,
-    gather_peer_data_multihop_checked_rec, sanitize_regions, PeerReply, ShareFaults,
+    gather_peer_data_guarded_rec, gather_peer_data_multihop, gather_peer_data_multihop_checked,
+    gather_peer_data_multihop_checked_rec, gather_peer_data_multihop_guarded_rec,
+    sanitize_regions, PeerReply, QuarantineGuard, ShareFaults,
 };

@@ -2,9 +2,19 @@
 
 use crate::NeighborGrid;
 use airshare_broadcast::{ChannelFaults, Poi, PoiCategory};
-use airshare_cache::HostCache;
+use airshare_cache::{HostCache, QuarantineLedger};
 use airshare_geom::{Point, Rect};
 use airshare_obs::{NoopRecorder, Recorder, ShareStats, TraceEvent};
+
+/// Salt xor-ed into the nonce for malform decisions so they draw an
+/// independent hash from drop decisions. Without it, both events would
+/// share one uniform variate per `(nonce, peer)` and a reply could
+/// never malform when `malform_prob <= drop_prob`.
+const MALFORM_NONCE_SALT: u64 = 0x3A1F_A17E_D000_0001;
+
+/// A quarantine guard for one share exchange: the querying host's
+/// ledger plus the current epoch the decisions are evaluated at.
+pub type QuarantineGuard<'a> = Option<(&'a mut QuarantineLedger, u64)>;
 
 /// One peer's reply to a share request: its verified regions with their
 /// POIs (`⟨p.VR, p.O⟩` in the paper's notation).
@@ -24,6 +34,10 @@ pub struct ShareFaults<'a> {
     pub faults: Option<&'a ChannelFaults>,
     /// Probability that a contacted peer's reply is lost in transit.
     pub drop_prob: f64,
+    /// Probability that a peer's reply arrives structurally malformed
+    /// (bit-flipped region coordinates); sanitation rejects it whole and
+    /// the quarantine guard, when present, strikes the peer.
+    pub malform_prob: f64,
     /// Identifies this query so drop decisions are unique per exchange
     /// yet reproducible across runs.
     pub nonce: u64,
@@ -34,6 +48,20 @@ impl ShareFaults<'_> {
     pub fn drops_reply(&self, peer: usize) -> bool {
         match self.faults {
             Some(f) => f.event_fires(self.drop_prob, self.nonce, peer as u64),
+            None => false,
+        }
+    }
+
+    /// Whether this exchange's reply from `peer` arrives malformed.
+    /// Hashed under a salted nonce so the decision is independent of
+    /// [`ShareFaults::drops_reply`] for the same `(nonce, peer)`.
+    pub fn malforms_reply(&self, peer: usize) -> bool {
+        match self.faults {
+            Some(f) => f.event_fires(
+                self.malform_prob,
+                self.nonce ^ MALFORM_NONCE_SALT,
+                peer as u64,
+            ),
             None => false,
         }
     }
@@ -78,26 +106,38 @@ pub fn sanitize_regions(
     (out, rejected)
 }
 
-/// Collects validated replies from `peers`, applying drop decisions and
-/// accumulating traffic stats. Each contact, dropped reply, and
-/// data-bearing reply (as a `CacheHit` with the contributed region
-/// count) is traced into `rec`.
+/// Collects validated replies from `peers`, applying drop and malform
+/// decisions and accumulating traffic stats. Each contact, dropped
+/// reply, and data-bearing reply (as a `CacheHit` with the contributed
+/// region count) is traced into `rec`.
+///
+/// When a quarantine `guard` is present, currently-quarantined peers
+/// are skipped *before* any contact (they cost no request message), and
+/// a peer whose reply fails sanitation is struck and quarantined with
+/// seeded exponential backoff. With `guard: None` (or an empty ledger)
+/// the exchange is byte-identical to the pre-quarantine protocol.
 fn collect_replies(
     peers: Vec<usize>,
     category: PoiCategory,
     caches: &[HostCache],
     world: Option<&Rect>,
     faults: ShareFaults<'_>,
+    mut guard: QuarantineGuard<'_>,
     rec: &mut dyn Recorder,
 ) -> (Vec<PeerReply>, ShareStats) {
-    let mut stats = ShareStats {
-        peers_contacted: peers.len(),
-        ..ShareStats::default()
-    };
+    let mut stats = ShareStats::default();
     let mut replies = Vec::new();
     for peer in peers {
+        if let Some((ledger, epoch)) = guard.as_ref() {
+            if ledger.is_quarantined(peer, *epoch) {
+                rec.record(TraceEvent::QuarantinedPeerSkipped { peer: peer as u32 });
+                stats.peers_quarantined += 1;
+                continue;
+            }
+        }
+        stats.peers_contacted += 1;
         rec.record(TraceEvent::PeerContacted { peer: peer as u32 });
-        let regions = caches[peer].share_snapshot(category);
+        let mut regions = caches[peer].share_snapshot(category);
         if regions.is_empty() {
             continue;
         }
@@ -106,8 +146,26 @@ fn collect_replies(
             stats.replies_dropped += 1;
             continue;
         }
+        if faults.malforms_reply(peer) {
+            // Corrupt the reply in transit: a non-finite edge makes every
+            // region structurally malformed, so sanitation rejects the
+            // whole payload through its normal path.
+            for (r, _) in &mut regions {
+                r.x1 = f64::NAN;
+            }
+        }
         let (regions, rejected) = sanitize_regions(regions, world);
         stats.regions_rejected += rejected;
+        if rejected > 0 {
+            if let Some((ledger, epoch)) = guard.as_mut() {
+                let until = ledger.strike(peer, *epoch);
+                stats.peers_struck += 1;
+                rec.record(TraceEvent::PeerQuarantined {
+                    peer: peer as u32,
+                    until_epoch: until,
+                });
+            }
+        }
         if regions.is_empty() {
             continue;
         }
@@ -191,8 +249,40 @@ pub fn gather_peer_data_checked_rec(
     faults: ShareFaults<'_>,
     rec: &mut dyn Recorder,
 ) -> (Vec<PeerReply>, ShareStats) {
+    gather_peer_data_guarded_rec(
+        querier,
+        querier_pos,
+        range,
+        category,
+        grid,
+        caches,
+        world,
+        faults,
+        None,
+        rec,
+    )
+}
+
+/// [`gather_peer_data_checked_rec`] with a quarantine `guard`: peers the
+/// querier's ledger currently quarantines are skipped before contact,
+/// and peers whose replies fail sanitation are struck (see
+/// [`QuarantineLedger`]). A `None` guard reproduces the unguarded
+/// exchange exactly.
+#[allow(clippy::too_many_arguments)]
+pub fn gather_peer_data_guarded_rec(
+    querier: usize,
+    querier_pos: Point,
+    range: f64,
+    category: PoiCategory,
+    grid: &NeighborGrid,
+    caches: &[HostCache],
+    world: Option<&Rect>,
+    faults: ShareFaults<'_>,
+    guard: QuarantineGuard<'_>,
+    rec: &mut dyn Recorder,
+) -> (Vec<PeerReply>, ShareStats) {
     let peers = grid.neighbors_within(querier_pos, range, Some(querier));
-    collect_replies(peers, category, caches, world, faults, rec)
+    collect_replies(peers, category, caches, world, faults, guard, rec)
 }
 
 /// Multi-hop extension of [`gather_peer_data`]: peers relay the share
@@ -269,6 +359,39 @@ pub fn gather_peer_data_multihop_checked_rec(
     faults: ShareFaults<'_>,
     rec: &mut dyn Recorder,
 ) -> (Vec<PeerReply>, ShareStats) {
+    gather_peer_data_multihop_guarded_rec(
+        querier,
+        querier_pos,
+        range,
+        hops,
+        category,
+        grid,
+        caches,
+        world,
+        faults,
+        None,
+        rec,
+    )
+}
+
+/// [`gather_peer_data_multihop_checked_rec`] with a quarantine `guard`
+/// (see [`gather_peer_data_guarded_rec`]). Quarantined peers still relay
+/// the flood — quarantine distrusts a peer's *data*, not its radio —
+/// but their own replies are skipped.
+#[allow(clippy::too_many_arguments)]
+pub fn gather_peer_data_multihop_guarded_rec(
+    querier: usize,
+    querier_pos: Point,
+    range: f64,
+    hops: usize,
+    category: PoiCategory,
+    grid: &NeighborGrid,
+    caches: &[HostCache],
+    world: Option<&Rect>,
+    faults: ShareFaults<'_>,
+    guard: QuarantineGuard<'_>,
+    rec: &mut dyn Recorder,
+) -> (Vec<PeerReply>, ShareStats) {
     assert!(hops >= 1, "at least one hop");
     let mut visited = vec![false; caches.len()];
     if querier < visited.len() {
@@ -296,7 +419,7 @@ pub fn gather_peer_data_multihop_checked_rec(
         frontier = next;
     }
 
-    collect_replies(reached, category, caches, world, faults, rec)
+    collect_replies(reached, category, caches, world, faults, guard, rec)
 }
 
 #[cfg(test)]
@@ -450,6 +573,7 @@ mod tests {
         let all_dropped = ShareFaults {
             faults: Some(&model),
             drop_prob: 1.0,
+            malform_prob: 0.0,
             nonce: 42,
         };
         let (replies, stats) = gather_peer_data_checked(
@@ -472,6 +596,7 @@ mod tests {
         let some = ShareFaults {
             faults: Some(&model),
             drop_prob: 0.5,
+            malform_prob: 0.0,
             nonce: 42,
         };
         let run = || {
@@ -589,6 +714,7 @@ mod tests {
         let some = ShareFaults {
             faults: Some(&model),
             drop_prob: 0.5,
+            malform_prob: 0.0,
             nonce: 42,
         };
         let mut rec = MetricsRecorder::new();
@@ -620,6 +746,136 @@ mod tests {
         );
         assert_eq!(stats, s2);
         assert_eq!(replies.len(), r2.len());
+    }
+
+    #[test]
+    fn malform_decisions_are_independent_of_drops() {
+        // With malform_prob == drop_prob == 1.0 under the *same* nonce,
+        // a shared hash would make malform unobservable (the drop always
+        // wins the same variate). The salted nonce keeps them
+        // independent: with drops off, every reply malforms.
+        let positions: Vec<Point> = (0..5).map(|i| Point::new(i as f64 * 0.05, 0.0)).collect();
+        let mut caches: Vec<HostCache> = vec![HostCache::new(10, ReplacementPolicy::default())];
+        caches.extend(positions[1..].iter().map(|p| cache_with_region(*p)));
+        let grid = NeighborGrid::build(positions, 1.0);
+        let model = ChannelFaults::from_loss_prob(11, 0.0, 0);
+        let all_malformed = ShareFaults {
+            faults: Some(&model),
+            drop_prob: 0.0,
+            malform_prob: 1.0,
+            nonce: 42,
+        };
+        let (replies, stats) = gather_peer_data_checked(
+            0,
+            Point::new(0.0, 0.0),
+            1.0,
+            CAT,
+            &grid,
+            &caches,
+            None,
+            all_malformed,
+        );
+        assert!(replies.is_empty());
+        assert_eq!(stats.peers_contacted, 4);
+        assert_eq!(stats.replies_dropped, 0);
+        assert_eq!(stats.regions_rejected, 4);
+    }
+
+    #[test]
+    fn quarantine_guard_skips_and_strikes() {
+        use airshare_cache::{QuarantineConfig, QuarantineLedger};
+        let positions: Vec<Point> = (0..4).map(|i| Point::new(i as f64 * 0.05, 0.0)).collect();
+        let mut caches: Vec<HostCache> = vec![HostCache::new(10, ReplacementPolicy::default())];
+        caches.extend(positions[1..].iter().map(|p| cache_with_region(*p)));
+        let grid = NeighborGrid::build(positions, 1.0);
+        let model = ChannelFaults::from_loss_prob(11, 0.0, 0);
+        let all_malformed = ShareFaults {
+            faults: Some(&model),
+            drop_prob: 0.0,
+            malform_prob: 1.0,
+            nonce: 42,
+        };
+        let mut ledger = QuarantineLedger::new(QuarantineConfig::default(), 7);
+
+        // Exchange 1 at epoch 0: every reply malforms, every peer struck.
+        let (replies, stats) = gather_peer_data_guarded_rec(
+            0,
+            Point::new(0.0, 0.0),
+            1.0,
+            CAT,
+            &grid,
+            &caches,
+            None,
+            all_malformed,
+            Some((&mut ledger, 0)),
+            &mut NoopRecorder,
+        );
+        assert!(replies.is_empty());
+        assert_eq!(stats.peers_contacted, 3);
+        assert_eq!(stats.peers_struck, 3);
+        assert_eq!(stats.peers_quarantined, 0);
+        assert!(ledger.is_quarantined(1, 1));
+
+        // Exchange 2 at epoch 1: all three peers are quarantined and
+        // skipped before contact — no request messages at all.
+        let (replies2, stats2) = gather_peer_data_guarded_rec(
+            0,
+            Point::new(0.0, 0.0),
+            1.0,
+            CAT,
+            &grid,
+            &caches,
+            None,
+            all_malformed,
+            Some((&mut ledger, 1)),
+            &mut NoopRecorder,
+        );
+        assert!(replies2.is_empty());
+        assert_eq!(stats2.peers_contacted, 0);
+        assert_eq!(stats2.peers_quarantined, 3);
+        assert_eq!(stats2.peers_struck, 0);
+    }
+
+    #[test]
+    fn empty_guard_matches_unguarded_exchange() {
+        use airshare_cache::{QuarantineConfig, QuarantineLedger};
+        let positions: Vec<Point> = (0..6).map(|i| Point::new(i as f64 * 0.05, 0.0)).collect();
+        let mut caches: Vec<HostCache> = vec![HostCache::new(10, ReplacementPolicy::default())];
+        caches.extend(positions[1..].iter().map(|p| cache_with_region(*p)));
+        let grid = NeighborGrid::build(positions, 1.0);
+        let model = ChannelFaults::from_loss_prob(11, 0.0, 0);
+        let some = ShareFaults {
+            faults: Some(&model),
+            drop_prob: 0.5,
+            malform_prob: 0.0,
+            nonce: 42,
+        };
+        let mut ledger = QuarantineLedger::new(QuarantineConfig::default(), 7);
+        let (rg, sg) = gather_peer_data_guarded_rec(
+            0,
+            Point::new(0.0, 0.0),
+            1.0,
+            CAT,
+            &grid,
+            &caches,
+            None,
+            some,
+            Some((&mut ledger, 3)),
+            &mut NoopRecorder,
+        );
+        let (ru, su) = gather_peer_data_checked(
+            0,
+            Point::new(0.0, 0.0),
+            1.0,
+            CAT,
+            &grid,
+            &caches,
+            None,
+            some,
+        );
+        assert_eq!(sg, su, "an empty ledger must not perturb the exchange");
+        assert_eq!(rg.len(), ru.len());
+        assert!(ledger.is_empty(), "clean replies book no strikes");
     }
 
     #[test]

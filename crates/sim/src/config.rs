@@ -39,6 +39,9 @@ pub enum ConfigError {
     /// A probability knob is outside `[0, 1]` or non-finite. Carries the
     /// knob name and offending value.
     BadProbability(&'static str, f64),
+    /// An outage window is inverted or empty (`start >= end`). Carries
+    /// the offending `(start, end)` pair.
+    BadOutageWindow(u64, u64),
 }
 
 impl fmt::Display for ConfigError {
@@ -67,6 +70,9 @@ impl fmt::Display for ConfigError {
             ConfigError::BadProbability(name, v) => {
                 write!(f, "{name} must be a probability in [0, 1], got {v}")
             }
+            ConfigError::BadOutageWindow(s, e) => {
+                write!(f, "outage window must satisfy start < end, got [{s}, {e})")
+            }
         }
     }
 }
@@ -89,8 +95,14 @@ pub struct FaultConfig {
     pub bit_error_rate: f64,
     /// Probability that a contacted peer's share reply is lost.
     pub peer_drop_prob: f64,
+    /// Probability that a contacted peer's share reply arrives
+    /// structurally malformed (and, with quarantine active, gets the
+    /// peer struck).
+    pub peer_malform_prob: f64,
     /// Re-fetch attempts allowed per lost bucket before the query is
-    /// reported degraded.
+    /// reported degraded. Budget `N` means up to `N` re-fetches *after*
+    /// the free first appearance (`N + 1` appearances examined in
+    /// total); 0 means single-shot.
     pub retry_budget: u32,
 }
 
@@ -100,6 +112,7 @@ impl Default for FaultConfig {
             bucket_loss_prob: 0.0,
             bit_error_rate: 0.0,
             peer_drop_prob: 0.0,
+            peer_malform_prob: 0.0,
             // Inert until a rate is raised; three retries is a sane
             // starting budget once one is.
             retry_budget: 3,
@@ -110,7 +123,10 @@ impl Default for FaultConfig {
 impl FaultConfig {
     /// Whether every fault source is disabled.
     pub fn is_inert(&self) -> bool {
-        self.bucket_loss_prob <= 0.0 && self.bit_error_rate <= 0.0 && self.peer_drop_prob <= 0.0
+        self.bucket_loss_prob <= 0.0
+            && self.bit_error_rate <= 0.0
+            && self.peer_drop_prob <= 0.0
+            && self.peer_malform_prob <= 0.0
     }
 
     /// The combined per-appearance bucket loss probability for a given
@@ -127,6 +143,34 @@ impl FaultConfig {
     /// derive from the master simulation seed so runs stay reproducible.
     pub fn channel_faults(&self, seed: u64, frame_bytes: usize) -> ChannelFaults {
         ChannelFaults::from_loss_prob(seed, self.combined_loss_prob(frame_bytes), self.retry_budget)
+    }
+}
+
+/// Host-churn knobs: crashes, restarts, and late joiners, all decided
+/// per `(host, epoch)` by seeded hashing so the schedule is a pure
+/// function of the master seed. The default (all zeros) is inert — the
+/// whole fleet is online from epoch 0 to the end, bit-identical to a
+/// run without the churn layer.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ChurnConfig {
+    /// Per-epoch probability that an online host crashes at the next
+    /// epoch boundary. A crash wipes the host's volatile state (cache,
+    /// quarantine ledger, channel sync) and takes it off the air.
+    pub crash_prob: f64,
+    /// Per-epoch probability that a crashed host comes back online at
+    /// the next epoch boundary (cold: empty cache, needs resync).
+    pub restart_prob: f64,
+    /// Fraction of the fleet that starts *offline* and joins at a
+    /// seeded epoch mid-run (late joiners). The fleet size is fixed;
+    /// this carves the tail of the host array into deferred admissions.
+    pub late_join_frac: f64,
+}
+
+impl ChurnConfig {
+    /// Whether churn is disabled entirely (every host online for the
+    /// whole run).
+    pub fn is_inert(&self) -> bool {
+        self.crash_prob <= 0.0 && self.late_join_frac <= 0.0
     }
 }
 
@@ -227,6 +271,12 @@ pub struct SimConfig {
     pub calibration_cap: usize,
     /// Fault injection (lossy channel, flaky peers). Inert by default.
     pub faults: FaultConfig,
+    /// Host churn (crashes, restarts, late joiners). Inert by default.
+    pub churn: ChurnConfig,
+    /// Base-station outage windows as half-open `[start, end)` *epoch*
+    /// ranges: the broadcast channel is silent for every query whose
+    /// event falls in a listed epoch. Empty by default (always live).
+    pub outages: Vec<(u64, u64)>,
 }
 
 impl SimConfig {
@@ -260,6 +310,8 @@ impl SimConfig {
             validate: false,
             calibration_cap: 100_000,
             faults: FaultConfig::default(),
+            churn: ChurnConfig::default(),
+            outages: Vec::new(),
         }
     }
 
@@ -322,9 +374,18 @@ impl SimConfig {
             ("faults.bucket_loss_prob", self.faults.bucket_loss_prob),
             ("faults.bit_error_rate", self.faults.bit_error_rate),
             ("faults.peer_drop_prob", self.faults.peer_drop_prob),
+            ("faults.peer_malform_prob", self.faults.peer_malform_prob),
+            ("churn.crash_prob", self.churn.crash_prob),
+            ("churn.restart_prob", self.churn.restart_prob),
+            ("churn.late_join_frac", self.churn.late_join_frac),
         ] {
             if !(v.is_finite() && (0.0..=1.0).contains(&v)) {
                 return Err(ConfigError::BadProbability(name, v));
+            }
+        }
+        for &(s, e) in &self.outages {
+            if s >= e {
+                return Err(ConfigError::BadOutageWindow(s, e));
             }
         }
         Ok(())
@@ -427,6 +488,72 @@ mod tests {
             c.check(),
             Err(ConfigError::BadProbability("faults.bucket_loss_prob", 1.5))
         );
+    }
+
+    #[test]
+    fn check_rejects_bad_chaos_knobs() {
+        let good = || SimConfig::paper_defaults(params::la_city(), QueryKind::Knn, 1);
+        assert_eq!(good().check(), Ok(()));
+
+        let mut c = good();
+        c.faults.peer_malform_prob = f64::NAN;
+        assert!(matches!(
+            c.check(),
+            Err(ConfigError::BadProbability("faults.peer_malform_prob", _))
+        ));
+
+        let mut c = good();
+        c.churn.crash_prob = -0.1;
+        assert_eq!(
+            c.check(),
+            Err(ConfigError::BadProbability("churn.crash_prob", -0.1))
+        );
+
+        let mut c = good();
+        c.churn.restart_prob = 2.0;
+        assert_eq!(
+            c.check(),
+            Err(ConfigError::BadProbability("churn.restart_prob", 2.0))
+        );
+
+        let mut c = good();
+        c.churn.late_join_frac = f64::INFINITY;
+        assert!(matches!(
+            c.check(),
+            Err(ConfigError::BadProbability("churn.late_join_frac", _))
+        ));
+
+        // Inverted and empty outage windows are rejected; well-formed
+        // ones pass.
+        let mut c = good();
+        c.outages = vec![(5, 5)];
+        assert_eq!(c.check(), Err(ConfigError::BadOutageWindow(5, 5)));
+        c.outages = vec![(10, 4)];
+        assert_eq!(c.check(), Err(ConfigError::BadOutageWindow(10, 4)));
+        c.outages = vec![(2, 6), (8, 9)];
+        assert_eq!(c.check(), Ok(()));
+    }
+
+    #[test]
+    fn churn_config_default_is_inert() {
+        let churn = ChurnConfig::default();
+        assert!(churn.is_inert());
+        assert!(!ChurnConfig {
+            crash_prob: 0.01,
+            ..ChurnConfig::default()
+        }
+        .is_inert());
+        assert!(!ChurnConfig {
+            late_join_frac: 0.2,
+            ..ChurnConfig::default()
+        }
+        .is_inert());
+        // Malform alone also de-inerts the fault layer.
+        let f = FaultConfig {
+            peer_malform_prob: 0.05,
+            ..FaultConfig::default()
+        };
+        assert!(!f.is_inert());
     }
 
     #[test]

@@ -12,10 +12,13 @@
 
 use crate::{ConfigError, MobilityModel, QueryKind, SimConfig, SimReport};
 use airshare_broadcast::{
-    wire, AirIndex, ChannelFaults, OnAirClient, Poi, PoiCategory, QueryScratch, Schedule,
+    wire, AirIndex, ChannelFaults, OnAirClient, OutageSchedule, Poi, PoiCategory, QueryScratch,
+    Schedule,
 };
-use airshare_cache::{CacheContext, HostCache, RegionEntry};
-use airshare_core::{sbnn_rec, sbwq_rec, MergedRegion, ResolvedBy, SbnnConfig, SbwqConfig};
+use airshare_cache::{CacheContext, HostCache, QuarantineConfig, QuarantineLedger, RegionEntry};
+use airshare_core::{
+    sbnn_rec, sbwq_rec, MergedRegion, ResolvedBy, SbnnConfig, SbnnOutcome, SbwqConfig, SbwqOutcome,
+};
 use airshare_exec::{split_seed, ExecPool};
 use airshare_geom::{meters_to_miles, Point, Rect};
 use airshare_hilbert::Grid;
@@ -23,7 +26,7 @@ use airshare_mobility::{
     GridRoadWaypoint, Mobility, MobilityConfig, QueryScheduler, RandomWaypoint,
 };
 use airshare_obs::{
-    AccessStats, MetricsRecorder, NoopRecorder, Recorder, ShareStats, TraceEvent,
+    AccessStats, AnswerQuality, MetricsRecorder, NoopRecorder, Recorder, ShareStats, TraceEvent,
 };
 use airshare_p2p::{NeighborGrid, ShareFaults};
 use airshare_rtree::RTree;
@@ -37,6 +40,30 @@ const CAT: PoiCategory = PoiCategory::GAS_STATION;
 /// Salt separating the window-sampling seed domain from every other
 /// stream derived from the master seed.
 const WINDOW_SEED_SALT: u64 = 0x5EED_0001_CAFE_F00D;
+
+/// Seed domain for the churn decision source (crash schedule).
+const CHURN_SEED_SALT: u64 = 0xC4A0_5EED_0000_0002;
+
+/// Key salt decorrelating restart decisions from crash decisions for
+/// the same `(host, epoch)` pair.
+const RESTART_KEY_SALT: u64 = 0x9E57_A27A_0000_0002;
+
+/// Seed domain for late-joiner admission epochs.
+const JOIN_SEED_SALT: u64 = 0x10A7_5EED_0000_0003;
+
+/// Seed domain for per-host quarantine backoff jitter.
+const QUARANTINE_SEED_SALT: u64 = 0x0A42_A7F1_5EED_0005;
+
+/// A host's relationship to the broadcast channel.
+#[derive(Clone, Copy, Debug)]
+struct SyncState {
+    /// Simulated minute of the last successful channel access (or of
+    /// coming online). Bounds the staleness of outage-served answers.
+    last_sync_min: f64,
+    /// The host answered queries without the channel (outage) or just
+    /// came online; its next successful access counts as a resync.
+    needs_resync: bool,
+}
 
 enum HostMobility {
     Waypoint(Box<RandomWaypoint>),
@@ -75,7 +102,15 @@ enum Resolution {
 /// so float and counter accumulation order is independent of scheduling.
 struct QueryOutcome {
     share: ShareStats,
-    degraded: bool,
+    /// The answer's quality tier (replaces the old binary degraded
+    /// flag): `Exact`, `Degraded` (lossy retrieval), `Stale` or `Failed`
+    /// (outage-served).
+    quality: AnswerQuality,
+    /// Staleness bound in minutes, for `Stale` answers.
+    stale_age_min: f64,
+    /// The answer broke its declared bound under the chaos oracle
+    /// (validate runs only; must never happen).
+    bound_violation: bool,
     resolution: Resolution,
     air: Option<AccessStats>,
     /// On-air baseline `(latency, tuning)` for the same query.
@@ -95,14 +130,31 @@ struct HostTask {
     mobility: HostMobility,
     cache: HostCache,
     rng: SmallRng,
+    sync: SyncState,
+    quarantine: QuarantineLedger,
     /// `(global event index, query time)`, time-ordered.
     events: Vec<(u64, f64)>,
+}
+
+/// One host's mutable state, borrowed for a single query.
+struct QueryHostState<'a> {
+    host: usize,
+    mobility: &'a mut HostMobility,
+    cache: &'a mut HostCache,
+    rng: &'a mut SmallRng,
+    sync: &'a mut SyncState,
+    quarantine: &'a mut QuarantineLedger,
+    resyncs: &'a mut u64,
 }
 
 struct HostDone {
     host: usize,
     mobility: HostMobility,
     cache: HostCache,
+    sync: SyncState,
+    quarantine: QuarantineLedger,
+    /// Resync transitions this shard performed (warm-up included).
+    resyncs: u64,
     outcomes: Vec<(u64, QueryOutcome)>,
 }
 
@@ -118,6 +170,10 @@ struct EpochCtx<'a> {
     /// Previous epoch's committed caches — what peers see.
     snapshot: &'a [HostCache],
     range: f64,
+    /// This epoch's number (outage membership, quarantine clock).
+    epoch: u64,
+    /// Base-station outage windows over epoch numbers.
+    outage: &'a OutageSchedule,
 }
 
 /// Who executes the epoch's host tasks.
@@ -146,6 +202,19 @@ pub struct Simulation {
     /// Deterministic fault decision source; `None` when the fault config
     /// is inert, so the ideal-channel path pays nothing.
     faults: Option<ChannelFaults>,
+    /// Which hosts are on the air right now (churn state).
+    online: Vec<bool>,
+    /// Precomputed churn transitions `(epoch, host, comes_online)`,
+    /// sorted by `(epoch, host)`; a pure function of the master seed.
+    churn_plan: Vec<(u64, usize, bool)>,
+    /// First `churn_plan` entry not yet applied.
+    churn_cursor: usize,
+    /// Base-station silence windows over epoch numbers.
+    outage: OutageSchedule,
+    /// Per-host channel-sync state (staleness bounds, resync debts).
+    sync: Vec<SyncState>,
+    /// Per-host quarantine ledgers for misbehaving peers.
+    quarantines: Vec<QuarantineLedger>,
 }
 
 impl Simulation {
@@ -212,6 +281,24 @@ impl Simulation {
                 wire::bucket_frame_bytes(cfg.bucket_capacity),
             )
         });
+        let n = cfg.params.mh_number;
+        let (online, churn_plan) = plan_churn(&cfg);
+        let outage = OutageSchedule::new(cfg.outages.clone());
+        let sync = vec![
+            SyncState {
+                last_sync_min: 0.0,
+                needs_resync: false,
+            };
+            n
+        ];
+        let quarantines = (0..n)
+            .map(|h| {
+                QuarantineLedger::new(
+                    QuarantineConfig::default(),
+                    split_seed(cfg.seed ^ QUARANTINE_SEED_SALT, h as u64, 0),
+                )
+            })
+            .collect();
         Ok(Self {
             cfg,
             world,
@@ -222,6 +309,12 @@ impl Simulation {
             hosts,
             caches,
             faults,
+            online,
+            churn_plan,
+            churn_cursor: 0,
+            outage,
+            sync,
+            quarantines,
         })
     }
 
@@ -348,13 +441,59 @@ impl Simulation {
                 j += 1;
             }
 
+            // Apply churn transitions due at or before this epoch's
+            // boundary (epochs without events are caught up lazily).
+            // This runs in the main loop — identically under every
+            // driver — so churn costs the parallel engine nothing.
+            while self.churn_cursor < self.churn_plan.len()
+                && self.churn_plan[self.churn_cursor].0 <= epoch
+            {
+                let (e, h, up) = self.churn_plan[self.churn_cursor];
+                self.churn_cursor += 1;
+                let event = if up {
+                    self.online[h] = true;
+                    // Came online cold: nothing cached, channel unheard.
+                    self.sync[h] = SyncState {
+                        last_sync_min: e as f64 * epoch_len,
+                        needs_resync: true,
+                    };
+                    report.hosts_restarted += 1;
+                    TraceEvent::HostRestarted {
+                        host: h as u32,
+                        epoch: e,
+                    }
+                } else {
+                    // Crash wipes all volatile state.
+                    self.online[h] = false;
+                    self.caches[h].clear();
+                    self.quarantines[h].clear();
+                    report.hosts_crashed += 1;
+                    TraceEvent::HostCrashed {
+                        host: h as u32,
+                        epoch: e,
+                    }
+                };
+                match &mut workers {
+                    Workers::Sequential(rec, _) => rec.record(event),
+                    Workers::Parallel(..) => {}
+                    Workers::ParallelMetrics(_, ctxs) => {
+                        if let Some((rec, _)) = ctxs.first_mut() {
+                            rec.record(event);
+                        }
+                    }
+                }
+            }
+
             // Grid positions at the epoch boundary; clamped to the first
             // event so host clocks never run backwards on the boundary's
-            // floating-point edge.
+            // floating-point edge. Positions are advanced for *every*
+            // host — offline ones included — so mobility streams stay
+            // aligned across churn configurations; offline hosts are
+            // merely undiscoverable.
             let t_build = (epoch as f64 * epoch_len).min(events[i].time);
             let positions: Vec<Point> =
                 self.hosts.iter_mut().map(|h| h.position_at(t_build)).collect();
-            let grid = NeighborGrid::build(positions, cell);
+            let grid = NeighborGrid::build_active(positions, cell, &self.online);
 
             // The committed cache state peers observe this epoch. A
             // host's *own* inserts stay visible to itself immediately;
@@ -362,9 +501,15 @@ impl Simulation {
             let snapshot: Vec<HostCache> = self.caches.clone();
 
             // Shard by host: all of one host's events stay on one worker,
-            // in time order. BTreeMap gives host-id task order.
+            // in time order. BTreeMap gives host-id task order. Offline
+            // hosts pose no queries — their events vanish, but the
+            // global index numbering `(i + k)` is untouched, so the
+            // fold order of surviving outcomes is churn-independent.
             let mut by_host: BTreeMap<usize, Vec<(u64, f64)>> = BTreeMap::new();
             for (k, ev) in events[i..j].iter().enumerate() {
+                if !self.online[ev.host] {
+                    continue;
+                }
                 by_host
                     .entry(ev.host)
                     .or_default()
@@ -384,6 +529,11 @@ impl Simulation {
                         host as u64,
                         epoch,
                     )),
+                    sync: self.sync[host],
+                    quarantine: std::mem::replace(
+                        &mut self.quarantines[host],
+                        QuarantineLedger::new(QuarantineConfig::default(), 0),
+                    ),
                     events: evs,
                 })
                 .collect();
@@ -398,6 +548,8 @@ impl Simulation {
                 grid: &grid,
                 snapshot: &snapshot,
                 range,
+                epoch,
+                outage: &self.outage,
             };
             let done: Vec<HostDone> = match &mut workers {
                 Workers::Sequential(rec, scratch) => {
@@ -426,6 +578,9 @@ impl Simulation {
             for d in done {
                 self.hosts[d.host] = d.mobility;
                 self.caches[d.host] = d.cache;
+                self.sync[d.host] = d.sync;
+                self.quarantines[d.host] = d.quarantine;
+                report.outage_resyncs += d.resyncs;
                 outcomes.extend(d.outcomes);
             }
             outcomes.sort_by_key(|&(idx, _)| idx);
@@ -452,13 +607,23 @@ impl EpochCtx<'_> {
             mut mobility,
             mut cache,
             mut rng,
+            mut sync,
+            mut quarantine,
             events,
         } = task;
         let mut outcomes = Vec::new();
+        let mut resyncs = 0u64;
         for (idx, t) in events {
-            if let Some(o) = self
-                .process_query(idx, t, host, &mut mobility, &mut cache, &mut rng, scratch, rec)
-            {
+            let mut q = QueryHostState {
+                host,
+                mobility: &mut mobility,
+                cache: &mut cache,
+                rng: &mut rng,
+                sync: &mut sync,
+                quarantine: &mut quarantine,
+                resyncs: &mut resyncs,
+            };
+            if let Some(o) = self.process_query(idx, t, &mut q, scratch, rec) {
                 outcomes.push((idx, o));
             }
         }
@@ -466,35 +631,44 @@ impl EpochCtx<'_> {
             host,
             mobility,
             cache,
+            sync,
+            quarantine,
+            resyncs,
             outcomes,
         }
     }
 
     /// Resolves one query. Returns its contribution to the report, or
     /// `None` during warm-up (cache effects still apply).
-    #[allow(clippy::too_many_arguments)]
     fn process_query(
         &self,
         nonce: u64,
         t: f64,
-        host: usize,
-        mobility: &mut HostMobility,
-        cache: &mut HostCache,
-        rng: &mut SmallRng,
+        q: &mut QueryHostState<'_>,
         scratch: &mut QueryScratch,
         rec: &mut dyn Recorder,
     ) -> Option<QueryOutcome> {
         let cfg = self.cfg;
-        let qpos = mobility.position_at(t);
-        let heading = mobility.heading_at(t);
+        let host = q.host;
+        let qpos = q.mobility.position_at(t);
+        let heading = q.mobility.heading_at(t);
         let measuring = t >= cfg.warmup_min;
         let tune_in = (t * cfg.ticks_per_min as f64) as u64;
         rec.begin_query(nonce, tune_in);
         let share_faults = ShareFaults {
             faults: self.faults,
             drop_prob: cfg.faults.peer_drop_prob,
+            malform_prob: cfg.faults.peer_malform_prob,
             nonce,
         };
+        // Base-station outage: membership is decided on the *epoch
+        // number* — the same integer arithmetic that groups events —
+        // so the sequential and parallel engines can never disagree on
+        // a float edge.
+        let silent = self.outage.is_silent(self.epoch);
+        if silent {
+            rec.record(TraceEvent::OutageBlocked { tick: tune_in });
+        }
 
         // --- P2P gather against the epoch snapshot: peer positions from
         // the epoch-start grid, peer caches from the epoch-start commit.
@@ -502,8 +676,9 @@ impl EpochCtx<'_> {
         // of a racefree shard; replies still pass through drop decisions
         // (fault layer) and region validation, so a flaky or inconsistent
         // peer costs coverage, never correctness. ---
+        let guard = Some((&mut *q.quarantine, self.epoch));
         let (replies, share) = if cfg.p2p_hops > 1 {
-            airshare_p2p::gather_peer_data_multihop_checked_rec(
+            airshare_p2p::gather_peer_data_multihop_guarded_rec(
                 host,
                 qpos,
                 self.range,
@@ -513,10 +688,11 @@ impl EpochCtx<'_> {
                 self.snapshot,
                 Some(self.world),
                 share_faults,
+                guard,
                 rec,
             )
         } else {
-            airshare_p2p::gather_peer_data_checked_rec(
+            airshare_p2p::gather_peer_data_guarded_rec(
                 host,
                 qpos,
                 self.range,
@@ -525,6 +701,7 @@ impl EpochCtx<'_> {
                 self.snapshot,
                 Some(self.world),
                 share_faults,
+                guard,
                 rec,
             )
         };
@@ -534,7 +711,7 @@ impl EpochCtx<'_> {
             .collect();
         if cfg.use_own_cache {
             // Own reads are live — a host always trusts its freshest self.
-            let own = cache.share_snapshot(CAT);
+            let own = q.cache.share_snapshot(CAT);
             if !own.is_empty() {
                 rec.record(TraceEvent::CacheHit {
                     regions: own.len() as u32,
@@ -545,7 +722,7 @@ impl EpochCtx<'_> {
         let mvr = MergedRegion::from_regions(region_pairs);
 
         let window =
-            matches!(cfg.query_kind, QueryKind::Window).then(|| self.sample_window(qpos, rng));
+            matches!(cfg.query_kind, QueryKind::Window).then(|| self.sample_window(qpos, q.rng));
         let client = match self.faults {
             Some(f) => OnAirClient::with_faults(self.index, self.schedule, f),
             None => OnAirClient::new(self.index, self.schedule),
@@ -567,17 +744,72 @@ impl EpochCtx<'_> {
                     vr_policy: cfg.vr_policy,
                     domain: cfg.clip_domain.then_some(*self.world),
                 };
-                let res = sbnn_rec(qpos, &sbnn_cfg, &mvr, Some((&client, tune_in)), scratch, rec)
-                    .resolved()
-                    .expect("channel fallback always resolves");
+                let channel = (!silent).then_some((&client, tune_in));
+                let res = match sbnn_rec(qpos, &sbnn_cfg, &mvr, channel, scratch, rec) {
+                    SbnnOutcome::Resolved(res) => res,
+                    SbnnOutcome::Unresolved(heap) => {
+                        // Outage: no channel fallback. Serve whatever the
+                        // merged peer/cache knowledge held, tagged Stale
+                        // (or Failed when it held nothing).
+                        q.sync.needs_resync = true;
+                        q.cache.touch(CAT, &Rect::centered_square(qpos, self.range), t);
+                        if !measuring {
+                            return None;
+                        }
+                        let entries = heap.entries();
+                        let quality = if entries.is_empty() {
+                            AnswerQuality::Failed
+                        } else {
+                            AnswerQuality::Stale
+                        };
+                        rec.record(TraceEvent::QueryQuality { quality });
+                        let mut violation = false;
+                        if cfg.validate && !entries.is_empty() {
+                            // Chaos-oracle bound: a best-effort candidate
+                            // set can only be farther than the truth.
+                            let mut dists: Vec<f64> =
+                                entries.iter().map(|c| c.distance).collect();
+                            dists.sort_by(f64::total_cmp);
+                            let truth = self.oracle.knn(qpos, dists.len());
+                            violation = dists
+                                .iter()
+                                .zip(&truth)
+                                .any(|(d, b)| *d + 1e-9 < b.distance);
+                            debug_assert!(
+                                !violation,
+                                "stale kNN answer beat ground truth at t={t}"
+                            );
+                        }
+                        return Some(QueryOutcome {
+                            share,
+                            quality,
+                            stale_age_min: (t - q.sync.last_sync_min).max(0.0),
+                            bound_violation: violation,
+                            resolution: if quality == AnswerQuality::Failed {
+                                Resolution::Broadcast
+                            } else {
+                                Resolution::Peers
+                            },
+                            air: None,
+                            baseline: None,
+                            filter_saved: 0,
+                            window_coverage: None,
+                            calibration: None,
+                            mismatch: false,
+                        });
+                    }
+                };
                 let degraded = res.air.is_some_and(|a| a.is_degraded());
+                if res.air.is_some() {
+                    self.note_sync(q, t, rec);
+                }
 
                 // A degraded retrieval may be missing POIs; adopting its
                 // region would cache an incomplete "verified" claim and
                 // poison every peer it is later shared with.
                 if !degraded {
                     if let Some((vr, pois)) = &res.adoptable {
-                        cache.insert_rec(
+                        q.cache.insert_rec(
                             CAT,
                             RegionEntry::new(*vr, pois.iter().copied(), t),
                             &ctx,
@@ -585,14 +817,22 @@ impl EpochCtx<'_> {
                         );
                     }
                 }
-                cache.touch(CAT, &Rect::centered_square(qpos, self.range), t);
+                q.cache.touch(CAT, &Rect::centered_square(qpos, self.range), t);
 
                 if !measuring {
                     return None;
                 }
+                let quality = if degraded {
+                    AnswerQuality::Degraded
+                } else {
+                    AnswerQuality::Exact
+                };
+                rec.record(TraceEvent::QueryQuality { quality });
                 let mut out = QueryOutcome {
                     share,
-                    degraded,
+                    quality,
+                    stale_age_min: 0.0,
+                    bound_violation: false,
                     resolution: match res.resolved_by {
                         ResolvedBy::PeersVerified => Resolution::Peers,
                         ResolvedBy::PeersApproximate => Resolution::Approx,
@@ -605,17 +845,21 @@ impl EpochCtx<'_> {
                     calibration: None,
                     mismatch: false,
                 };
-                // What the pure on-air algorithm would have paid.
-                if let Some(base) =
-                    client.knn_rec(tune_in, qpos, sbnn_cfg.k, scratch, &mut NoopRecorder)
-                {
-                    out.baseline = Some((base.stats.latency, base.stats.tuning));
-                    if let Some(air) = res.air {
-                        debug_assert!(
-                            air.buckets <= base.stats.buckets,
-                            "bound filtering fetched more than a cold query"
-                        );
-                        out.filter_saved = base.stats.buckets.saturating_sub(air.buckets);
+                // What the pure on-air algorithm would have paid (not
+                // defined during an outage — the baseline host faces
+                // the same silent channel).
+                if !silent {
+                    if let Some(base) =
+                        client.knn_rec(tune_in, qpos, sbnn_cfg.k, scratch, &mut NoopRecorder)
+                    {
+                        out.baseline = Some((base.stats.latency, base.stats.tuning));
+                        if let Some(air) = res.air {
+                            debug_assert!(
+                                air.buckets <= base.stats.buckets,
+                                "bound filtering fetched more than a cold query"
+                            );
+                            out.filter_saved = base.stats.buckets.saturating_sub(air.buckets);
+                        }
                     }
                 }
                 if cfg.validate && !degraded {
@@ -637,6 +881,20 @@ impl EpochCtx<'_> {
                         }
                         _ => out.mismatch = !matches,
                     }
+                } else if cfg.validate {
+                    // Degraded bound: lost buckets can only *remove*
+                    // candidates, so every returned distance must
+                    // dominate the corresponding true distance.
+                    let truth = self.oracle.knn(qpos, res.neighbors.len());
+                    out.bound_violation = res
+                        .neighbors
+                        .iter()
+                        .zip(&truth)
+                        .any(|(a, b)| a.distance + 1e-9 < b.distance);
+                    debug_assert!(
+                        !out.bound_violation,
+                        "degraded kNN answer beat ground truth at t={t}"
+                    );
                 }
                 Some(out)
             }
@@ -645,44 +903,118 @@ impl EpochCtx<'_> {
                 let sbwq_cfg = SbwqConfig {
                     use_window_reduction: cfg.use_window_reduction,
                 };
-                let res = sbwq_rec(&w, &sbwq_cfg, &mvr, Some((&client, tune_in)), scratch, rec)
-                    .resolved()
-                    .expect("channel fallback always resolves");
+                let channel = (!silent).then_some((&client, tune_in));
+                let res = match sbwq_rec(&w, &sbwq_cfg, &mvr, channel, scratch, rec) {
+                    SbwqOutcome::Resolved(res) => res,
+                    SbwqOutcome::Unresolved { partial, missing } => {
+                        // Outage: answer from the covered sub-windows only.
+                        // The answer is a *subset* of the truth; its
+                        // quality depends on how much area peers covered.
+                        q.sync.needs_resync = true;
+                        q.cache.touch(CAT, &w, t);
+                        if !measuring {
+                            return None;
+                        }
+                        let wa = w.area();
+                        let coverage = if wa > 0.0 {
+                            let miss: f64 = missing.iter().map(Rect::area).sum();
+                            (1.0 - miss / wa).clamp(0.0, 1.0)
+                        } else {
+                            0.0
+                        };
+                        let quality = if coverage > 1e-9 {
+                            AnswerQuality::Stale
+                        } else {
+                            AnswerQuality::Failed
+                        };
+                        rec.record(TraceEvent::QueryQuality { quality });
+                        let mut violation = false;
+                        if cfg.validate && !partial.is_empty() {
+                            // Chaos-oracle bound: a partial window answer
+                            // must be a subset of the ground truth.
+                            let mut want: Vec<u32> = self
+                                .oracle
+                                .window(&w)
+                                .into_iter()
+                                .map(|(_, &id)| id)
+                                .collect();
+                            want.sort_unstable();
+                            violation = partial
+                                .iter()
+                                .any(|p| want.binary_search(&p.id).is_err());
+                            debug_assert!(
+                                !violation,
+                                "partial window answer left ground truth at t={t}"
+                            );
+                        }
+                        return Some(QueryOutcome {
+                            share,
+                            quality,
+                            stale_age_min: (t - q.sync.last_sync_min).max(0.0),
+                            bound_violation: violation,
+                            resolution: if quality == AnswerQuality::Failed {
+                                Resolution::Broadcast
+                            } else {
+                                Resolution::Peers
+                            },
+                            air: None,
+                            baseline: None,
+                            filter_saved: 0,
+                            window_coverage: None,
+                            calibration: None,
+                            mismatch: false,
+                        });
+                    }
+                };
                 let degraded = res.air.is_some_and(|a| a.is_degraded());
+                if res.air.is_some() {
+                    self.note_sync(q, t, rec);
+                }
 
                 // A resolved window is fully known: cache it — unless
                 // retrieval lost buckets, in which case the window may be
                 // missing POIs and must not become a verified region.
                 if !degraded {
-                    cache.insert_rec(
+                    q.cache.insert_rec(
                         CAT,
                         RegionEntry::new(w, res.pois.iter().copied(), t),
                         &ctx,
                         rec,
                     );
                 }
-                cache.touch(CAT, &w, t);
+                q.cache.touch(CAT, &w, t);
 
                 if !measuring {
                     return None;
                 }
+                let quality = if degraded {
+                    AnswerQuality::Degraded
+                } else {
+                    AnswerQuality::Exact
+                };
+                rec.record(TraceEvent::QueryQuality { quality });
                 let (resolution, window_coverage) = match res.resolved_by {
                     ResolvedBy::PeersVerified => (Resolution::Peers, None),
                     _ => (Resolution::Broadcast, Some(res.coverage)),
                 };
-                let base = client.window_rec(tune_in, &w, scratch, &mut NoopRecorder);
+                let baseline = (!silent).then(|| {
+                    let base = client.window_rec(tune_in, &w, scratch, &mut NoopRecorder);
+                    (base.stats.latency, base.stats.tuning)
+                });
                 let mut out = QueryOutcome {
                     share,
-                    degraded,
+                    quality,
+                    stale_age_min: 0.0,
+                    bound_violation: false,
                     resolution,
                     air: res.air,
-                    baseline: Some((base.stats.latency, base.stats.tuning)),
+                    baseline,
                     filter_saved: 0,
                     window_coverage,
                     calibration: None,
                     mismatch: false,
                 };
-                if cfg.validate && !degraded {
+                if cfg.validate {
                     let mut got: Vec<u32> = res.pois.iter().map(|p| p.id).collect();
                     got.sort_unstable();
                     let mut want: Vec<u32> = self
@@ -692,10 +1024,35 @@ impl EpochCtx<'_> {
                         .map(|(_, &id)| id)
                         .collect();
                     want.sort_unstable();
-                    out.mismatch = got != want;
+                    if !degraded {
+                        out.mismatch = got != want;
+                    } else {
+                        // Degraded bound: lost buckets only drop POIs,
+                        // so the answer must stay a subset of the truth.
+                        out.bound_violation =
+                            got.iter().any(|id| want.binary_search(id).is_err());
+                        debug_assert!(
+                            !out.bound_violation,
+                            "degraded window answer left ground truth at t={t}"
+                        );
+                    }
                 }
                 Some(out)
             }
+        }
+    }
+
+    /// Marks a successful channel access: refreshes the host's sync
+    /// clock and, if it was answering through an outage or restart,
+    /// records the resynchronization.
+    fn note_sync(&self, q: &mut QueryHostState<'_>, t: f64, rec: &mut dyn Recorder) {
+        q.sync.last_sync_min = t;
+        if q.sync.needs_resync {
+            q.sync.needs_resync = false;
+            *q.resyncs += 1;
+            rec.record(TraceEvent::Resynced {
+                host: q.host as u32,
+            });
         }
     }
 
@@ -718,6 +1075,73 @@ impl EpochCtx<'_> {
     }
 }
 
+/// Precomputes the churn schedule: each host's initial online flag and
+/// the full list of crash/restart/join transitions, sorted by
+/// `(epoch, host)`.
+///
+/// Every decision is hashed from the master seed per `(host, epoch)` —
+/// no RNG stream is consumed, so an inert [`crate::ChurnConfig`] leaves
+/// the run bit-identical to a churn-free build. The plan is applied
+/// sequentially in the epoch loop by both the sequential and parallel
+/// drivers, which keeps `run_parallel` deterministic for free.
+fn plan_churn(cfg: &SimConfig) -> (Vec<bool>, Vec<(u64, usize, bool)>) {
+    let n = cfg.params.mh_number;
+    if cfg.churn.is_inert() {
+        return (vec![true; n], Vec::new());
+    }
+    let total_epochs = (cfg.total_min() / cfg.epoch_min).ceil() as u64 + 1;
+    let late = ((n as f64) * cfg.churn.late_join_frac.clamp(0.0, 1.0)).floor() as usize;
+    let join_span = total_epochs.saturating_sub(1).max(1);
+    let decide = ChannelFaults::from_loss_prob(cfg.seed ^ CHURN_SEED_SALT, 0.0, 0);
+
+    /// Where a host is in its churn lifecycle.
+    enum Phase {
+        /// Late joiner waiting for its admission epoch.
+        NotJoined(u64),
+        Online,
+        Offline,
+    }
+    let mut phase: Vec<Phase> = (0..n)
+        .map(|h| {
+            if h >= n - late {
+                let join =
+                    1 + split_seed(cfg.seed ^ JOIN_SEED_SALT, h as u64, 0) % join_span;
+                Phase::NotJoined(join)
+            } else {
+                Phase::Online
+            }
+        })
+        .collect();
+    let online: Vec<bool> = phase.iter().map(|p| matches!(p, Phase::Online)).collect();
+
+    let mut plan = Vec::new();
+    for e in 1..=total_epochs {
+        for (h, ph) in phase.iter_mut().enumerate() {
+            match ph {
+                Phase::NotJoined(join) if *join == e => {
+                    plan.push((e, h, true));
+                    *ph = Phase::Online;
+                }
+                Phase::NotJoined(_) => {}
+                Phase::Online => {
+                    if decide.event_fires(cfg.churn.crash_prob, h as u64, e) {
+                        plan.push((e, h, false));
+                        *ph = Phase::Offline;
+                    }
+                }
+                Phase::Offline => {
+                    if decide.event_fires(cfg.churn.restart_prob, h as u64 ^ RESTART_KEY_SALT, e)
+                    {
+                        plan.push((e, h, true));
+                        *ph = Phase::Online;
+                    }
+                }
+            }
+        }
+    }
+    (online, plan)
+}
+
 fn sample_normal(rng: &mut SmallRng, mean: f64, sd: f64) -> f64 {
     // Box–Muller.
     let u1: f64 = 1.0 - rng.gen::<f64>();
@@ -730,8 +1154,12 @@ fn sample_normal(rng: &mut SmallRng, mean: f64, sd: f64) -> f64 {
 fn fold_outcome(report: &mut SimReport, calibration_cap: usize, o: QueryOutcome) {
     report.queries.total += 1;
     report.record_share(&o.share);
-    if o.degraded {
+    if o.quality == AnswerQuality::Degraded {
         report.faults.queries_degraded += 1;
+    }
+    report.record_quality(o.quality, o.stale_age_min);
+    if o.bound_violation {
+        report.bound_violations += 1;
     }
     match o.resolution {
         Resolution::Peers => report.queries.by_peers += 1,
@@ -763,6 +1191,7 @@ fn fold_outcome(report: &mut SimReport, calibration_cap: usize, o: QueryOutcome)
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::ChurnConfig;
     use crate::params;
 
     fn tiny_cfg(kind: QueryKind) -> SimConfig {
@@ -1008,5 +1437,97 @@ mod tests {
         let report = Simulation::try_new(cfg).unwrap().run();
         assert!(report.queries.total > 0);
         assert_eq!(report.exact_mismatches, 0);
+    }
+
+    /// The full chaos stack at once: host churn, two outage windows, and
+    /// malforming peers.
+    fn chaos_cfg(kind: QueryKind) -> SimConfig {
+        let mut cfg = tiny_cfg(kind);
+        cfg.churn = ChurnConfig {
+            crash_prob: 0.05,
+            restart_prob: 0.4,
+            late_join_frac: 0.2,
+        };
+        // Epochs are 0.25 min; warm-up ends at epoch 20. Two outages
+        // inside the measured window: t ∈ [6, 8) and t ∈ [11, 12.5).
+        cfg.outages = vec![(24, 32), (44, 50)];
+        cfg.faults.peer_malform_prob = 0.2;
+        cfg
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic_and_parallel_identical() {
+        let sequential = Simulation::try_new(chaos_cfg(QueryKind::Knn)).unwrap().run();
+        assert!(sequential.hosts_crashed > 0, "5% crash rate crashed nobody");
+        assert!(sequential.hosts_restarted > 0, "nobody restarted or joined");
+        for threads in [1, 2, 4] {
+            let parallel = Simulation::try_new(chaos_cfg(QueryKind::Knn))
+                .unwrap()
+                .run_parallel(&ExecPool::fixed(threads));
+            assert_eq!(parallel, sequential, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn outages_degrade_to_bounded_stale_answers() {
+        for kind in [QueryKind::Knn, QueryKind::Window] {
+            let report = Simulation::try_new(chaos_cfg(kind)).unwrap().run();
+            // Every measured query got a quality grade, and the silent
+            // epochs forced some off the Exact path.
+            assert_eq!(report.quality.total(), report.queries.total, "{kind:?}");
+            assert!(
+                report.quality.stale + report.quality.failed > 0,
+                "{kind:?}: outage epochs produced no degraded service"
+            );
+            // The chaos oracle held: stale answers stayed within their
+            // declared bound, exact answers stayed exact.
+            assert_eq!(report.bound_violations, 0, "{kind:?}");
+            assert_eq!(report.exact_mismatches, 0, "{kind:?}");
+            if report.quality.stale > 0 {
+                assert!(report.mean_stale_age_min() >= 0.0);
+                assert!(report.stale_age_min_max >= report.mean_stale_age_min());
+            }
+            // Hosts that answered through the outage resynchronized once
+            // the channel came back.
+            assert!(report.outage_resyncs > 0, "{kind:?}: nobody resynced");
+        }
+    }
+
+    #[test]
+    fn malforming_peers_get_quarantined() {
+        let mut cfg = tiny_cfg(QueryKind::Knn);
+        cfg.faults.peer_malform_prob = 0.3;
+        let report = Simulation::try_new(cfg).unwrap().run();
+        assert!(
+            report.faults.quarantine_strikes > 0,
+            "30% malform rate produced no strikes"
+        );
+        assert!(
+            report.faults.peers_quarantined > 0,
+            "strikes never led to a skipped peer"
+        );
+        // Malformed regions are rejected before use: answers stay exact.
+        assert_eq!(report.exact_mismatches, 0);
+        assert!(report.faults.regions_rejected > 0);
+    }
+
+    #[test]
+    fn inert_chaos_config_is_bit_identical_to_baseline() {
+        let base = Simulation::try_new(tiny_cfg(QueryKind::Knn)).unwrap().run();
+        let mut cfg = tiny_cfg(QueryKind::Knn);
+        // Nonzero restart probability is inert when nothing ever
+        // crashes and nobody joins late.
+        cfg.churn = ChurnConfig {
+            crash_prob: 0.0,
+            restart_prob: 0.9,
+            late_join_frac: 0.0,
+        };
+        cfg.outages = Vec::new();
+        let with_inert = Simulation::try_new(cfg).unwrap().run();
+        assert_eq!(base, with_inert, "inert chaos knobs shifted the run");
+        assert_eq!(with_inert.hosts_crashed, 0);
+        assert_eq!(with_inert.hosts_restarted, 0);
+        assert_eq!(with_inert.quality.stale, 0);
+        assert_eq!(with_inert.quality.failed, 0);
     }
 }

@@ -28,8 +28,8 @@ mod engine;
 pub mod params;
 mod report;
 
-pub use airshare_obs::{FaultStats, MetricsSnapshot};
-pub use config::{ConfigError, FaultConfig, MobilityModel, QueryKind, SimConfig};
+pub use airshare_obs::{AnswerQuality, FaultStats, MetricsSnapshot};
+pub use config::{ChurnConfig, ConfigError, FaultConfig, MobilityModel, QueryKind, SimConfig};
 pub use engine::Simulation;
 pub use params::ParamSet;
-pub use report::{LatencySummary, QueryStats, SimReport};
+pub use report::{LatencySummary, QualityStats, QueryStats, SimReport};

@@ -6,9 +6,51 @@
 //! histogram-backed [`LatencySummary`], so every report exposes
 //! p50/p90/p95/p99 alongside the paper's means.
 
-use airshare_obs::{AccessStats, FaultStats, MetricsSnapshot, ShareStats};
+use airshare_obs::{AccessStats, AnswerQuality, FaultStats, MetricsSnapshot, ShareStats};
 
 pub use airshare_obs::LatencySummary;
+
+/// Per-quality answer counters (the chaos taxonomy): how many measured
+/// queries resolved at each [`AnswerQuality`] tier.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QualityStats {
+    /// Complete and correct under validation.
+    pub exact: u64,
+    /// Broadcast retrieval lost buckets past the retry budget.
+    pub degraded: u64,
+    /// Served from cached/peer knowledge during an outage, with a
+    /// staleness bound.
+    pub stale: u64,
+    /// Channel silent and no cached/peer knowledge covered the query.
+    pub failed: u64,
+}
+
+impl QualityStats {
+    /// The counter for one quality tier.
+    pub fn count(&self, q: AnswerQuality) -> u64 {
+        match q {
+            AnswerQuality::Exact => self.exact,
+            AnswerQuality::Degraded => self.degraded,
+            AnswerQuality::Stale => self.stale,
+            AnswerQuality::Failed => self.failed,
+        }
+    }
+
+    /// Sum across all tiers (equals `QueryStats::total` on a coherent
+    /// report).
+    pub fn total(&self) -> u64 {
+        self.exact + self.degraded + self.stale + self.failed
+    }
+
+    pub(crate) fn bump(&mut self, q: AnswerQuality) {
+        match q {
+            AnswerQuality::Exact => self.exact += 1,
+            AnswerQuality::Degraded => self.degraded += 1,
+            AnswerQuality::Stale => self.stale += 1,
+            AnswerQuality::Failed => self.failed += 1,
+        }
+    }
+}
 
 /// Query-resolution counters — one per workload type.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -87,6 +129,25 @@ pub struct SimReport {
     /// Grouped fault counters (channel retries, lost buckets, degraded
     /// queries, dropped replies, rejected regions).
     pub faults: FaultStats,
+    /// Per-quality answer counters for the measured window.
+    pub quality: QualityStats,
+    /// Summed staleness bound (minutes since last channel sync) over
+    /// `Stale` answers.
+    pub stale_age_min_sum: f64,
+    /// Largest staleness bound among `Stale` answers (minutes).
+    pub stale_age_min_max: f64,
+    /// Chaos-oracle violations: non-`Exact` answers that broke their
+    /// declared bound (kNN distances dominating truth / window subset).
+    /// Counted only under `validate`; must stay 0.
+    pub bound_violations: u64,
+    /// Hosts that resynchronized to the air index after answering
+    /// through an outage or restart.
+    pub outage_resyncs: u64,
+    /// Host crash transitions applied over the run (warm-up included —
+    /// churn shapes the steady state the measurement sees).
+    pub hosts_crashed: u64,
+    /// Host restart/late-join transitions applied over the run.
+    pub hosts_restarted: u64,
     /// Aggregated trace metrics, populated only by
     /// [`crate::Simulation::run_metrics`]. `None` on plain runs, keeping
     /// them comparable with pre-observability reports.
@@ -110,6 +171,27 @@ impl SimReport {
         self.share_pois += s.pois_received as u64;
         self.faults.replies_dropped += s.replies_dropped as u64;
         self.faults.regions_rejected += s.regions_rejected as u64;
+        self.faults.peers_quarantined += s.peers_quarantined as u64;
+        self.faults.quarantine_strikes += s.peers_struck as u64;
+    }
+
+    /// Accumulates one measured answer's quality grade; `stale_age_min`
+    /// is the staleness bound for `Stale` answers (ignored otherwise).
+    pub(crate) fn record_quality(&mut self, q: AnswerQuality, stale_age_min: f64) {
+        self.quality.bump(q);
+        if q == AnswerQuality::Stale {
+            self.stale_age_min_sum += stale_age_min;
+            self.stale_age_min_max = self.stale_age_min_max.max(stale_age_min);
+        }
+    }
+
+    /// Mean staleness bound (minutes) over `Stale` answers.
+    pub fn mean_stale_age_min(&self) -> f64 {
+        if self.quality.stale == 0 {
+            0.0
+        } else {
+            self.stale_age_min_sum / self.quality.stale as f64
+        }
     }
 
     /// Mean peers contacted per query.
@@ -207,5 +289,22 @@ mod tests {
         assert_eq!(r.faults.buckets_lost_total, 1);
         assert_eq!(r.faults.replies_dropped, 2);
         assert_eq!(r.faults.regions_rejected, 4);
+    }
+
+    #[test]
+    fn quality_counters_accumulate_and_sum() {
+        let mut r = SimReport::default();
+        r.record_quality(AnswerQuality::Exact, 0.0);
+        r.record_quality(AnswerQuality::Exact, 0.0);
+        r.record_quality(AnswerQuality::Degraded, 0.0);
+        r.record_quality(AnswerQuality::Stale, 3.0);
+        r.record_quality(AnswerQuality::Stale, 7.0);
+        r.record_quality(AnswerQuality::Failed, 0.0);
+        assert_eq!(r.quality.exact, 2);
+        assert_eq!(r.quality.count(AnswerQuality::Stale), 2);
+        assert_eq!(r.quality.total(), 6);
+        assert_eq!(r.mean_stale_age_min(), 5.0);
+        assert_eq!(r.stale_age_min_max, 7.0);
+        assert_eq!(r.bound_violations, 0);
     }
 }

@@ -126,8 +126,11 @@ pub use airshare_sim as sim;
 
 /// The items most programs need, re-exported flat.
 pub mod prelude {
-    pub use airshare_broadcast::{AirIndex, OnAirClient, Poi, PoiCategory, Schedule};
-    pub use airshare_cache::{CacheContext, HostCache, RegionEntry, ReplacementPolicy};
+    pub use airshare_broadcast::{AirIndex, OnAirClient, OutageSchedule, Poi, PoiCategory, Schedule};
+    pub use airshare_cache::{
+        CacheContext, HostCache, QuarantineConfig, QuarantineLedger, RegionEntry,
+        ReplacementPolicy,
+    };
     pub use airshare_core::{
         nnv, sbnn, sbnn_rec, sbwq, sbwq_rec, HeapState, MergedRegion, NnCandidate, ResolvedBy,
         ResultHeap, SbnnConfig, SbnnOutcome, SbnnResult, SbwqConfig, SbwqOutcome, SbwqResult,
@@ -137,11 +140,13 @@ pub mod prelude {
     pub use airshare_hilbert::{Grid, HilbertCurve};
     pub use airshare_mobility::{Mobility, MobilityConfig, QueryScheduler, RandomWaypoint};
     pub use airshare_obs::{
-        AccessStats, Counter, FaultStats, Histogram, JsonlTraceRecorder, LatencySummary,
-        MetricsRecorder, MetricsSnapshot, NoopRecorder, PercentileSummary, Recorder, ShareStats,
-        TraceEvent,
+        AccessStats, AnswerQuality, Counter, FaultStats, Histogram, JsonlTraceRecorder,
+        LatencySummary, MetricsRecorder, MetricsSnapshot, NoopRecorder, PercentileSummary,
+        Recorder, ShareStats, TraceEvent,
     };
     pub use airshare_p2p::{gather_peer_data, NeighborGrid, PeerReply};
     pub use airshare_rtree::RTree;
-    pub use airshare_sim::{params, QueryKind, SimConfig, SimReport, Simulation};
+    pub use airshare_sim::{
+        params, ChurnConfig, QualityStats, QueryKind, SimConfig, SimReport, Simulation,
+    };
 }
