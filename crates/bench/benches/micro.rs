@@ -187,7 +187,7 @@ fn bench_onair(c: &mut Criterion) {
         .enumerate()
         .map(|(i, p)| Poi::new(i as u32, p))
         .collect();
-    let index = AirIndex::build(pois, Grid::new(world, 8), 10);
+    let index = AirIndex::try_build(pois, Grid::new(world, 8), 10).unwrap();
     let schedule = Schedule::new(index.data_buckets(), index.index_buckets(), 4);
     let client = OnAirClient::new(&index, &schedule);
     let q = Point::new(10.0, 10.0);

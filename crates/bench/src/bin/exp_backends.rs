@@ -1,0 +1,152 @@
+//! Air-index backend comparison: the Hilbert-curve index (the paper's
+//! design) vs the STR-packed R-tree alternative, on identical workloads.
+//!
+//! Two claims are checked here, and the binary **asserts** both (so CI
+//! can run it as a smoke test and fail on regression):
+//!
+//! 1. Every backend answers exactly — validation is on for all runs and
+//!    any ground-truth mismatch aborts.
+//! 2. The Hilbert backend behind the `AirIndexBackend` trait object is
+//!    deterministic: the serial run and epoch-sharded parallel runs at
+//!    1/2/4/8 threads produce identical reports.
+//!
+//! Set `AIRSHARE_QUICK=1` for the CI-sized configuration. Writes
+//! `BENCH_backends.json` in the working directory.
+
+use airshare_bench::ExpScale;
+use airshare_exec::ExecPool;
+use airshare_sim::{params, BackendKind, QueryKind, SimConfig, SimReport, Simulation};
+use std::time::Instant;
+
+/// The report slice compared across serial/parallel runs. Exact integer
+/// sums, not floating means, so the determinism check is bit-strict.
+fn fingerprint(r: &SimReport) -> (u64, u64, u64, u64, u64, u64, u64, u64) {
+    (
+        r.queries.total,
+        r.queries.by_peers,
+        r.queries.by_approx,
+        r.queries.by_broadcast,
+        r.broadcast_latency.sum,
+        r.broadcast_tuning.sum,
+        r.broadcast_buckets.sum,
+        r.exact_mismatches,
+    )
+}
+
+struct Cell {
+    backend: &'static str,
+    workload: &'static str,
+    report: SimReport,
+    wall_s: f64,
+}
+
+impl Cell {
+    fn json(&self) -> String {
+        let r = &self.report;
+        format!(
+            "      \"{}\": {{\"queries\": {}, \"pct_peers\": {:.1}, \"pct_broadcast\": {:.1}, \
+             \"latency_mean\": {:.2}, \"tuning_mean\": {:.2}, \"buckets_mean\": {:.2}, \
+             \"latency_p95\": {}, \"mismatches\": {}, \"wall_s\": {:.3}}}",
+            self.workload,
+            r.queries.total,
+            r.queries.pct_peers(),
+            r.queries.pct_broadcast(),
+            r.broadcast_latency.mean(),
+            r.broadcast_tuning.mean(),
+            r.broadcast_buckets.mean(),
+            r.broadcast_latency.p95(),
+            r.exact_mismatches,
+            self.wall_s
+        )
+    }
+}
+
+fn main() {
+    let scale = ExpScale::from_env();
+    let quick = std::env::var_os("AIRSHARE_QUICK").is_some();
+    let mode = if quick { "quick" } else { "full" };
+    println!("\n## Air-index backend comparison — mode: {mode}");
+    println!(
+        "{:>8} {:>8} {:>8} {:>7} {:>8} {:>9} {:>9} {:>8} {:>6}",
+        "backend", "workload", "queries", "peers%", "bcast%", "latency", "tuning", "buckets", "wrong"
+    );
+
+    let base = |kind: QueryKind, backend: BackendKind| -> SimConfig {
+        let mut cfg = scale.config(params::synthetic_suburbia(), kind, 42);
+        cfg.backend = backend;
+        cfg.validate = true;
+        cfg
+    };
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for (backend, bname) in [(BackendKind::Hilbert, "hilbert"), (BackendKind::Rtree, "rtree")] {
+        for (kind, wname) in [(QueryKind::Knn, "knn"), (QueryKind::Window, "window")] {
+            let cfg = base(kind, backend);
+            let mut sim = Simulation::try_new(cfg)
+                .expect("experiment configs are valid by construction");
+            let t = Instant::now();
+            let report = sim.run();
+            let wall_s = t.elapsed().as_secs_f64();
+            println!(
+                "{bname:>8} {wname:>8} {:>8} {:>7.1} {:>8.1} {:>9.2} {:>9.2} {:>8.2} {:>6}",
+                report.queries.total,
+                report.queries.pct_peers(),
+                report.queries.pct_broadcast(),
+                report.broadcast_latency.mean(),
+                report.broadcast_tuning.mean(),
+                report.broadcast_buckets.mean(),
+                report.exact_mismatches
+            );
+            assert_eq!(
+                report.exact_mismatches, 0,
+                "{bname}/{wname}: backend returned a wrong exact answer"
+            );
+            cells.push(Cell { backend: bname, workload: wname, report, wall_s });
+        }
+    }
+
+    // Determinism pin: the Hilbert backend now runs behind a trait
+    // object; serial and parallel execution at every pool width must
+    // agree with each other exactly, for both workloads.
+    let threads = [1usize, 2, 4, 8];
+    for kind in [QueryKind::Knn, QueryKind::Window] {
+        let serial = fingerprint(
+            &Simulation::try_new(base(kind, BackendKind::Hilbert))
+                .expect("valid config")
+                .run(),
+        );
+        for n in threads {
+            let parallel = fingerprint(
+                &Simulation::try_new(base(kind, BackendKind::Hilbert))
+                    .expect("valid config")
+                    .run_parallel(&ExecPool::fixed(n)),
+            );
+            assert_eq!(
+                serial, parallel,
+                "{kind:?}: Hilbert-via-trait report diverged at {n} threads"
+            );
+        }
+    }
+    println!("determinism: hilbert serial == parallel at {threads:?} threads (knn + window)");
+
+    let backend_json = |name: &str| -> String {
+        cells
+            .iter()
+            .filter(|c| c.backend == name)
+            .map(Cell::json)
+            .collect::<Vec<_>>()
+            .join(",\n")
+    };
+    let json = format!(
+        "{{\n  \"meta\": {{\n    \"mode\": \"{mode}\",\n    \"workload\": \"synthetic_suburbia, seed 42, validation on\",\n    \
+         \"note\": \"latency/tuning/buckets are per-broadcast-query means in ticks; both backends \
+         validated against brute force (mismatches must be 0); determinism block asserts the \
+         Hilbert backend behind the trait object matches across serial and 1/2/4/8-thread runs\"\n  }},\n  \
+         \"backends\": {{\n    \"hilbert\": {{\n{}\n    }},\n    \"rtree\": {{\n{}\n    }}\n  }},\n  \
+         \"determinism\": {{\"hilbert_serial_parallel_match\": true, \"threads\": [1, 2, 4, 8]}}\n}}\n",
+        backend_json("hilbert"),
+        backend_json("rtree")
+    );
+    std::fs::write("BENCH_backends.json", &json).expect("write BENCH_backends.json");
+    println!("wrote BENCH_backends.json");
+}

@@ -155,7 +155,7 @@ fn main() {
             })
             .collect()
     };
-    let index = AirIndex::build(pois, Grid::new(world, 8), 10);
+    let index = AirIndex::try_build(pois, Grid::new(world, 8), 10).unwrap();
     let q = Point::new(10.0, 10.0);
     let w = Rect::centered_square(q, 0.5 * (0.01f64.sqrt() * 20.0));
     let iters: u64 = if quick { 20_000 } else { 200_000 };

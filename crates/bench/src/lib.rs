@@ -729,7 +729,7 @@ pub fn m_sweep() -> Vec<MSweepRow> {
             )
         })
         .collect();
-    let index = AirIndex::build(pois, Grid::new(world, 8), 10);
+    let index = AirIndex::try_build(pois, Grid::new(world, 8), 10).unwrap();
     let q = Point::new(10.0, 10.0);
 
     let mut rows = Vec::new();

@@ -1,6 +1,6 @@
 //! The client access protocol and the on-air spatial query baselines.
 
-use crate::{AirIndex, BucketId, ChannelFaults, Poi, QueryScratch, Schedule};
+use crate::{AirIndex, AirIndexBackend, BucketId, ChannelFaults, Poi, QueryScratch, Schedule};
 use airshare_geom::{Point, Rect};
 use airshare_obs::{AccessStats, NoopRecorder, Recorder, TraceEvent};
 
@@ -36,16 +36,45 @@ pub struct OnAirWindowResult {
 /// (wait for the next index segment), **index search** (translate the
 /// spatial predicate to bucket arrival times), **data retrieval**
 /// (download the buckets as they come around).
-#[derive(Clone, Copy, Debug)]
-pub struct OnAirClient<'a> {
-    index: &'a AirIndex,
+///
+/// The client is generic over the [`AirIndexBackend`] it tunes to and
+/// defaults to the paper's Hilbert [`AirIndex`], so existing code keeps
+/// static dispatch unchanged. Callers that pick a backend at runtime use
+/// `OnAirClient<'a, dyn AirIndexBackend>` (see
+/// [`OnAirClient::as_dyn`]).
+#[derive(Debug)]
+pub struct OnAirClient<'a, B: ?Sized = AirIndex> {
+    index: &'a B,
     schedule: &'a Schedule,
     faults: Option<&'a ChannelFaults>,
 }
 
-impl<'a> OnAirClient<'a> {
+// Manual impls: `derive` would bound `B: Clone + Copy`, which a trait
+// object cannot satisfy even though only references are copied.
+impl<B: ?Sized> Clone for OnAirClient<'_, B> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<B: ?Sized> Copy for OnAirClient<'_, B> {}
+
+impl<'a, B: AirIndexBackend> OnAirClient<'a, B> {
+    /// Erases the backend type, so call sites that mix backends at
+    /// runtime (e.g. the simulator's `BackendKind` knob) share one
+    /// monomorphization of every query path.
+    pub fn as_dyn(&self) -> OnAirClient<'a, dyn AirIndexBackend + 'a> {
+        OnAirClient {
+            index: self.index,
+            schedule: self.schedule,
+            faults: self.faults,
+        }
+    }
+}
+
+impl<'a, B: AirIndexBackend + ?Sized> OnAirClient<'a, B> {
     /// Creates a client for a channel with an ideal (lossless) link.
-    pub fn new(index: &'a AirIndex, schedule: &'a Schedule) -> Self {
+    pub fn new(index: &'a B, schedule: &'a Schedule) -> Self {
         debug_assert_eq!(index.data_buckets(), schedule.data_buckets());
         Self {
             index,
@@ -59,7 +88,7 @@ impl<'a> OnAirClient<'a> {
     /// re-fetched on the bucket's next cycle occurrence, up to the
     /// model's retry budget.
     pub fn with_faults(
-        index: &'a AirIndex,
+        index: &'a B,
         schedule: &'a Schedule,
         faults: &'a ChannelFaults,
     ) -> Self {
@@ -203,7 +232,7 @@ impl<'a> OnAirClient<'a> {
         // Lost buckets may leave fewer than k candidates; the degraded
         // flag in `stats` tells the caller not to trust the shortfall.
         debug_assert!(neighbors.len() == k || stats.is_degraded());
-        let verified_mbr = clip_to_world(Rect::centered_square(q, radius), self.index);
+        let verified_mbr = clip_to_world(Rect::centered_square(q, radius), self.index.world());
         Some(OnAirKnnResult {
             neighbors,
             verified_mbr,
@@ -276,7 +305,7 @@ impl<'a> OnAirClient<'a> {
         if neighbors.len() < k {
             return None; // outer bound too tight for the data (degenerate)
         }
-        let verified_mbr = clip_to_world(Rect::centered_square(q, outer), self.index);
+        let verified_mbr = clip_to_world(Rect::centered_square(q, outer), self.index.world());
         Some(OnAirKnnResult {
             neighbors,
             verified_mbr,
@@ -348,8 +377,7 @@ fn top_k_by_distance(mut pois: Vec<Poi>, q: Point, k: usize) -> Vec<Poi> {
 /// world collapses to the degenerate (zero-area) rect on the world
 /// boundary nearest to it — never the unclipped input, which would claim
 /// verification over space the index holds no data for.
-fn clip_to_world(r: Rect, index: &AirIndex) -> Rect {
-    let world = index.grid().world();
+fn clip_to_world(r: Rect, world: Rect) -> Rect {
     r.intersection(&world).unwrap_or_else(|| {
         let lo = world.clamp_point(Point::new(r.x1, r.y1));
         let hi = world.clamp_point(Point::new(r.x2, r.y2));
@@ -377,7 +405,7 @@ mod tests {
 
     fn channel(n: usize, m: usize) -> (AirIndex, Schedule) {
         let world = Rect::from_coords(0.0, 0.0, 64.0, 64.0);
-        let index = AirIndex::build(scatter(n), Grid::new(world, 5), 8);
+        let index = AirIndex::try_build(scatter(n), Grid::new(world, 5), 8).unwrap();
         let schedule = Schedule::new(index.data_buckets(), index.index_buckets(), m);
         (index, schedule)
     }
@@ -530,7 +558,7 @@ mod tests {
     fn clip_to_world_disjoint_rect_degenerates() {
         let (index, _) = channel(50, 1);
         let r = Rect::from_coords(-20.0, -20.0, -10.0, -10.0);
-        let clipped = clip_to_world(r, &index);
+        let clipped = clip_to_world(r, index.grid().world());
         assert_eq!((clipped.width(), clipped.height()), (0.0, 0.0));
         assert!(index.grid().world().contains_rect(&clipped));
     }

@@ -1,8 +1,10 @@
 //! The server-side air index: POIs in Hilbert order, packed into buckets.
 
+use crate::backend::{AirIndexBackend, BuildParams, INDEX_FANOUT};
 use crate::{Bucket, BucketId, Poi, QueryScratch};
 use airshare_geom::{Point, Rect};
 use airshare_hilbert::Grid;
+use bytes::{BufMut, Bytes, BytesMut};
 
 /// The broadcast server's data organization.
 ///
@@ -22,11 +24,7 @@ pub struct AirIndex {
     index_buckets: usize,
 }
 
-/// How many bucket descriptors fit in one index bucket. The descriptor is
-/// a few words (range + offset), so a generous fan-out is realistic.
-const INDEX_FANOUT: usize = 64;
-
-/// Rejected [`AirIndex`] build parameters.
+/// Rejected air-index build parameters (any backend).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum IndexError {
     /// `bucket_capacity == 0`: buckets must hold at least one POI.
@@ -50,6 +48,11 @@ impl AirIndex {
     ///
     /// * `grid` — the Hilbert grid over the service area.
     /// * `bucket_capacity` — POIs per bucket (≥ 1).
+    #[deprecated(
+        since = "0.1.0",
+        note = "panicking constructor; use `AirIndex::try_build` (or \
+                `<AirIndex as AirIndexBackend>::try_build`) instead"
+    )]
     pub fn build(pois: Vec<Poi>, grid: Grid, bucket_capacity: usize) -> Self {
         Self::try_build(pois, grid, bucket_capacity).unwrap_or_else(|e| panic!("{e}"))
     }
@@ -294,6 +297,88 @@ impl AirIndex {
     }
 }
 
+/// The Hilbert backend delegates every trait method to the inherent
+/// implementation above, so code going through the trait — statically or
+/// via `dyn AirIndexBackend` — executes byte-for-byte the same arithmetic
+/// as code calling [`AirIndex`] directly. The determinism pins in
+/// `crates/sim/tests/determinism_pin.rs` enforce this.
+impl AirIndexBackend for AirIndex {
+    fn try_build(pois: Vec<Poi>, params: &BuildParams) -> Result<Self, IndexError> {
+        let grid = Grid::new(params.world, params.hilbert_order);
+        AirIndex::try_build(pois, grid, params.bucket_capacity)
+    }
+
+    fn world(&self) -> Rect {
+        self.grid.world()
+    }
+
+    fn buckets(&self) -> &[Bucket] {
+        AirIndex::buckets(self)
+    }
+
+    fn data_buckets(&self) -> usize {
+        AirIndex::data_buckets(self)
+    }
+
+    fn index_buckets(&self) -> usize {
+        AirIndex::index_buckets(self)
+    }
+
+    fn poi_count(&self) -> usize {
+        AirIndex::poi_count(self)
+    }
+
+    fn knn_search_radius(&self, q: Point, k: usize) -> Option<f64> {
+        AirIndex::knn_search_radius(self, q, k)
+    }
+
+    fn buckets_for_window_scratch(&self, w: &Rect, scratch: &mut QueryScratch) {
+        AirIndex::buckets_for_window_scratch(self, w, scratch);
+    }
+
+    fn buckets_for_knn_scratch(&self, q: Point, radius: f64, scratch: &mut QueryScratch) {
+        AirIndex::buckets_for_knn_scratch(self, q, radius, scratch);
+    }
+
+    fn buckets_for_knn_filtered_scratch(
+        &self,
+        q: Point,
+        outer: f64,
+        inner: Option<f64>,
+        scratch: &mut QueryScratch,
+    ) {
+        AirIndex::buckets_for_knn_filtered_scratch(self, q, outer, inner, scratch);
+    }
+
+    fn buckets_for_windows_scratch(&self, windows: &[Rect], scratch: &mut QueryScratch) {
+        AirIndex::buckets_for_windows_scratch(self, windows, scratch);
+    }
+
+    /// Payload layout: for each data bucket in this index bucket's slice
+    /// of broadcast order — `u32` bucket id, `u64` curve range low,
+    /// `u64` curve range high, `u16` POI count — CRC-framed.
+    fn encode_index_bucket(&self, segment_bucket: usize) -> Result<Bytes, crate::wire::WireError> {
+        assert!(
+            segment_bucket < self.index_buckets,
+            "index bucket {segment_bucket} out of range ({} index buckets)",
+            self.index_buckets
+        );
+        let start = segment_bucket * INDEX_FANOUT;
+        let end = ((segment_bucket + 1) * INDEX_FANOUT).min(self.buckets.len());
+        let slice = self.buckets.get(start..end).unwrap_or(&[]);
+        let mut payload = BytesMut::with_capacity(slice.len() * 22);
+        for b in slice {
+            let count =
+                u16::try_from(b.pois.len()).map_err(|_| crate::wire::WireError::Overflow)?;
+            payload.put_u32(b.id as u32);
+            payload.put_u64(b.hilbert_range.0);
+            payload.put_u64(b.hilbert_range.1);
+            payload.put_u16(count);
+        }
+        Ok(crate::wire::frame_payload(&payload))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,7 +397,7 @@ mod tests {
                 Poi::new(i as u32, Point::new(x, y))
             })
             .collect();
-        AirIndex::build(pois, grid, cap)
+        AirIndex::try_build(pois, grid, cap).unwrap()
     }
 
     #[test]
@@ -389,7 +474,7 @@ mod tests {
     #[test]
     fn empty_poi_set_builds() {
         let world = Rect::from_coords(0.0, 0.0, 1.0, 1.0);
-        let idx = AirIndex::build(Vec::new(), Grid::new(world, 3), 4);
+        let idx = AirIndex::try_build(Vec::new(), Grid::new(world, 3), 4).unwrap();
         assert_eq!(idx.data_buckets(), 0);
         assert!(idx
             .buckets_for_window(&Rect::from_coords(0.0, 0.0, 1.0, 1.0))

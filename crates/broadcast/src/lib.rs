@@ -26,6 +26,9 @@
 //!   query (Figure 8), plus the *bound-filtered* variants that SBNN/SBWQ
 //!   use to shrink retrieval after partial peer verification (§3.3.3 and
 //!   §3.4.2).
+//! * [`AirIndexBackend`] — the pluggable index contract behind
+//!   [`AirIndex`], with [`RtreeAirIndex`] (an on-air R-tree reusing
+//!   `crates/rtree`'s STR bulk loader) as the shipping alternative.
 //!
 //! Time is measured in **ticks**, one tick being the airtime of one
 //! bucket. Multiply by (bucket bytes ÷ channel bit-rate) for seconds.
@@ -33,20 +36,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod bucket;
 mod client;
 mod fault;
 mod index;
 mod outage;
 mod poi;
+mod rtree_index;
 mod schedule;
 mod scratch;
 pub mod wire;
 
+pub use backend::{AirIndexBackend, BuildParams};
 pub use bucket::{Bucket, BucketId};
 pub use client::{OnAirClient, OnAirKnnResult, OnAirWindowResult};
 pub use fault::ChannelFaults;
 pub use index::{AirIndex, IndexError};
+pub use rtree_index::RtreeAirIndex;
 pub use outage::OutageSchedule;
 pub use poi::{Poi, PoiCategory, PoiId};
 pub use schedule::{Schedule, ScheduleError};

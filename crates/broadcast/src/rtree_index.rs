@@ -1,0 +1,407 @@
+//! An on-air R-tree backend: STR-packed leaves as data buckets, internal
+//! nodes as index buckets.
+
+use crate::backend::{AirIndexBackend, BuildParams, INDEX_FANOUT};
+use crate::{Bucket, IndexError, Poi, QueryScratch};
+use airshare_geom::{Point, Rect};
+use airshare_rtree::RTree;
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// One descriptor in an on-air R-tree index bucket: a child subtree
+/// summarized by its MBR, POI count, and the first data bucket it covers
+/// (the arrival pointer a tuning client dozes toward).
+#[derive(Clone, Copy, Debug)]
+struct IndexEntry {
+    /// First data bucket (broadcast order) covered by the child.
+    first_bucket: u32,
+    /// MBR of every POI under the child.
+    mbr: Rect,
+    /// Number of POIs under the child.
+    count: u32,
+}
+
+/// Serialized size of one [`IndexEntry`]: `u32` + 4 × `f64` + `u32`.
+const INDEX_ENTRY_BYTES: usize = 4 + 32 + 4;
+
+/// The alternative air-index backend: `crates/rtree`'s STR bulk-loaded
+/// R-tree packed into broadcast buckets.
+///
+/// * **Data segment** — POIs are bulk-loaded into an
+///   [`airshare_rtree::RTree`] and read back in its depth-first leaf
+///   order (deterministic for a given input), then chunked into
+///   fixed-capacity [`Bucket`]s. Spatially close POIs therefore land in
+///   the same or adjacent buckets, just as Hilbert ordering achieves for
+///   the curve backend.
+/// * **Index segment** — the internal nodes of a fan-out-64 tree over
+///   the data buckets, broadcast root level first. Each node is
+///   one index bucket listing up to 64 child descriptors
+///   (MBR + POI count + first covered data bucket).
+/// * **Query mapping** — window and kNN predicates select every data
+///   bucket whose MBR intersects the search rectangle; the kNN first
+///   scan accumulates mindist-sorted buckets until their counts reach
+///   `k` and bounds the radius by the largest maxdist seen, using only
+///   index-segment information (MBR + count).
+///
+/// The `hilbert_range` field of the produced [`Bucket`]s carries
+/// broadcast *sequence numbers* (the positions of the bucket's first and
+/// last POI in broadcast order), not curve values — the monotone key the
+/// rest of the stack expects.
+#[derive(Clone, Debug)]
+pub struct RtreeAirIndex {
+    world: Rect,
+    buckets: Vec<Bucket>,
+    /// On-air index nodes, root level first; one inner `Vec` per index
+    /// bucket.
+    index_nodes: Vec<Vec<IndexEntry>>,
+    poi_count: usize,
+}
+
+impl RtreeAirIndex {
+    /// Builds the fan-out-64 internal-node levels bottom-up from the
+    /// per-data-bucket descriptors, returning the node list root level
+    /// first.
+    fn build_index_nodes(buckets: &[Bucket]) -> Vec<Vec<IndexEntry>> {
+        let mut level: Vec<IndexEntry> = buckets
+            .iter()
+            .map(|b| IndexEntry {
+                first_bucket: b.id as u32,
+                mbr: b.mbr,
+                count: b.pois.len() as u32,
+            })
+            .collect();
+        // levels[i] holds the node contents created at step i (leaf-most
+        // first); the surviving single summary entry is not broadcast.
+        let mut levels: Vec<Vec<Vec<IndexEntry>>> = Vec::new();
+        while level.len() > 1 {
+            let mut parents = Vec::with_capacity(level.len().div_ceil(INDEX_FANOUT));
+            let mut nodes = Vec::with_capacity(parents.capacity());
+            for chunk in level.chunks(INDEX_FANOUT) {
+                let mbr = chunk
+                    .iter()
+                    .skip(1)
+                    .fold(chunk[0].mbr, |acc, e| acc.union_mbr(&e.mbr));
+                parents.push(IndexEntry {
+                    first_bucket: chunk[0].first_bucket,
+                    mbr,
+                    count: chunk.iter().map(|e| e.count).sum(),
+                });
+                nodes.push(chunk.to_vec());
+            }
+            levels.push(nodes);
+            level = parents;
+        }
+        if levels.is_empty() {
+            // Zero or one data bucket: a single root index bucket lists
+            // whatever there is.
+            return vec![level];
+        }
+        levels.into_iter().rev().flatten().collect()
+    }
+
+    /// Data buckets whose MBR intersects `pred`, pushed onto
+    /// `scratch.buckets` (cleared first). Bucket ids ascend by
+    /// construction, so the output is sorted and deduplicated.
+    fn scan_mbrs(&self, pred: &Rect, scratch: &mut QueryScratch) {
+        scratch.buckets.clear();
+        for b in &self.buckets {
+            if b.mbr.intersects(pred) {
+                scratch.buckets.push(b.id);
+            }
+        }
+    }
+}
+
+impl AirIndexBackend for RtreeAirIndex {
+    fn try_build(pois: Vec<Poi>, params: &BuildParams) -> Result<Self, IndexError> {
+        if params.bucket_capacity < 1 {
+            return Err(IndexError::ZeroBucketCapacity);
+        }
+        let poi_count = pois.len();
+        let tree = RTree::bulk_load(pois.into_iter().map(|p| (p.pos, p)).collect());
+        let ordered: Vec<Poi> = tree.iter().map(|(_, p)| *p).collect();
+        let mut buckets = Vec::with_capacity(ordered.len().div_ceil(params.bucket_capacity));
+        for (i, chunk) in ordered.chunks(params.bucket_capacity).enumerate() {
+            let base = (i * params.bucket_capacity) as u64;
+            let seq: Vec<u64> = (0..chunk.len() as u64).map(|j| base + j).collect();
+            buckets.push(Bucket::build(i, chunk.to_vec(), &seq));
+        }
+        let index_nodes = Self::build_index_nodes(&buckets);
+        Ok(Self {
+            world: params.world,
+            buckets,
+            index_nodes,
+            poi_count,
+        })
+    }
+
+    fn world(&self) -> Rect {
+        self.world
+    }
+
+    fn buckets(&self) -> &[Bucket] {
+        &self.buckets
+    }
+
+    fn index_buckets(&self) -> usize {
+        self.index_nodes.len()
+    }
+
+    fn poi_count(&self) -> usize {
+        self.poi_count
+    }
+
+    /// Bucket-granularity first scan: walk buckets in ascending
+    /// `(mindist, id)` order, accumulating POI counts until at least `k`
+    /// are guaranteed; the radius is the largest maxdist among the taken
+    /// buckets, so their POIs — hence ≥ k POIs — all lie within it. Uses
+    /// only information the index segment carries (MBR + count).
+    fn knn_search_radius(&self, q: Point, k: usize) -> Option<f64> {
+        if k == 0 || self.poi_count < k {
+            return None;
+        }
+        let mut order: Vec<(f64, usize)> = self
+            .buckets
+            .iter()
+            .map(|b| (b.mbr.distance_to_point(q), b.id))
+            .collect();
+        order.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut covered = 0usize;
+        let mut radius = 0.0_f64;
+        for &(_, id) in &order {
+            let b = &self.buckets[id];
+            covered += b.pois.len();
+            radius = radius.max(b.mbr.max_distance_to_point(q));
+            if covered >= k {
+                return Some(radius);
+            }
+        }
+        unreachable!("poi_count >= k guarantees coverage");
+    }
+
+    fn buckets_for_window_scratch(&self, w: &Rect, scratch: &mut QueryScratch) {
+        self.scan_mbrs(w, scratch);
+    }
+
+    fn buckets_for_knn_scratch(&self, q: Point, radius: f64, scratch: &mut QueryScratch) {
+        self.scan_mbrs(&Rect::centered_square(q, radius), scratch);
+    }
+
+    fn buckets_for_knn_filtered_scratch(
+        &self,
+        q: Point,
+        outer: f64,
+        inner: Option<f64>,
+        scratch: &mut QueryScratch,
+    ) {
+        self.buckets_for_knn_scratch(q, outer, scratch);
+        if let Some(r_in) = inner {
+            scratch
+                .buckets
+                .retain(|&id| self.buckets[id].mbr.max_distance_to_point(q) > r_in);
+        }
+    }
+
+    fn buckets_for_windows_scratch(&self, windows: &[Rect], scratch: &mut QueryScratch) {
+        scratch.buckets.clear();
+        for b in &self.buckets {
+            if windows.iter().any(|w| b.mbr.intersects(w)) {
+                scratch.buckets.push(b.id);
+            }
+        }
+    }
+
+    /// Payload layout: for each child descriptor of the node — `u32`
+    /// first covered data bucket, MBR as 4 × `f64`
+    /// (`x1`, `y1`, `x2`, `y2`), `u32` POI count — CRC-framed.
+    fn encode_index_bucket(&self, segment_bucket: usize) -> Result<Bytes, crate::wire::WireError> {
+        assert!(
+            segment_bucket < self.index_nodes.len(),
+            "index bucket {segment_bucket} out of range ({} index buckets)",
+            self.index_nodes.len()
+        );
+        let node = &self.index_nodes[segment_bucket];
+        let mut payload = BytesMut::with_capacity(node.len() * INDEX_ENTRY_BYTES);
+        for e in node {
+            payload.put_u32(e.first_bucket);
+            payload.put_f64(e.mbr.x1);
+            payload.put_f64(e.mbr.y1);
+            payload.put_f64(e.mbr.x2);
+            payload.put_f64(e.mbr.y2);
+            payload.put_u32(e.count);
+        }
+        Ok(crate::wire::frame_payload(&payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{verify_payload, CRC_TRAILER_BYTES};
+
+    fn params(cap: usize) -> BuildParams {
+        BuildParams {
+            world: Rect::from_coords(0.0, 0.0, 64.0, 64.0),
+            hilbert_order: 5,
+            bucket_capacity: cap,
+        }
+    }
+
+    fn scatter(n: usize) -> Vec<Poi> {
+        let mut state = 99u64;
+        (0..n)
+            .map(|i| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let x = (state >> 16 & 0xFFFF) as f64 / 1024.0;
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let y = (state >> 16 & 0xFFFF) as f64 / 1024.0;
+                Poi::new(i as u32, Point::new(x, y))
+            })
+            .collect()
+    }
+
+    fn setup(n: usize, cap: usize) -> RtreeAirIndex {
+        RtreeAirIndex::try_build(scatter(n), &params(cap)).unwrap()
+    }
+
+    #[test]
+    fn buckets_are_packed_and_keyed_by_sequence() {
+        let idx = setup(300, 10);
+        assert_eq!(idx.data_buckets(), 30);
+        assert_eq!(idx.poi_count(), 300);
+        let mut prev_hi = None;
+        for (i, b) in idx.buckets().iter().enumerate() {
+            assert_eq!(b.id, i);
+            assert!(!b.pois.is_empty() && b.pois.len() <= 10);
+            // Sequence keys are globally monotone across buckets.
+            if let Some(hi) = prev_hi {
+                assert!(b.hilbert_range.0 > hi);
+            }
+            prev_hi = Some(b.hilbert_range.1);
+            // The MBR bounds its POIs.
+            for p in &b.pois {
+                assert!(b.mbr.contains(p.pos));
+            }
+        }
+    }
+
+    #[test]
+    fn window_buckets_cover_all_window_pois() {
+        let idx = setup(500, 8);
+        let w = Rect::from_coords(10.0, 10.0, 30.0, 25.0);
+        let chosen = idx.buckets_for_window(&w);
+        let chosen_pois: Vec<u32> = chosen
+            .iter()
+            .flat_map(|&id| idx.buckets()[id].pois.iter().map(|p| p.id))
+            .collect();
+        for b in idx.buckets() {
+            for p in &b.pois {
+                if w.contains(p.pos) {
+                    assert!(chosen_pois.contains(&p.id), "missed poi {}", p.id);
+                }
+            }
+        }
+        // Output is sorted and deduplicated.
+        for pair in chosen.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+    }
+
+    #[test]
+    fn knn_radius_guarantees_k_objects() {
+        let idx = setup(400, 8);
+        let q = Point::new(32.0, 32.0);
+        for k in [1, 3, 10, 25] {
+            let r = idx.knn_search_radius(q, k).unwrap();
+            let count = idx
+                .buckets()
+                .iter()
+                .flat_map(|b| &b.pois)
+                .filter(|p| p.distance_to(q) <= r)
+                .count();
+            assert!(count >= k, "radius {r} holds {count} < {k} POIs");
+        }
+        assert!(idx.knn_search_radius(q, 0).is_none());
+        assert!(idx.knn_search_radius(q, 401).is_none());
+    }
+
+    #[test]
+    fn filtered_buckets_drop_fully_verified_ones() {
+        let idx = setup(500, 4);
+        let q = Point::new(32.0, 32.0);
+        let outer = 20.0;
+        let all = idx.buckets_for_knn_filtered(q, outer, None);
+        let filt = idx.buckets_for_knn_filtered(q, outer, Some(10.0));
+        assert!(filt.len() <= all.len());
+        for id in &all {
+            let inside = idx.buckets()[*id].mbr.max_distance_to_point(q) <= 10.0;
+            assert_eq!(!filt.contains(id), inside);
+        }
+    }
+
+    #[test]
+    fn multi_window_set_is_union_of_single_windows() {
+        let idx = setup(500, 8);
+        let w1 = Rect::from_coords(10.0, 10.0, 30.0, 25.0);
+        let w2 = Rect::from_coords(20.0, 15.0, 40.0, 35.0);
+        let merged = idx.buckets_for_windows(&[w1, w2]);
+        let mut naive: Vec<_> = idx
+            .buckets_for_window(&w1)
+            .into_iter()
+            .chain(idx.buckets_for_window(&w2))
+            .collect();
+        naive.sort_unstable();
+        naive.dedup();
+        assert_eq!(merged, naive);
+        assert!(idx.buckets_for_windows(&[]).is_empty());
+    }
+
+    #[test]
+    fn index_bucket_count_is_internal_node_count() {
+        for (n, cap) in [(0, 4), (3, 4), (300, 10), (2000, 4)] {
+            let idx = setup(n, cap);
+            let mut expect = 0usize;
+            let mut level = idx.data_buckets();
+            while level > 1 {
+                level = level.div_ceil(INDEX_FANOUT);
+                expect += level;
+            }
+            assert_eq!(idx.index_buckets(), expect.max(1), "n={n} cap={cap}");
+        }
+    }
+
+    #[test]
+    fn index_buckets_encode_and_verify() {
+        let idx = setup(2000, 4); // 500 data buckets -> two index levels
+        assert!(idx.index_buckets() > 1);
+        for i in 0..idx.index_buckets() {
+            let frame = idx.encode_index_bucket(i).unwrap();
+            let payload = verify_payload(&frame).unwrap();
+            assert_eq!(payload.len() % INDEX_ENTRY_BYTES, 0);
+            let entries = payload.len() / INDEX_ENTRY_BYTES;
+            assert!((1..=INDEX_FANOUT).contains(&entries));
+            assert_eq!(frame.len(), payload.len() + CRC_TRAILER_BYTES);
+        }
+        // Root bucket comes first and summarizes everything.
+        let root = idx.encode_index_bucket(0).unwrap();
+        let root_payload = verify_payload(&root).unwrap();
+        let root_entries = root_payload.len() / INDEX_ENTRY_BYTES;
+        assert_eq!(root_entries, idx.data_buckets().div_ceil(INDEX_FANOUT));
+    }
+
+    #[test]
+    fn empty_and_invalid_builds() {
+        let idx = RtreeAirIndex::try_build(Vec::new(), &params(4)).unwrap();
+        assert_eq!(idx.data_buckets(), 0);
+        assert_eq!(idx.index_buckets(), 1);
+        assert!(idx
+            .buckets_for_window(&Rect::from_coords(0.0, 0.0, 1.0, 1.0))
+            .is_empty());
+        assert!(idx.knn_search_radius(Point::ORIGIN, 1).is_none());
+        let frame = idx.encode_index_bucket(0).unwrap();
+        assert!(verify_payload(&frame).unwrap().is_empty());
+        assert_eq!(
+            RtreeAirIndex::try_build(Vec::new(), &params(0)).unwrap_err(),
+            IndexError::ZeroBucketCapacity
+        );
+    }
+}

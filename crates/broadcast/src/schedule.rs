@@ -74,6 +74,16 @@ impl Schedule {
         })
     }
 
+    /// Creates the `(1, m)` schedule matching a built air index: data and
+    /// index segment sizes are read off the backend, so the pair is
+    /// consistent by construction for any [`crate::AirIndexBackend`].
+    pub fn try_for_backend(
+        backend: &dyn crate::AirIndexBackend,
+        m: usize,
+    ) -> Result<Self, ScheduleError> {
+        Self::try_new(backend.data_buckets(), backend.index_buckets(), m)
+    }
+
     /// Number of data buckets per cycle.
     pub fn data_buckets(&self) -> usize {
         self.data_buckets

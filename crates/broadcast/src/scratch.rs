@@ -41,4 +41,12 @@ impl QueryScratch {
     pub fn buckets(&self) -> &[BucketId] {
         &self.buckets
     }
+
+    /// Moves the bucket ids of the most recent `*_scratch` call out of
+    /// the scratch, leaving an empty buffer behind. Used by the
+    /// allocating convenience wrappers on
+    /// [`crate::AirIndexBackend`].
+    pub fn take_buckets(&mut self) -> Vec<BucketId> {
+        std::mem::take(&mut self.buckets)
+    }
 }

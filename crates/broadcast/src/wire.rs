@@ -144,6 +144,38 @@ pub fn decode_bucket(mut frame: Bytes) -> Result<(usize, u64, Vec<Poi>), WireErr
     Ok((id, h_lo, pois))
 }
 
+/// Appends the CRC-32 trailer to an arbitrary payload, producing a
+/// complete on-air frame.
+///
+/// Backend index buckets ([`crate::AirIndexBackend::encode_index_bucket`])
+/// carry backend-specific payloads — curve-range descriptors for the
+/// Hilbert index, MBR descriptors for the R-tree — but all of them use
+/// this shared framing so receivers detect corruption uniformly with
+/// [`verify_payload`].
+pub fn frame_payload(payload: &[u8]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(payload.len() + CRC_TRAILER_BYTES);
+    buf.put_slice(payload);
+    buf.put_u32(crc32(payload));
+    buf.freeze()
+}
+
+/// Verifies a [`frame_payload`] frame and returns the payload slice.
+///
+/// Fails with [`WireError::Truncated`] when the frame is shorter than the
+/// trailer, and [`WireError::ChecksumMismatch`] when the CRC does not
+/// match.
+pub fn verify_payload(frame: &[u8]) -> Result<&[u8], WireError> {
+    if frame.len() < CRC_TRAILER_BYTES {
+        return Err(WireError::Truncated);
+    }
+    let (payload, trailer) = frame.split_at(frame.len() - CRC_TRAILER_BYTES);
+    let expected = u32::from_be_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+    if crc32(payload) != expected {
+        return Err(WireError::ChecksumMismatch);
+    }
+    Ok(payload)
+}
+
 /// Converts a tick count to seconds for a given bucket payload size and
 /// channel bit-rate (e.g. `ticks_to_seconds(n, 64, 1_000_000.0)` for
 /// 64-POI buckets on a 1 Mbps channel).
@@ -165,7 +197,7 @@ mod tests {
             Poi::new(3, Point::new(1.0, 2.0)),
             Poi::with_category(9, Point::new(2.5, 2.5), PoiCategory(4)),
         ];
-        let index = AirIndex::build(pois, Grid::new(world, 3), 8);
+        let index = AirIndex::try_build(pois, Grid::new(world, 3), 8).unwrap();
         index.buckets()[0].clone()
     }
 
@@ -233,10 +265,31 @@ mod tests {
     }
 
     #[test]
+    fn payload_framing_roundtrips_and_detects_corruption() {
+        let payload = b"arbitrary index-bucket payload";
+        let frame = frame_payload(payload);
+        assert_eq!(frame.len(), payload.len() + CRC_TRAILER_BYTES);
+        assert_eq!(verify_payload(&frame).unwrap(), payload);
+        // Every single-bit flip is caught.
+        for pos in 0..frame.len() {
+            let mut bytes = frame.to_vec();
+            bytes[pos] ^= 0x01;
+            assert_eq!(
+                verify_payload(&bytes),
+                Err(WireError::ChecksumMismatch),
+                "flip at byte {pos} went undetected"
+            );
+        }
+        // Empty payloads frame fine; sub-trailer frames are truncated.
+        assert_eq!(verify_payload(&frame_payload(b"")).unwrap(), b"");
+        assert_eq!(verify_payload(b"abc"), Err(WireError::Truncated));
+    }
+
+    #[test]
     fn empty_bucket_frame() {
         let world = Rect::from_coords(0.0, 0.0, 8.0, 8.0);
         let pois = vec![Poi::new(0, Point::new(1.0, 1.0))];
-        let index = AirIndex::build(pois, Grid::new(world, 3), 4);
+        let index = AirIndex::try_build(pois, Grid::new(world, 3), 4).unwrap();
         let mut b = index.buckets()[0].clone();
         b.pois.clear();
         let (_, _, decoded) = decode_bucket(encode_bucket(&b).unwrap()).unwrap();

@@ -1,0 +1,136 @@
+//! Cross-backend parity properties: the STR R-tree backend must return
+//! exactly the same *result sets* as the Hilbert backend for kNN and
+//! window queries (bucket schedules and therefore latency/tuning may
+//! differ — correctness may not), and the Hilbert backend accessed
+//! through a `dyn AirIndexBackend` trait object must be bit-identical
+//! to the concrete static-dispatch path.
+
+use airshare_broadcast::{
+    AirIndex, AirIndexBackend, BuildParams, OnAirClient, Poi, RtreeAirIndex, Schedule,
+};
+use airshare_geom::{Point, Rect};
+use proptest::prelude::*;
+
+const SIDE: f64 = 32.0;
+
+fn pois(coords: &[(f64, f64)]) -> Vec<Poi> {
+    coords
+        .iter()
+        .enumerate()
+        .map(|(i, &(x, y))| Poi::new(i as u32, Point::new(x, y)))
+        .collect()
+}
+
+fn params(cap: usize) -> BuildParams {
+    BuildParams {
+        world: Rect::from_coords(0.0, 0.0, SIDE, SIDE),
+        hilbert_order: 5,
+        bucket_capacity: cap,
+    }
+}
+
+/// Build both backends over the same POI set and wrap each in a client
+/// with a schedule sized to its own bucket layout.
+fn build_pair(coords: &[(f64, f64)], cap: usize, m: usize) -> (AirIndex, RtreeAirIndex, Schedule, Schedule) {
+    let p = params(cap);
+    let hilbert = <AirIndex as AirIndexBackend>::try_build(pois(coords), &p).unwrap();
+    let rtree = <RtreeAirIndex as AirIndexBackend>::try_build(pois(coords), &p).unwrap();
+    let hs = Schedule::try_for_backend(&hilbert, m).unwrap();
+    let rs = Schedule::try_for_backend(&rtree, m).unwrap();
+    (hilbert, rtree, hs, rs)
+}
+
+fn arb_coords() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec((0.0..SIDE, 0.0..SIDE), 20..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Both backends return the same k nearest distances (compared
+    /// bit-exact via `total_cmp`, which is robust to ties in POI ids).
+    #[test]
+    fn knn_result_sets_match_across_backends(
+        coords in arb_coords(),
+        qx in 0.0..SIDE, qy in 0.0..SIDE,
+        k in 1usize..10,
+        cap in 1usize..16,
+        tune in 0u64..2_000,
+    ) {
+        prop_assume!(coords.len() >= k);
+        let (hilbert, rtree, hs, rs) = build_pair(&coords, cap, 4);
+        let hc = OnAirClient::new(&hilbert, &hs);
+        let rc = OnAirClient::new(&rtree, &rs);
+        let q = Point::new(qx, qy);
+        let hres = hc.knn(tune, q, k).expect("enough POIs");
+        let rres = rc.knn(tune, q, k).expect("enough POIs");
+        prop_assert_eq!(hres.neighbors.len(), rres.neighbors.len());
+        let mut hd: Vec<f64> = hres.neighbors.iter().map(|p| p.distance_to(q)).collect();
+        let mut rd: Vec<f64> = rres.neighbors.iter().map(|p| p.distance_to(q)).collect();
+        hd.sort_by(f64::total_cmp);
+        rd.sort_by(f64::total_cmp);
+        for (a, b) in hd.iter().zip(&rd) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Both backends return exactly the same POI id set for any window.
+    #[test]
+    fn window_result_sets_match_across_backends(
+        coords in arb_coords(),
+        wx in 0.0..SIDE - 4.0, wy in 0.0..SIDE - 4.0,
+        ww in 0.1..4.0f64, wh in 0.1..4.0f64,
+        cap in 1usize..16,
+        tune in 0u64..2_000,
+    ) {
+        let (hilbert, rtree, hs, rs) = build_pair(&coords, cap, 2);
+        let hc = OnAirClient::new(&hilbert, &hs);
+        let rc = OnAirClient::new(&rtree, &rs);
+        let w = Rect::from_coords(wx, wy, wx + ww, wy + wh);
+        let mut hids: Vec<u32> = hc.window(tune, &w).pois.iter().map(|p| p.id).collect();
+        let mut rids: Vec<u32> = rc.window(tune, &w).pois.iter().map(|p| p.id).collect();
+        hids.sort_unstable();
+        rids.sort_unstable();
+        prop_assert_eq!(hids, rids);
+    }
+
+    /// The Hilbert backend behind a trait object is bit-identical to the
+    /// concrete path: same neighbors, same ids, same latency/tuning/
+    /// bucket stats for kNN and window alike.
+    #[test]
+    fn hilbert_dyn_dispatch_is_bit_identical(
+        coords in arb_coords(),
+        qx in 0.0..SIDE, qy in 0.0..SIDE,
+        k in 1usize..10,
+        cap in 1usize..16,
+        tune in 0u64..2_000,
+        ww in 0.1..4.0f64, wh in 0.1..4.0f64,
+    ) {
+        prop_assume!(coords.len() >= k);
+        let p = params(cap);
+        let index = <AirIndex as AirIndexBackend>::try_build(pois(&coords), &p).unwrap();
+        let schedule = Schedule::try_for_backend(&index, 4).unwrap();
+        let concrete = OnAirClient::new(&index, &schedule);
+        let erased = concrete.as_dyn();
+        let q = Point::new(qx, qy);
+
+        let a = concrete.knn(tune, q, k).expect("enough POIs");
+        let b = erased.knn(tune, q, k).expect("enough POIs");
+        prop_assert_eq!(a.stats.latency, b.stats.latency);
+        prop_assert_eq!(a.stats.tuning, b.stats.tuning);
+        prop_assert_eq!(a.stats.buckets, b.stats.buckets);
+        let aid: Vec<u32> = a.neighbors.iter().map(|p| p.id).collect();
+        let bid: Vec<u32> = b.neighbors.iter().map(|p| p.id).collect();
+        prop_assert_eq!(aid, bid);
+
+        let w = Rect::from_coords(qx.min(SIDE - ww), qy.min(SIDE - wh), qx.min(SIDE - ww) + ww, qy.min(SIDE - wh) + wh);
+        let wa = concrete.window(tune, &w);
+        let wb = erased.window(tune, &w);
+        prop_assert_eq!(wa.stats.latency, wb.stats.latency);
+        prop_assert_eq!(wa.stats.tuning, wb.stats.tuning);
+        prop_assert_eq!(wa.stats.buckets, wb.stats.buckets);
+        let wia: Vec<u32> = wa.pois.iter().map(|p| p.id).collect();
+        let wib: Vec<u32> = wb.pois.iter().map(|p| p.id).collect();
+        prop_assert_eq!(wia, wib);
+    }
+}

@@ -17,7 +17,7 @@ fn build(coords: &[(f64, f64)], cap: usize, m: usize) -> (AirIndex, Schedule) {
         .map(|(i, &(x, y))| Poi::new(i as u32, Point::new(x, y)))
         .collect();
     let grid = Grid::new(Rect::from_coords(0.0, 0.0, SIDE, SIDE), 5);
-    let index = AirIndex::build(pois, grid, cap);
+    let index = AirIndex::try_build(pois, grid, cap).unwrap();
     let schedule = Schedule::new(index.data_buckets(), index.index_buckets(), m);
     (index, schedule)
 }

@@ -56,7 +56,7 @@ fn warm_scratch_queries_do_not_allocate() {
     let side = 16.0;
     let world = Rect::from_coords(0.0, 0.0, side, side);
     let grid = Grid::new(world, 8);
-    let index = AirIndex::build(world_pois(500, side), grid, 8);
+    let index = AirIndex::try_build(world_pois(500, side), grid, 8).unwrap();
 
     let mut scratch = QueryScratch::new();
     let queries: Vec<(Point, Rect)> = (0..32)

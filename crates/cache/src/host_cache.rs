@@ -3,7 +3,7 @@
 use crate::{RegionEntry, ReplacementPolicy};
 use airshare_broadcast::{Poi, PoiCategory};
 use airshare_geom::{Point, Rect};
-use airshare_obs::{CacheRejectReason, Recorder, TraceEvent};
+use airshare_obs::{CacheRejectReason, NoopRecorder, Recorder, TraceEvent};
 use std::collections::HashMap;
 
 /// What [`HostCache::insert`] did with the offered entry.
@@ -128,10 +128,31 @@ impl HostCache {
         entry: RegionEntry,
         ctx: &CacheContext,
     ) -> InsertOutcome {
+        self.insert_rec(category, entry, ctx, &mut NoopRecorder)
+    }
+
+    /// [`Self::insert`], tracing a refused admission into `rec` with its
+    /// [`CacheRejectReason`]. Successful stores emit nothing here — the
+    /// query layer already traced the data's origin. This is the single
+    /// implementation; [`Self::insert`] delegates with a
+    /// [`NoopRecorder`].
+    pub fn insert_rec(
+        &mut self,
+        category: PoiCategory,
+        entry: RegionEntry,
+        ctx: &CacheContext,
+        rec: &mut dyn Recorder,
+    ) -> InsertOutcome {
         if !entry.is_consistent() {
+            rec.record(TraceEvent::CacheRejected {
+                reason: CacheRejectReason::Inconsistent,
+            });
             return InsertOutcome::RejectedInconsistent;
         }
         if self.capacity_per_category == 0 {
+            rec.record(TraceEvent::CacheRejected {
+                reason: CacheRejectReason::NoCapacity,
+            });
             return InsertOutcome::RejectedNoCapacity;
         }
         let entry = entry.shrink_to_fit(ctx.pos, self.capacity_per_category);
@@ -168,29 +189,6 @@ impl HostCache {
         }
         list.push(entry);
         InsertOutcome::Stored
-    }
-
-    /// [`Self::insert`], tracing a refused admission into `rec` with its
-    /// [`CacheRejectReason`]. Successful stores emit nothing here — the
-    /// query layer already traced the data's origin.
-    pub fn insert_rec(
-        &mut self,
-        category: PoiCategory,
-        entry: RegionEntry,
-        ctx: &CacheContext,
-        rec: &mut dyn Recorder,
-    ) -> InsertOutcome {
-        let outcome = self.insert(category, entry, ctx);
-        match outcome {
-            InsertOutcome::Stored => {}
-            InsertOutcome::RejectedInconsistent => rec.record(TraceEvent::CacheRejected {
-                reason: CacheRejectReason::Inconsistent,
-            }),
-            InsertOutcome::RejectedNoCapacity => rec.record(TraceEvent::CacheRejected {
-                reason: CacheRejectReason::NoCapacity,
-            }),
-        }
-        outcome
     }
 
     /// Inserts an entry *without* consistency validation, capacity

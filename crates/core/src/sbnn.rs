@@ -3,7 +3,7 @@
 
 use crate::approx::{candidate_correctness, surpassing_ratio, unverified_area};
 use crate::{HeapState, MergedRegion, NnCandidate, ResultHeap};
-use airshare_broadcast::{OnAirClient, Poi, QueryScratch};
+use airshare_broadcast::{AirIndexBackend, OnAirClient, Poi, QueryScratch};
 use airshare_geom::{Point, Rect};
 use airshare_obs::{AccessStats, NoopRecorder, Recorder, ResolutionKind, TraceEvent};
 
@@ -242,7 +242,7 @@ pub fn sbnn(
     q: Point,
     cfg: &SbnnConfig,
     mvr: &MergedRegion,
-    air: Option<(&OnAirClient<'_>, u64)>,
+    air: Option<(&OnAirClient<'_, dyn AirIndexBackend + '_>, u64)>,
 ) -> SbnnOutcome {
     sbnn_rec(q, cfg, mvr, air, &mut QueryScratch::new(), &mut NoopRecorder)
 }
@@ -257,7 +257,7 @@ pub fn sbnn_rec(
     q: Point,
     cfg: &SbnnConfig,
     mvr: &MergedRegion,
-    air: Option<(&OnAirClient<'_>, u64)>,
+    air: Option<(&OnAirClient<'_, dyn AirIndexBackend + '_>, u64)>,
     scratch: &mut QueryScratch,
     rec: &mut dyn Recorder,
 ) -> SbnnOutcome {
@@ -277,7 +277,7 @@ fn sbnn_inner(
     q: Point,
     cfg: &SbnnConfig,
     mvr: &MergedRegion,
-    air: Option<(&OnAirClient<'_>, u64)>,
+    air: Option<(&OnAirClient<'_, dyn AirIndexBackend + '_>, u64)>,
     scratch: &mut QueryScratch,
     rec: &mut dyn Recorder,
 ) -> SbnnOutcome {

@@ -1,7 +1,7 @@
 //! Sharing-based window queries (Algorithm 3, §3.4).
 
 use crate::MergedRegion;
-use airshare_broadcast::{OnAirClient, Poi, QueryScratch};
+use airshare_broadcast::{AirIndexBackend, OnAirClient, Poi, QueryScratch};
 use airshare_geom::{Rect, RectUnion};
 use airshare_obs::{AccessStats, NoopRecorder, Recorder, TraceEvent};
 
@@ -78,7 +78,7 @@ pub fn sbwq(
     w: &Rect,
     cfg: &SbwqConfig,
     mvr: &MergedRegion,
-    air: Option<(&OnAirClient<'_>, u64)>,
+    air: Option<(&OnAirClient<'_, dyn AirIndexBackend + '_>, u64)>,
 ) -> SbwqOutcome {
     sbwq_rec(w, cfg, mvr, air, &mut QueryScratch::new(), &mut NoopRecorder)
 }
@@ -93,7 +93,7 @@ pub fn sbwq_rec(
     w: &Rect,
     cfg: &SbwqConfig,
     mvr: &MergedRegion,
-    air: Option<(&OnAirClient<'_>, u64)>,
+    air: Option<(&OnAirClient<'_, dyn AirIndexBackend + '_>, u64)>,
     scratch: &mut QueryScratch,
     rec: &mut dyn Recorder,
 ) -> SbwqOutcome {
@@ -113,7 +113,7 @@ fn sbwq_inner(
     w: &Rect,
     cfg: &SbwqConfig,
     mvr: &MergedRegion,
-    air: Option<(&OnAirClient<'_>, u64)>,
+    air: Option<(&OnAirClient<'_, dyn AirIndexBackend + '_>, u64)>,
     scratch: &mut QueryScratch,
     rec: &mut dyn Recorder,
 ) -> SbwqOutcome {

@@ -122,7 +122,7 @@ proptest! {
         filtering in any::<bool>(),
     ) {
         let (pois, tree) = dataset(&coords);
-        let index = AirIndex::build(pois.clone(), Grid::new(world(), 5), 4);
+        let index = AirIndex::try_build(pois.clone(), Grid::new(world(), 5), 4).unwrap();
         let schedule = Schedule::new(index.data_buckets(), index.index_buckets(), 4);
         let client = OnAirClient::new(&index, &schedule);
         let replies = consistent_replies(&pois, &vrs);
@@ -134,7 +134,7 @@ proptest! {
             use_bound_filtering: filtering,
             ..SbnnConfig::paper_defaults(k, 0.3)
         };
-        let res = sbnn(q, &cfg, &mvr, Some((&client, tune_in)))
+        let res = sbnn(q, &cfg, &mvr, Some((&client.as_dyn(), tune_in)))
             .resolved()
             .expect("with a channel, exact queries always resolve");
         let truth = tree.knn(q, k);
@@ -170,14 +170,14 @@ proptest! {
         reduction in any::<bool>(),
     ) {
         let (pois, tree) = dataset(&coords);
-        let index = AirIndex::build(pois.clone(), Grid::new(world(), 5), 4);
+        let index = AirIndex::try_build(pois.clone(), Grid::new(world(), 5), 4).unwrap();
         let schedule = Schedule::new(index.data_buckets(), index.index_buckets(), 4);
         let client = OnAirClient::new(&index, &schedule);
         let replies = consistent_replies(&pois, &vrs);
         let mvr = MergedRegion::from_replies(&replies);
         let w = Rect::from_coords(wx, wy, wx + ww, wy + wh);
         let cfg = SbwqConfig { use_window_reduction: reduction };
-        let res = sbwq(&w, &cfg, &mvr, Some((&client, tune_in)))
+        let res = sbwq(&w, &cfg, &mvr, Some((&client.as_dyn(), tune_in)))
             .resolved()
             .expect("with a channel, window queries always resolve");
         let mut got: Vec<u32> = res.pois.iter().map(|p| p.id).collect();

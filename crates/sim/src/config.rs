@@ -174,6 +174,20 @@ impl ChurnConfig {
     }
 }
 
+/// Which air-index backend the base station broadcasts
+/// (see `airshare_broadcast::AirIndexBackend`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// The paper's Hilbert-curve `(1, m)` index
+    /// (`airshare_broadcast::AirIndex`).
+    #[default]
+    Hilbert,
+    /// The on-air R-tree (`airshare_broadcast::RtreeAirIndex`): STR
+    /// bulk-loaded leaves as data buckets, internal nodes as index
+    /// buckets.
+    Rtree,
+}
+
 /// Which spatial query type the workload issues (the paper evaluates kNN
 /// and window queries in separate experiments, §4.2 / §4.3).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -221,6 +235,8 @@ pub struct SimConfig {
     pub index_m: usize,
     /// Hilbert curve order for the air index.
     pub hilbert_order: u32,
+    /// Which air-index backend the broadcast channel carries.
+    pub backend: BackendKind,
     /// Cache replacement policy.
     pub policy: ReplacementPolicy,
     /// Bound on cached regions per host (`usize::MAX` = bounded only by
@@ -294,6 +310,7 @@ impl SimConfig {
             bucket_capacity: 10,
             index_m: 4,
             hilbert_order: 8,
+            backend: BackendKind::Hilbert,
             policy: ReplacementPolicy::DirectionDistance,
             max_regions: usize::MAX,
             subsume_overlap: 0.75,
@@ -389,6 +406,101 @@ impl SimConfig {
             }
         }
         Ok(())
+    }
+
+    /// Starts a validated builder from [`SimConfig::paper_defaults`].
+    /// Every knob has a setter; [`SimConfigBuilder::build`] runs
+    /// [`SimConfig::check`] so an invalid combination surfaces as a
+    /// [`ConfigError`] at construction instead of inside
+    /// `Simulation::try_new`. Struct-literal construction keeps working
+    /// for code that wants it.
+    pub fn builder(params: ParamSet, query_kind: QueryKind, seed: u64) -> SimConfigBuilder {
+        SimConfigBuilder {
+            cfg: SimConfig::paper_defaults(params, query_kind, seed),
+        }
+    }
+}
+
+/// Builder for [`SimConfig`] — see [`SimConfig::builder`].
+///
+/// Setters are chainable and unvalidated individually; validation runs
+/// once in [`SimConfigBuilder::build`], which wraps [`SimConfig::check`].
+#[derive(Clone, Debug)]
+pub struct SimConfigBuilder {
+    cfg: SimConfig,
+}
+
+macro_rules! builder_setters {
+    ($( $(#[$doc:meta])* $name:ident : $ty:ty ),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub fn $name(mut self, v: $ty) -> Self {
+                self.cfg.$name = v;
+                self
+            }
+        )*
+    };
+}
+
+impl SimConfigBuilder {
+    builder_setters! {
+        /// Sets the simulated minutes measured after warm-up.
+        measure_min: f64,
+        /// Sets the warm-up minutes before measurement starts.
+        warmup_min: f64,
+        /// Sets the broadcast ticks per simulated minute.
+        ticks_per_min: u64,
+        /// Sets the POIs per broadcast bucket.
+        bucket_capacity: usize,
+        /// Sets the `(1, m)` index replication factor.
+        index_m: usize,
+        /// Sets the Hilbert curve order for the air index.
+        hilbert_order: u32,
+        /// Sets the air-index backend the channel carries.
+        backend: BackendKind,
+        /// Sets the cache replacement policy.
+        policy: ReplacementPolicy,
+        /// Sets the bound on cached regions per host.
+        max_regions: usize,
+        /// Sets the anti-fragmentation overlap threshold.
+        subsume_overlap: f64,
+        /// Sets the verified-region construction policy.
+        vr_policy: VrPolicy,
+        /// Sets whether Lemma 3.2 areas are clipped to the world.
+        clip_domain: bool,
+        /// Sets whether hosts accept approximate kNN answers.
+        accept_approx: bool,
+        /// Sets the correctness threshold for approximate acceptance.
+        min_correctness: f64,
+        /// Sets whether §3.3.3 bound filtering applies on fallback.
+        use_bound_filtering: bool,
+        /// Sets whether §3.4.2 window reduction applies on fallback.
+        use_window_reduction: bool,
+        /// Sets whether the querying host's own cache joins the MVR.
+        use_own_cache: bool,
+        /// Sets how many wireless hops the share request travels.
+        p2p_hops: usize,
+        /// Sets the mobility model.
+        mobility: MobilityModel,
+        /// Sets the epoch length in minutes.
+        epoch_min: f64,
+        /// Sets whether every resolved query is oracle-checked.
+        validate: bool,
+        /// Sets the calibration sample cap.
+        calibration_cap: usize,
+        /// Sets the fault-injection knobs.
+        faults: FaultConfig,
+        /// Sets the host-churn knobs.
+        churn: ChurnConfig,
+        /// Sets the base-station outage windows (epoch ranges).
+        outages: Vec<(u64, u64)>,
+    }
+
+    /// Validates the assembled configuration ([`SimConfig::check`]) and
+    /// returns it, or the first offending knob.
+    pub fn build(self) -> Result<SimConfig, ConfigError> {
+        self.cfg.check()?;
+        Ok(self.cfg)
     }
 }
 
@@ -554,6 +666,57 @@ mod tests {
             ..FaultConfig::default()
         };
         assert!(!f.is_inert());
+    }
+
+    #[test]
+    fn builder_matches_defaults_and_validates() {
+        // An untouched builder is exactly paper_defaults.
+        let built = SimConfig::builder(params::la_city(), QueryKind::Knn, 7)
+            .build()
+            .unwrap();
+        let defaults = SimConfig::paper_defaults(params::la_city(), QueryKind::Knn, 7);
+        assert_eq!(format!("{built:?}"), format!("{defaults:?}"));
+        assert_eq!(built.backend, BackendKind::Hilbert);
+
+        // Setters chain and stick.
+        let cfg = SimConfig::builder(params::la_city(), QueryKind::Window, 7)
+            .backend(BackendKind::Rtree)
+            .bucket_capacity(20)
+            .index_m(2)
+            .validate(true)
+            .faults(FaultConfig {
+                bucket_loss_prob: 0.1,
+                ..FaultConfig::default()
+            })
+            .build()
+            .unwrap();
+        assert_eq!(cfg.backend, BackendKind::Rtree);
+        assert_eq!(cfg.bucket_capacity, 20);
+        assert_eq!(cfg.index_m, 2);
+        assert!(cfg.validate);
+        assert_eq!(cfg.faults.bucket_loss_prob, 0.1);
+
+        // build() rejects what check() rejects.
+        assert_eq!(
+            SimConfig::builder(params::la_city(), QueryKind::Knn, 7)
+                .bucket_capacity(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroBucketCapacity
+        );
+        assert_eq!(
+            SimConfig::builder(params::la_city(), QueryKind::Knn, 7)
+                .epoch_min(0.0)
+                .build()
+                .unwrap_err(),
+            ConfigError::BadEpoch(0.0)
+        );
+        assert!(matches!(
+            SimConfig::builder(params::la_city(), QueryKind::Knn, 7)
+                .outages(vec![(9, 3)])
+                .build(),
+            Err(ConfigError::BadOutageWindow(9, 3))
+        ));
     }
 
     #[test]

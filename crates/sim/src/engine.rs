@@ -10,10 +10,10 @@
 //! so [`Simulation::run_parallel`] is **bit-identical** to the sequential
 //! [`Simulation::run`] for every thread count.
 
-use crate::{ConfigError, MobilityModel, QueryKind, SimConfig, SimReport};
+use crate::{BackendKind, ConfigError, MobilityModel, QueryKind, SimConfig, SimReport};
 use airshare_broadcast::{
-    wire, AirIndex, ChannelFaults, OnAirClient, OutageSchedule, Poi, PoiCategory, QueryScratch,
-    Schedule,
+    wire, AirIndex, AirIndexBackend, BuildParams, ChannelFaults, OnAirClient, OutageSchedule, Poi,
+    PoiCategory, QueryScratch, RtreeAirIndex, Schedule,
 };
 use airshare_cache::{CacheContext, HostCache, QuarantineConfig, QuarantineLedger, RegionEntry};
 use airshare_core::{
@@ -21,7 +21,6 @@ use airshare_core::{
 };
 use airshare_exec::{split_seed, ExecPool};
 use airshare_geom::{meters_to_miles, Point, Rect};
-use airshare_hilbert::Grid;
 use airshare_mobility::{
     GridRoadWaypoint, Mobility, MobilityConfig, QueryScheduler, RandomWaypoint,
 };
@@ -162,7 +161,7 @@ struct HostDone {
 struct EpochCtx<'a> {
     cfg: &'a SimConfig,
     world: &'a Rect,
-    index: &'a AirIndex,
+    index: &'a dyn AirIndexBackend,
     schedule: &'a Schedule,
     oracle: &'a RTree<u32>,
     faults: Option<&'a ChannelFaults>,
@@ -194,7 +193,9 @@ pub struct Simulation {
     cfg: SimConfig,
     world: Rect,
     pois: Vec<Poi>,
-    index: AirIndex,
+    /// The broadcast organization, behind the backend trait: the
+    /// `BackendKind` knob picks the concrete index at build time.
+    index: Box<dyn AirIndexBackend>,
     schedule: Schedule,
     oracle: RTree<u32>,
     hosts: Vec<HostMobility>,
@@ -237,9 +238,25 @@ impl Simulation {
                 )
             })
             .collect();
-        let grid = Grid::new(world, cfg.hilbert_order);
-        let index = AirIndex::build(pois.clone(), grid, cfg.bucket_capacity);
-        let schedule = Schedule::new(index.data_buckets(), index.index_buckets(), cfg.index_m);
+        let build = BuildParams {
+            world,
+            hilbert_order: cfg.hilbert_order,
+            bucket_capacity: cfg.bucket_capacity,
+        };
+        // cfg.check() already vetted the capacity, so a build error here
+        // is unreachable; map it anyway rather than panic.
+        let index: Box<dyn AirIndexBackend> = match cfg.backend {
+            BackendKind::Hilbert => {
+                Box::new(<AirIndex as AirIndexBackend>::try_build(pois.clone(), &build)
+                    .map_err(|_| ConfigError::ZeroBucketCapacity)?)
+            }
+            BackendKind::Rtree => Box::new(
+                RtreeAirIndex::try_build(pois.clone(), &build)
+                    .map_err(|_| ConfigError::ZeroBucketCapacity)?,
+            ),
+        };
+        let schedule = Schedule::try_for_backend(index.as_ref(), cfg.index_m)
+            .map_err(|_| ConfigError::ZeroIndexReplication)?;
         let oracle = RTree::bulk_load(pois.iter().map(|p| (p.pos, p.id)).collect());
         let mut mobility_cfg = MobilityConfig::vehicular(world);
         mobility_cfg.speed_min *= cfg.params.speed_scale;
@@ -541,7 +558,7 @@ impl Simulation {
             let ctx = EpochCtx {
                 cfg: &cfg,
                 world: &self.world,
-                index: &self.index,
+                index: self.index.as_ref(),
                 schedule: &self.schedule,
                 oracle: &self.oracle,
                 faults: self.faults.as_ref(),

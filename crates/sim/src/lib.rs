@@ -29,7 +29,10 @@ pub mod params;
 mod report;
 
 pub use airshare_obs::{AnswerQuality, FaultStats, MetricsSnapshot};
-pub use config::{ChurnConfig, ConfigError, FaultConfig, MobilityModel, QueryKind, SimConfig};
+pub use config::{
+    BackendKind, ChurnConfig, ConfigError, FaultConfig, MobilityModel, QueryKind, SimConfig,
+    SimConfigBuilder,
+};
 pub use engine::Simulation;
 pub use params::ParamSet;
 pub use report::{LatencySummary, QualityStats, QueryStats, SimReport};

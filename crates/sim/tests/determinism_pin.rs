@@ -142,13 +142,19 @@ fn window_run_matches_pre_optimization_reference() {
 
 #[test]
 fn parallel_runs_match_pre_optimization_reference() {
-    let pool = ExecPool::fixed(4);
-    let knn = Simulation::try_new(pin_cfg(QueryKind::Knn))
-        .unwrap()
-        .run_parallel(&pool);
-    assert_eq!(Pin::of(&knn), KNN_PIN);
-    let window = Simulation::try_new(pin_cfg(QueryKind::Window))
-        .unwrap()
-        .run_parallel(&pool);
-    assert_eq!(Pin::of(&window), WINDOW_PIN);
+    for threads in [1, 2, 4, 8] {
+        let pool = ExecPool::fixed(threads);
+        let knn = Simulation::try_new(pin_cfg(QueryKind::Knn))
+            .unwrap()
+            .run_parallel(&pool);
+        assert_eq!(Pin::of(&knn), KNN_PIN, "knn pin moved at {threads} threads");
+        let window = Simulation::try_new(pin_cfg(QueryKind::Window))
+            .unwrap()
+            .run_parallel(&pool);
+        assert_eq!(
+            Pin::of(&window),
+            WINDOW_PIN,
+            "window pin moved at {threads} threads"
+        );
+    }
 }

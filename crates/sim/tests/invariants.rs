@@ -4,7 +4,8 @@
 //! crate.
 
 use airshare_cache::ReplacementPolicy;
-use airshare_sim::{params, MobilityModel, QueryKind, SimConfig, Simulation};
+use airshare_exec::ExecPool;
+use airshare_sim::{params, BackendKind, MobilityModel, QueryKind, SimConfig, Simulation};
 
 fn micro(kind: QueryKind, seed: u64) -> SimConfig {
     let p = params::synthetic_suburbia().scaled(0.004);
@@ -102,6 +103,36 @@ fn zero_queries_yield_empty_report() {
     assert_eq!(r.queries.total, 0);
     assert_eq!(r.overall_mean_latency(), 0.0);
     assert_eq!(r.mean_peers_contacted(), 0.0);
+}
+
+#[test]
+fn rtree_backend_runs_exactly_and_deterministically() {
+    for kind in [QueryKind::Knn, QueryKind::Window] {
+        let mut cfg = micro(kind, 11);
+        cfg.backend = BackendKind::Rtree;
+        cfg.validate = true;
+        let serial = Simulation::try_new(cfg.clone()).unwrap().run();
+        // The R-tree backend must answer every broadcast query exactly:
+        // the engine cross-checks each result against brute force.
+        assert_eq!(serial.exact_mismatches, 0, "{kind:?}");
+        assert_eq!(
+            serial.queries.total,
+            serial.queries.by_peers + serial.queries.by_approx + serial.queries.by_broadcast
+        );
+        assert!(serial.queries.by_broadcast > 0, "{kind:?} exercised the air index");
+        // Epoch-sharded parallel execution is bit-identical for this
+        // backend too, at every pool width.
+        for threads in [2, 4] {
+            let parallel = Simulation::try_new(cfg.clone())
+                .unwrap()
+                .run_parallel(&ExecPool::fixed(threads));
+            assert_eq!(
+                (parallel.queries.total, parallel.broadcast_latency.sum),
+                (serial.queries.total, serial.broadcast_latency.sum),
+                "{kind:?} at {threads} threads"
+            );
+        }
+    }
 }
 
 #[test]

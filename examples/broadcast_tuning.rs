@@ -26,7 +26,7 @@ fn main() {
             )
         })
         .collect();
-    let index = AirIndex::build(pois, Grid::new(world, 8), 10);
+    let index = AirIndex::try_build(pois, Grid::new(world, 8), 10).unwrap();
     println!(
         "data file: {} buckets, index segment: {} buckets\n",
         index.data_buckets(),

@@ -45,7 +45,7 @@ fn main() {
             )
         })
         .collect();
-    let index = AirIndex::build(pois.clone(), Grid::new(world, 6), 6);
+    let index = AirIndex::try_build(pois.clone(), Grid::new(world, 6), 6).unwrap();
     let schedule = Schedule::new(index.data_buckets(), index.index_buckets(), 4);
     let client = OnAirClient::new(&index, &schedule);
 
@@ -62,7 +62,7 @@ fn main() {
 
     // WQ1: fully inside the merged region.
     let wq1 = Rect::from_coords(3.0, 3.5, 4.5, 5.0);
-    let r1 = sbwq(&wq1, &SbwqConfig::default(), &mvr, Some((&client, 0)))
+    let r1 = sbwq(&wq1, &SbwqConfig::default(), &mvr, Some((&client.as_dyn(), 0)))
         .resolved()
         .unwrap();
     println!(
@@ -76,7 +76,7 @@ fn main() {
 
     // WQ2: hangs out of the merged region → reduced windows on air.
     let wq2 = Rect::from_coords(4.0, 4.0, 8.5, 7.0);
-    let r2 = sbwq(&wq2, &SbwqConfig::default(), &mvr, Some((&client, 0)))
+    let r2 = sbwq(&wq2, &SbwqConfig::default(), &mvr, Some((&client.as_dyn(), 0)))
         .resolved()
         .unwrap();
     let air2 = r2.air.unwrap();
@@ -96,7 +96,7 @@ fn main() {
             use_window_reduction: false,
         },
         &mvr,
-        Some((&client, 0)),
+        Some((&client.as_dyn(), 0)),
     )
     .resolved()
     .unwrap();

@@ -27,7 +27,7 @@ fn main() {
         .collect();
     let lambda = 60.0 / (30.0 * 30.0);
 
-    let index = AirIndex::build(hospitals.clone(), Grid::new(world, 6), 4);
+    let index = AirIndex::try_build(hospitals.clone(), Grid::new(world, 6), 4).unwrap();
     let schedule = Schedule::new(index.data_buckets(), index.index_buckets(), 2);
     let client = OnAirClient::new(&index, &schedule);
 
@@ -95,7 +95,7 @@ fn main() {
         min_correctness: 0.5,
         ..SbnnConfig::paper_defaults(3, lambda)
     };
-    let fast = sbnn(q, &cfg_accept, &mvr, Some((&client, 0)))
+    let fast = sbnn(q, &cfg_accept, &mvr, Some((&client.as_dyn(), 0)))
         .resolved()
         .unwrap();
     println!(
@@ -107,7 +107,7 @@ fn main() {
         accept_approx: false,
         ..cfg_accept
     };
-    let exact = sbnn(q, &cfg_exact, &mvr, Some((&client, 0)))
+    let exact = sbnn(q, &cfg_exact, &mvr, Some((&client.as_dyn(), 0)))
         .resolved()
         .unwrap();
     if let Some(air) = exact.air {

@@ -24,7 +24,7 @@ fn main() {
             )
         })
         .collect();
-    let index = AirIndex::build(pois.clone(), Grid::new(world, 6), 8);
+    let index = AirIndex::try_build(pois.clone(), Grid::new(world, 6), 8).unwrap();
     let schedule = Schedule::new(index.data_buckets(), index.index_buckets(), 4);
     let client = OnAirClient::new(&index, &schedule);
     println!(
@@ -83,7 +83,7 @@ fn main() {
 
     // --- The same query with no peers at all: pure on-air cost. ---
     let no_peers = MergedRegion::from_regions(Vec::<(Rect, Vec<Poi>)>::new());
-    let res = sbnn(q, &cfg, &no_peers, Some((&client, 0)))
+    let res = sbnn(q, &cfg, &no_peers, Some((&client.as_dyn(), 0)))
         .resolved()
         .expect("broadcast always resolves");
     let air = res.air.expect("went on air");

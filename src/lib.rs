@@ -55,7 +55,7 @@
 //! | [`geom`] | points, MBRs, rectangle unions (MVR), disk areas |
 //! | [`hilbert`] | Hilbert codec, window→interval decomposition |
 //! | [`rtree`] | ground-truth R-tree + linear-scan baseline |
-//! | [`broadcast`] | `(1, m)` air index, channel timing, on-air baselines |
+//! | [`broadcast`] | `(1, m)` air index (pluggable Hilbert / R-tree backends), channel timing, on-air baselines |
 //! | [`mobility`] | random waypoint, grid roads, Poisson workloads |
 //! | [`cache`] | verified-region host caches + replacement policies |
 //! | [`p2p`] | neighbor discovery, share protocol |
@@ -126,7 +126,10 @@ pub use airshare_sim as sim;
 
 /// The items most programs need, re-exported flat.
 pub mod prelude {
-    pub use airshare_broadcast::{AirIndex, OnAirClient, OutageSchedule, Poi, PoiCategory, Schedule};
+    pub use airshare_broadcast::{
+        AirIndex, AirIndexBackend, BuildParams, OnAirClient, OutageSchedule, Poi, PoiCategory,
+        RtreeAirIndex, Schedule,
+    };
     pub use airshare_cache::{
         CacheContext, HostCache, QuarantineConfig, QuarantineLedger, RegionEntry,
         ReplacementPolicy,
@@ -147,6 +150,7 @@ pub mod prelude {
     pub use airshare_p2p::{gather_peer_data, NeighborGrid, PeerReply};
     pub use airshare_rtree::RTree;
     pub use airshare_sim::{
-        params, ChurnConfig, QualityStats, QueryKind, SimConfig, SimReport, Simulation,
+        params, BackendKind, ChurnConfig, QualityStats, QueryKind, SimConfig, SimConfigBuilder,
+        SimReport, Simulation,
     };
 }

@@ -26,7 +26,7 @@ fn build_world(n: usize, side: f64, seed: u64) -> World {
         })
         .collect();
     let oracle = RTree::bulk_load(pois.iter().map(|p| (p.pos, p.id)).collect());
-    let index = AirIndex::build(pois, Grid::new(world, 6), 8);
+    let index = AirIndex::try_build(pois, Grid::new(world, 6), 8).unwrap();
     let schedule = Schedule::new(index.data_buckets(), index.index_buckets(), 4);
     World {
         index,
@@ -49,7 +49,7 @@ fn knowledge_flows_from_broadcast_to_peers() {
         a_pos,
         &SbnnConfig::paper_defaults(5, 400.0 / 256.0),
         &empty,
-        Some((&client, 0)),
+        Some((&client.as_dyn(), 0)),
     )
     .resolved()
     .unwrap();
@@ -102,7 +102,7 @@ fn knowledge_flows_from_broadcast_to_peers() {
             ..SbnnConfig::paper_defaults(3, 400.0 / 256.0)
         },
         &mvr,
-        Some((&client, 1000)),
+        Some((&client.as_dyn(), 1000)),
     )
     .resolved()
     .unwrap();
@@ -127,7 +127,7 @@ fn window_query_roundtrip_through_caches() {
     // overlapping window is answered (partially) from that cache.
     let w1 = Rect::from_coords(4.0, 4.0, 7.0, 7.0);
     let empty = MergedRegion::from_regions(Vec::<(Rect, Vec<Poi>)>::new());
-    let r1 = sbwq(&w1, &SbwqConfig::default(), &empty, Some((&client, 0)))
+    let r1 = sbwq(&w1, &SbwqConfig::default(), &empty, Some((&client.as_dyn(), 0)))
         .resolved()
         .unwrap();
     assert_eq!(r1.resolved_by, ResolvedBy::Broadcast);
@@ -156,7 +156,7 @@ fn window_query_roundtrip_through_caches() {
     // Overlapping window: reduced fetch, still exact, fewer buckets
     // than fetching the whole window cold.
     let w3 = Rect::from_coords(6.0, 5.0, 9.0, 8.0);
-    let r3 = sbwq(&w3, &SbwqConfig::default(), &mvr, Some((&client, 500)))
+    let r3 = sbwq(&w3, &SbwqConfig::default(), &mvr, Some((&client.as_dyn(), 500)))
         .resolved()
         .unwrap();
     let mut truth3: Vec<u32> = w.oracle.window(&w3).into_iter().map(|(_, &i)| i).collect();
