@@ -1,0 +1,231 @@
+//! Service load sweep: offered load vs what `airshare-serve` accepts,
+//! rejects, and how fast it answers.
+//!
+//! Drives the scaled-time scheduler (no lockstep — real wall-clock
+//! pacing, live admission stamping) with an open-loop client submitting
+//! kNN queries at a target rate, from gentle load up through deliberate
+//! overload of the bounded admission queue. Reports, per offered rate:
+//! accepted qps, the backpressure rejection rate, and client-observed
+//! wall-clock latency p50/p99 (submit → answer).
+//!
+//! Set `AIRSHARE_QUICK=1` for the CI-sized sweep. Writes
+//! `BENCH_serve.json` in the working directory.
+
+use airshare_geom::Point;
+use airshare_serve::{QueryRequest, ServeConfig, ServeError, Service};
+use airshare_sim::{params, QueryKind, QuerySpec, SimConfig};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// One simulated minute per 10 ms of wall time: epochs (0.25 sim-min)
+/// commit every 2.5 ms, so batched admission stays visibly batched
+/// while a multi-second sweep covers thousands of barriers.
+const SPEEDUP: f64 = 6_000.0;
+
+fn world_cfg(quick: bool) -> SimConfig {
+    let scale = if quick { 0.005 } else { 0.02 };
+    let mut p = params::la_city().scaled(scale);
+    p.cache_size = 30;
+    let mut cfg = SimConfig::paper_defaults(p, QueryKind::Knn, 42);
+    // Live service: no warm-up (every answer counts) and no oracle
+    // validation on the hot path.
+    cfg.warmup_min = 0.0;
+    cfg.validate = false;
+    cfg.hilbert_order = 6;
+    cfg
+}
+
+struct Cell {
+    offered_qps: f64,
+    duration_s: f64,
+    submitted: u64,
+    accepted: u64,
+    rejected: u64,
+    answered: u64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+impl Cell {
+    fn accepted_qps(&self) -> f64 {
+        self.accepted as f64 / self.duration_s
+    }
+    fn rejection_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            self.rejected as f64 / self.submitted as f64
+        }
+    }
+    fn json(&self) -> String {
+        format!(
+            "    {{\"offered_qps\": {:.0}, \"duration_s\": {:.2}, \"submitted\": {}, \
+             \"accepted\": {}, \"rejected\": {}, \"answered\": {}, \"accepted_qps\": {:.0}, \
+             \"rejection_rate\": {:.4}, \"latency_p50_ms\": {:.3}, \"latency_p99_ms\": {:.3}}}",
+            self.offered_qps,
+            self.duration_s,
+            self.submitted,
+            self.accepted,
+            self.rejected,
+            self.answered,
+            self.accepted_qps(),
+            self.rejection_rate(),
+            self.p50_ms,
+            self.p99_ms,
+        )
+    }
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
+    sorted_ms[idx]
+}
+
+/// One sweep point: a fresh service, an open-loop submission window at
+/// `offered_qps`, then drain and measure.
+fn run_point(cfg: &SimConfig, offered_qps: f64, duration: Duration) -> Cell {
+    let hosts = cfg.params.mh_number.min(64);
+    let side = cfg.params.world_mi;
+    let mut sc = ServeConfig::scaled(cfg.clone(), SPEEDUP);
+    sc.queue_capacity = 256;
+    sc.admit_per_tick = 2;
+    sc.threads = 4;
+    let epoch_wall = Duration::from_secs_f64(cfg.epoch_min / SPEEDUP * 60.0);
+
+    let service = Service::start(sc).expect("bench config is valid");
+    let handle = service.handle();
+    let pos = |h: usize| {
+        let g = (hosts as f64).sqrt().ceil() as usize;
+        Point::new(
+            (h % g) as f64 / g as f64 * side * 0.9 + side * 0.05,
+            (h / g) as f64 / g as f64 * side * 0.9 + side * 0.05,
+        )
+    };
+    for h in 0..hosts {
+        handle.register(h, None).expect("register");
+        handle.update_position(h, pos(h), None).expect("position");
+    }
+    // Let a few barriers pass so the sessions come online.
+    std::thread::sleep(epoch_wall * 4);
+
+    // Collector: stamps answer arrival as replies land, so latency is
+    // submit → answer, not submit → eventual poll. Replies arrive in
+    // admission order, so a single FIFO collector keeps up.
+    let (feed_tx, feed_rx) = mpsc::channel::<(Instant, mpsc::Receiver<_>)>();
+    let collector = std::thread::spawn(move || {
+        let mut latencies_ms: Vec<f64> = Vec::new();
+        while let Ok((t0, rx)) = feed_rx.recv() {
+            if rx.recv_timeout(Duration::from_secs(30)).is_ok() {
+                latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+            }
+        }
+        latencies_ms
+    });
+
+    let (mut submitted, mut accepted, mut rejected) = (0u64, 0u64, 0u64);
+    let start = Instant::now();
+    let mut i = 0u64;
+    while start.elapsed() < duration {
+        let due = start + Duration::from_secs_f64(i as f64 / offered_qps);
+        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        let h = (i as usize) % hosts;
+        let req = QueryRequest {
+            host: h,
+            pos: pos(h),
+            heading: None,
+            spec: QuerySpec::Knn {
+                k: cfg.params.knn_k,
+            },
+            tag: None,
+        };
+        submitted += 1;
+        match handle.submit(req) {
+            Ok(rx) => {
+                accepted += 1;
+                feed_tx.send((Instant::now(), rx)).expect("collector alive");
+            }
+            Err(ServeError::QueueFull { .. }) => rejected += 1,
+            Err(e) => panic!("live submit failed: {e}"),
+        }
+        i += 1;
+    }
+    let duration_s = start.elapsed().as_secs_f64();
+    drop(feed_tx);
+
+    let report = service.drain();
+    let mut latencies = collector.join().expect("collector thread");
+    latencies.sort_by(f64::total_cmp);
+    assert_eq!(report.accepted, accepted, "service lost track of admissions");
+
+    Cell {
+        offered_qps,
+        duration_s,
+        submitted,
+        accepted,
+        rejected,
+        answered: latencies.len() as u64,
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+    }
+}
+
+fn main() {
+    let quick = std::env::var_os("AIRSHARE_QUICK").is_some();
+    let mode = if quick { "quick" } else { "full" };
+    let cfg = world_cfg(quick);
+    let duration = Duration::from_secs_f64(if quick { 0.75 } else { 3.0 });
+    // The top rates deliberately exceed what a 256-deep queue admitting
+    // 2/tick can absorb, to measure backpressure under overload.
+    let rates: &[f64] = if quick {
+        &[500.0, 8_000.0, 128_000.0]
+    } else {
+        &[500.0, 2_000.0, 8_000.0, 32_000.0, 128_000.0]
+    };
+
+    println!("\n## Service load sweep — mode: {mode} (speedup {SPEEDUP}x, scaled pacing)");
+    println!(
+        "{:>12} {:>10} {:>10} {:>10} {:>12} {:>10} {:>10}",
+        "offered_qps", "accepted", "rejected", "rej_rate", "accepted_qps", "p50_ms", "p99_ms"
+    );
+    let mut cells = Vec::new();
+    for &qps in rates {
+        let cell = run_point(&cfg, qps, duration);
+        println!(
+            "{:>12.0} {:>10} {:>10} {:>10.4} {:>12.0} {:>10.3} {:>10.3}",
+            cell.offered_qps,
+            cell.accepted,
+            cell.rejected,
+            cell.rejection_rate(),
+            cell.accepted_qps(),
+            cell.p50_ms,
+            cell.p99_ms
+        );
+        assert_eq!(
+            cell.answered, cell.accepted,
+            "drain must answer every admitted query"
+        );
+        cells.push(cell);
+    }
+    // Overload sanity: the top offered rate must actually trip
+    // backpressure, or the sweep measured nothing.
+    assert!(
+        cells.last().map(Cell::rejection_rate).unwrap_or(0.0) > 0.0,
+        "overload point produced no rejections — raise the top rate"
+    );
+
+    let json = format!(
+        "{{\n  \"meta\": {{\n    \"mode\": \"{mode}\",\n    \"speedup\": {SPEEDUP},\n    \
+         \"workload\": \"la_city kNN, seed 42, open-loop offered load, queue=256, admit_per_tick=2\",\n    \
+         \"note\": \"scaled-time service (no lockstep); latency is client-observed wall ms from \
+         submit to answer; rejections are bounded-queue backpressure under overload; drain answers \
+         every admitted query (asserted)\"\n  }},\n  \"sweep\": [\n{}\n  ]\n}}\n",
+        cells.iter().map(Cell::json).collect::<Vec<_>>().join(",\n")
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
+}

@@ -9,6 +9,11 @@
 //! * `AIRSHARE_FULL=1` — the paper's full 20 mi × 20 mi, 10-hour runs
 //!   (days of CPU; provided for completeness).
 //!
+//! `AIRSHARE_BACKEND=hilbert|rtree` selects the air-index backend for
+//! every experiment built through [`ExpScale::config`] (experiments
+//! that sweep backends themselves, like `exp_backends`, override it
+//! per cell).
+//!
 //! All functions return their rows so tests and the `cargo bench` driver
 //! can assert on trends, and print them in a fixed, grep-friendly format.
 
@@ -72,6 +77,8 @@ impl ExpScale {
 
     /// Builds the [`SimConfig`] for one parameter set at this scale
     /// (area scaling plus per-workload warm-up and measure windows).
+    /// Honors `AIRSHARE_BACKEND` for air-index backend selection;
+    /// an unknown backend name aborts with the parse error.
     pub fn config(&self, p: ParamSet, kind: QueryKind, seed: u64) -> SimConfig {
         let scaled = if self.area < 1.0 { p.scaled(self.area) } else { p };
         let mut cfg = SimConfig::paper_defaults(scaled, kind, seed);
@@ -83,6 +90,13 @@ impl ExpScale {
             QueryKind::Window => {
                 cfg.warmup_min = self.win_warm;
                 cfg.measure_min = self.win_measure;
+            }
+        }
+        if let Ok(name) = std::env::var("AIRSHARE_BACKEND") {
+            if !name.trim().is_empty() {
+                cfg.backend = name
+                    .parse()
+                    .unwrap_or_else(|e| panic!("AIRSHARE_BACKEND: {e}"));
             }
         }
         cfg

@@ -42,21 +42,6 @@ impl std::fmt::Display for IndexError {
 impl std::error::Error for IndexError {}
 
 impl AirIndex {
-    /// Builds the broadcast organization for a POI set. Panics on the
-    /// conditions [`Self::try_build`] reports; use `try_build` when the
-    /// parameters come from external input.
-    ///
-    /// * `grid` — the Hilbert grid over the service area.
-    /// * `bucket_capacity` — POIs per bucket (≥ 1).
-    #[deprecated(
-        since = "0.1.0",
-        note = "panicking constructor; use `AirIndex::try_build` (or \
-                `<AirIndex as AirIndexBackend>::try_build`) instead"
-    )]
-    pub fn build(pois: Vec<Poi>, grid: Grid, bucket_capacity: usize) -> Self {
-        Self::try_build(pois, grid, bucket_capacity).unwrap_or_else(|e| panic!("{e}"))
-    }
-
     /// Builds the broadcast organization, rejecting impossible
     /// parameters instead of panicking.
     pub fn try_build(

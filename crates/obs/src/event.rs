@@ -204,6 +204,42 @@ pub enum TraceEvent {
         /// The skipped peer's host id.
         peer: u32,
     },
+    /// A host opened a session with the serving base station (fresh
+    /// join, or a cold reconnect after a crash).
+    SessionRegistered {
+        /// The registering host's id.
+        host: u32,
+    },
+    /// A host closed its session (disconnect; volatile state wiped).
+    SessionClosed {
+        /// The departing host's id.
+        host: u32,
+    },
+    /// A submitted query passed admission into an epoch batch.
+    QueryAdmitted {
+        /// Admission-queue depth observed when the query was admitted.
+        depth: u32,
+    },
+    /// A submitted query bounced off the full admission queue
+    /// (backpressure); the client was told when to retry.
+    QueryRejected {
+        /// Suggested retry delay in broadcast ticks.
+        retry_after_ticks: u64,
+    },
+    /// The service committed one epoch barrier: sessions updated, grid
+    /// rebuilt, and the epoch's admitted batch executed.
+    EpochCommitted {
+        /// The committed epoch number.
+        epoch: u64,
+        /// Queries executed in the batch.
+        batch: u32,
+    },
+    /// The service drained: admission closed, every pending barrier
+    /// flushed, all replies delivered.
+    ServiceDrained {
+        /// Queries still pending when the drain began.
+        pending: u32,
+    },
 }
 
 impl TraceEvent {
@@ -227,6 +263,12 @@ impl TraceEvent {
             TraceEvent::Resynced { .. } => "resynced",
             TraceEvent::PeerQuarantined { .. } => "peer_quarantined",
             TraceEvent::QuarantinedPeerSkipped { .. } => "quarantined_peer_skipped",
+            TraceEvent::SessionRegistered { .. } => "session_registered",
+            TraceEvent::SessionClosed { .. } => "session_closed",
+            TraceEvent::QueryAdmitted { .. } => "query_admitted",
+            TraceEvent::QueryRejected { .. } => "query_rejected",
+            TraceEvent::EpochCommitted { .. } => "epoch_committed",
+            TraceEvent::ServiceDrained { .. } => "service_drained",
         }
     }
 }
@@ -265,6 +307,14 @@ mod tests {
                 until_epoch: 3,
             },
             TraceEvent::QuarantinedPeerSkipped { peer: 0 },
+            TraceEvent::SessionRegistered { host: 0 },
+            TraceEvent::SessionClosed { host: 0 },
+            TraceEvent::QueryAdmitted { depth: 0 },
+            TraceEvent::QueryRejected {
+                retry_after_ticks: 1,
+            },
+            TraceEvent::EpochCommitted { epoch: 0, batch: 0 },
+            TraceEvent::ServiceDrained { pending: 0 },
         ];
         let mut names: Vec<&str> = events.iter().map(TraceEvent::name).collect();
         names.sort_unstable();

@@ -82,6 +82,18 @@ pub struct MetricsSnapshot {
     pub quarantine_strikes_total: u64,
     /// Peer contacts avoided due to active quarantine.
     pub quarantine_skips_total: u64,
+    /// Sessions opened with the serving base station.
+    pub sessions_registered_total: u64,
+    /// Sessions closed (client disconnects).
+    pub sessions_closed_total: u64,
+    /// Queries that passed admission into an epoch batch.
+    pub queries_admitted_total: u64,
+    /// Queries bounced off the full admission queue (backpressure).
+    pub queries_rejected_total: u64,
+    /// Epoch barriers committed by the service scheduler.
+    pub epochs_committed_total: u64,
+    /// Graceful drains completed.
+    pub drains_total: u64,
     /// Tuning-time percentiles across resolved queries (ticks).
     pub tuning: PercentileSummary,
     /// Access-latency percentiles across resolved queries (ticks).
@@ -127,6 +139,12 @@ impl MetricsSnapshot {
         self.resyncs_total += other.resyncs_total;
         self.quarantine_strikes_total += other.quarantine_strikes_total;
         self.quarantine_skips_total += other.quarantine_skips_total;
+        self.sessions_registered_total += other.sessions_registered_total;
+        self.sessions_closed_total += other.sessions_closed_total;
+        self.queries_admitted_total += other.queries_admitted_total;
+        self.queries_rejected_total += other.queries_rejected_total;
+        self.epochs_committed_total += other.epochs_committed_total;
+        self.drains_total += other.drains_total;
         self.tuning_hist.merge(&other.tuning_hist);
         self.latency_hist.merge(&other.latency_hist);
         self.tuning = self.tuning_hist.percentiles();
@@ -164,6 +182,12 @@ pub struct MetricsRecorder {
     resyncs: Counter,
     quarantine_strikes: Counter,
     quarantine_skips: Counter,
+    sessions_registered: Counter,
+    sessions_closed: Counter,
+    queries_admitted: Counter,
+    queries_rejected: Counter,
+    epochs_committed: Counter,
+    drains: Counter,
     tuning: Histogram,
     latency: Histogram,
 }
@@ -199,6 +223,12 @@ impl MetricsRecorder {
             resyncs_total: self.resyncs.get(),
             quarantine_strikes_total: self.quarantine_strikes.get(),
             quarantine_skips_total: self.quarantine_skips.get(),
+            sessions_registered_total: self.sessions_registered.get(),
+            sessions_closed_total: self.sessions_closed.get(),
+            queries_admitted_total: self.queries_admitted.get(),
+            queries_rejected_total: self.queries_rejected.get(),
+            epochs_committed_total: self.epochs_committed.get(),
+            drains_total: self.drains.get(),
             tuning: self.tuning.percentiles(),
             latency: self.latency.percentiles(),
             tuning_hist: self.tuning.clone(),
@@ -231,6 +261,12 @@ impl MetricsRecorder {
         self.resyncs.merge(other.resyncs);
         self.quarantine_strikes.merge(other.quarantine_strikes);
         self.quarantine_skips.merge(other.quarantine_skips);
+        self.sessions_registered.merge(other.sessions_registered);
+        self.sessions_closed.merge(other.sessions_closed);
+        self.queries_admitted.merge(other.queries_admitted);
+        self.queries_rejected.merge(other.queries_rejected);
+        self.epochs_committed.merge(other.epochs_committed);
+        self.drains.merge(other.drains);
         self.tuning.merge(&other.tuning);
         self.latency.merge(&other.latency);
     }
@@ -276,6 +312,12 @@ impl Recorder for MetricsRecorder {
             TraceEvent::Resynced { .. } => self.resyncs.incr(),
             TraceEvent::PeerQuarantined { .. } => self.quarantine_strikes.incr(),
             TraceEvent::QuarantinedPeerSkipped { .. } => self.quarantine_skips.incr(),
+            TraceEvent::SessionRegistered { .. } => self.sessions_registered.incr(),
+            TraceEvent::SessionClosed { .. } => self.sessions_closed.incr(),
+            TraceEvent::QueryAdmitted { .. } => self.queries_admitted.incr(),
+            TraceEvent::QueryRejected { .. } => self.queries_rejected.incr(),
+            TraceEvent::EpochCommitted { .. } => self.epochs_committed.incr(),
+            TraceEvent::ServiceDrained { .. } => self.drains.incr(),
         }
     }
 }
@@ -398,6 +440,30 @@ impl Recorder for JsonlTraceRecorder {
             TraceEvent::QuarantinedPeerSkipped { peer } => writeln!(
                 self.buf,
                 "{{\"query\":{q},\"event\":\"{name}\",\"peer\":{peer}}}"
+            ),
+            TraceEvent::SessionRegistered { host } => writeln!(
+                self.buf,
+                "{{\"query\":{q},\"event\":\"{name}\",\"host\":{host}}}"
+            ),
+            TraceEvent::SessionClosed { host } => writeln!(
+                self.buf,
+                "{{\"query\":{q},\"event\":\"{name}\",\"host\":{host}}}"
+            ),
+            TraceEvent::QueryAdmitted { depth } => writeln!(
+                self.buf,
+                "{{\"query\":{q},\"event\":\"{name}\",\"depth\":{depth}}}"
+            ),
+            TraceEvent::QueryRejected { retry_after_ticks } => writeln!(
+                self.buf,
+                "{{\"query\":{q},\"event\":\"{name}\",\"retry_after_ticks\":{retry_after_ticks}}}"
+            ),
+            TraceEvent::EpochCommitted { epoch, batch } => writeln!(
+                self.buf,
+                "{{\"query\":{q},\"event\":\"{name}\",\"epoch\":{epoch},\"batch\":{batch}}}"
+            ),
+            TraceEvent::ServiceDrained { pending } => writeln!(
+                self.buf,
+                "{{\"query\":{q},\"event\":\"{name}\",\"pending\":{pending}}}"
             ),
         };
     }
@@ -572,6 +638,45 @@ mod tests {
         ));
         assert!(log.contains("{\"query\":1,\"event\":\"query_quality\",\"quality\":\"stale\"}"));
         assert!(log.contains("{\"query\":1,\"event\":\"host_crashed\",\"host\":3,\"epoch\":7}"));
+    }
+
+    #[test]
+    fn service_events_aggregate_and_render() {
+        let service = [
+            TraceEvent::SessionRegistered { host: 2 },
+            TraceEvent::SessionRegistered { host: 9 },
+            TraceEvent::SessionClosed { host: 2 },
+            TraceEvent::QueryAdmitted { depth: 4 },
+            TraceEvent::QueryRejected {
+                retry_after_ticks: 350,
+            },
+            TraceEvent::EpochCommitted { epoch: 12, batch: 7 },
+            TraceEvent::ServiceDrained { pending: 3 },
+        ];
+        let mut m = MetricsRecorder::new();
+        m.begin_query(0, 0);
+        for e in service {
+            m.record(e);
+        }
+        let s = m.snapshot();
+        assert_eq!(s.sessions_registered_total, 2);
+        assert_eq!(s.sessions_closed_total, 1);
+        assert_eq!(s.queries_admitted_total, 1);
+        assert_eq!(s.queries_rejected_total, 1);
+        assert_eq!(s.epochs_committed_total, 1);
+        assert_eq!(s.drains_total, 1);
+
+        let mut t = JsonlTraceRecorder::new();
+        t.begin_query(4, 0);
+        for e in service {
+            t.record(e);
+        }
+        let log = t.into_string();
+        assert!(log.contains("{\"query\":4,\"event\":\"session_registered\",\"host\":9}"));
+        assert!(log
+            .contains("{\"query\":4,\"event\":\"query_rejected\",\"retry_after_ticks\":350}"));
+        assert!(log.contains("{\"query\":4,\"event\":\"epoch_committed\",\"epoch\":12,\"batch\":7}"));
+        assert!(log.contains("{\"query\":4,\"event\":\"service_drained\",\"pending\":3}"));
     }
 
     #[test]

@@ -1,0 +1,60 @@
+//! Service configuration: the simulated world plus the knobs that only
+//! exist once the base station runs in wall-clock time.
+
+use airshare_sim::SimConfig;
+
+/// How the scheduler advances simulated time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Pacing {
+    /// Simulated minutes advance with the wall clock, multiplied by the
+    /// given speedup (`1.0` = real time, `600.0` = a simulated minute
+    /// per 100 ms of wall time). Epoch barriers commit when the clock
+    /// crosses them; queries are timestamped at admission.
+    Scaled(f64),
+    /// Lockstep replay: barriers commit when the client *fences* an
+    /// epoch, and every submission carries its own timestamp, nonce,
+    /// and target epoch. This is the replay-parity mode — the clock
+    /// paces nothing, so parity holds at any effective speedup.
+    Lockstep,
+}
+
+/// Full configuration of one service instance.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// The world to serve: POIs, air-index backend, `(1, m)` schedule,
+    /// fault/outage/chaos knobs — identical meaning to the simulator's.
+    pub sim: SimConfig,
+    /// Clock mode (scaled wall time, or client-fenced lockstep).
+    pub pacing: Pacing,
+    /// Admission-queue bound. A submission that finds the queue full is
+    /// rejected with a retry-after hint — the backpressure contract.
+    pub queue_capacity: usize,
+    /// Admission budget per broadcast tick in [`Pacing::Scaled`] mode:
+    /// at most this many queued queries join the open batch per tick.
+    /// Ignored under lockstep (the fence is the throttle).
+    pub admit_per_tick: usize,
+    /// Worker threads executing query batches (`airshare-exec` pool).
+    pub threads: usize,
+}
+
+impl ServeConfig {
+    /// A lockstep-replay service over the given world with sensible
+    /// queue/worker defaults.
+    pub fn lockstep(sim: SimConfig) -> Self {
+        ServeConfig {
+            sim,
+            pacing: Pacing::Lockstep,
+            queue_capacity: 1024,
+            admit_per_tick: 64,
+            threads: 4,
+        }
+    }
+
+    /// A scaled-time service over the given world.
+    pub fn scaled(sim: SimConfig, speedup: f64) -> Self {
+        ServeConfig {
+            pacing: Pacing::Scaled(speedup),
+            ..ServeConfig::lockstep(sim)
+        }
+    }
+}

@@ -188,6 +188,51 @@ pub enum BackendKind {
     Rtree,
 }
 
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BackendKind::Hilbert => "hilbert",
+            BackendKind::Rtree => "rtree",
+        })
+    }
+}
+
+/// A backend name that matched no [`BackendKind`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseBackendError {
+    /// The offending input, as given.
+    pub input: String,
+}
+
+impl std::fmt::Display for ParseBackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown backend {:?} (expected \"hilbert\" or \"rtree\")",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseBackendError {}
+
+impl std::str::FromStr for BackendKind {
+    type Err = ParseBackendError;
+
+    /// Parses a backend name as the serve binary and `exp_*` tools
+    /// accept it from CLI/env: case-insensitive, surrounding whitespace
+    /// ignored, `"r-tree"` tolerated as an alias.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "hilbert" => Ok(BackendKind::Hilbert),
+            "rtree" | "r-tree" => Ok(BackendKind::Rtree),
+            _ => Err(ParseBackendError {
+                input: s.to_string(),
+            }),
+        }
+    }
+}
+
 /// Which spatial query type the workload issues (the paper evaluates kNN
 /// and window queries in separate experiments, §4.2 / §4.3).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -508,6 +553,20 @@ impl SimConfigBuilder {
 mod tests {
     use super::*;
     use crate::params;
+
+    #[test]
+    fn backend_kind_parses_and_displays() {
+        assert_eq!("hilbert".parse::<BackendKind>(), Ok(BackendKind::Hilbert));
+        assert_eq!(" RTree\n".parse::<BackendKind>(), Ok(BackendKind::Rtree));
+        assert_eq!("r-tree".parse::<BackendKind>(), Ok(BackendKind::Rtree));
+        for kind in [BackendKind::Hilbert, BackendKind::Rtree] {
+            assert_eq!(kind.to_string().parse::<BackendKind>(), Ok(kind));
+        }
+        let err = "quadtree".parse::<BackendKind>().unwrap_err();
+        assert_eq!(err.input, "quadtree");
+        let msg = err.to_string();
+        assert!(msg.contains("quadtree") && msg.contains("hilbert") && msg.contains("rtree"));
+    }
 
     #[test]
     fn defaults_track_param_set() {

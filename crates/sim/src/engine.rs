@@ -10,6 +10,7 @@
 //! so [`Simulation::run_parallel`] is **bit-identical** to the sequential
 //! [`Simulation::run`] for every thread count.
 
+use crate::traffic::{EpochRecord, RecordedQuery, TrafficTrace};
 use crate::{BackendKind, ConfigError, MobilityModel, QueryKind, SimConfig, SimReport};
 use airshare_broadcast::{
     wire, AirIndex, AirIndexBackend, BuildParams, ChannelFaults, OnAirClient, OutageSchedule, Poi,
@@ -55,13 +56,46 @@ const QUARANTINE_SEED_SALT: u64 = 0x0A42_A7F1_5EED_0005;
 
 /// A host's relationship to the broadcast channel.
 #[derive(Clone, Copy, Debug)]
-struct SyncState {
+pub(crate) struct SyncState {
     /// Simulated minute of the last successful channel access (or of
     /// coming online). Bounds the staleness of outage-served answers.
-    last_sync_min: f64,
+    pub(crate) last_sync_min: f64,
     /// The host answered queries without the channel (outage) or just
     /// came online; its next successful access counts as a resync.
-    needs_resync: bool,
+    pub(crate) needs_resync: bool,
+}
+
+/// What one query asks — decoupled from the run-level [`QueryKind`]
+/// knob so recorded traffic can replay its sampled windows verbatim and
+/// the live service (`airshare-serve`) can mix query kinds per request.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum QuerySpec {
+    /// The `k` nearest neighbors around the querying position.
+    Knn {
+        /// Neighbors requested.
+        k: usize,
+    },
+    /// All POIs inside a rectangle.
+    Window {
+        /// The query window.
+        rect: Rect,
+    },
+}
+
+/// One query's answer as a client receives it: the POI id set plus the
+/// answer's quality grade. Produced for every query — warm-up included —
+/// so a replay can check parity over the whole workload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryAnswer {
+    /// The query's global nonce (the simulator's event index, or the
+    /// service's admission ticket).
+    pub nonce: u64,
+    /// The querying host.
+    pub host: u32,
+    /// Result POI ids, in resolution order.
+    pub ids: Vec<u32>,
+    /// Quality grade of the answer.
+    pub quality: AnswerQuality,
 }
 
 enum HostMobility {
@@ -99,7 +133,7 @@ enum Resolution {
 /// Everything one measured query contributes to the report. Buffered
 /// shard-locally and folded in global event order at the epoch barrier,
 /// so float and counter accumulation order is independent of scheduling.
-struct QueryOutcome {
+pub(crate) struct QueryOutcome {
     share: ShareStats,
     /// The answer's quality tier (replaces the old binary degraded
     /// flag): `Exact`, `Degraded` (lossy retrieval), `Stale` or `Failed`
@@ -135,12 +169,13 @@ struct HostTask {
     events: Vec<(u64, f64)>,
 }
 
-/// One host's mutable state, borrowed for a single query.
-struct QueryHostState<'a> {
+/// One host's mutable state, borrowed for a single query. Position,
+/// heading, and the query spec are inputs to `process_query` instead —
+/// the closed loop derives them from mobility + the window stream, the
+/// live service takes them straight off the wire.
+pub(crate) struct QueryHostState<'a> {
     host: usize,
-    mobility: &'a mut HostMobility,
     cache: &'a mut HostCache,
-    rng: &'a mut SmallRng,
     sync: &'a mut SyncState,
     quarantine: &'a mut QuarantineLedger,
     resyncs: &'a mut u64,
@@ -157,28 +192,67 @@ struct HostDone {
     outcomes: Vec<(u64, QueryOutcome)>,
 }
 
-/// The immutable world every worker shares within one epoch.
-struct EpochCtx<'a> {
-    cfg: &'a SimConfig,
-    world: &'a Rect,
-    index: &'a dyn AirIndexBackend,
-    schedule: &'a Schedule,
-    oracle: &'a RTree<u32>,
-    faults: Option<&'a ChannelFaults>,
-    grid: &'a NeighborGrid,
+/// The immutable world every worker shares within one epoch. Shared by
+/// the closed-loop engine and the serving layer's `LiveWorld`, which is
+/// what makes replay parity a structural property rather than a test.
+pub(crate) struct EpochCtx<'a> {
+    pub(crate) cfg: &'a SimConfig,
+    pub(crate) world: &'a Rect,
+    pub(crate) index: &'a dyn AirIndexBackend,
+    pub(crate) schedule: &'a Schedule,
+    pub(crate) oracle: &'a RTree<u32>,
+    pub(crate) faults: Option<&'a ChannelFaults>,
+    pub(crate) grid: &'a NeighborGrid,
     /// Previous epoch's committed caches — what peers see.
-    snapshot: &'a [HostCache],
-    range: f64,
+    pub(crate) snapshot: &'a [HostCache],
+    pub(crate) range: f64,
     /// This epoch's number (outage membership, quarantine clock).
-    epoch: u64,
+    pub(crate) epoch: u64,
     /// Base-station outage windows over epoch numbers.
-    outage: &'a OutageSchedule,
+    pub(crate) outage: &'a OutageSchedule,
+}
+
+/// One query handed to the engine by the serving layer: inputs only,
+/// everything the closed loop would have derived from mobility.
+pub(crate) struct LiveBatchItem {
+    pub(crate) nonce: u64,
+    pub(crate) at_min: f64,
+    pub(crate) pos: Point,
+    pub(crate) heading: Option<(f64, f64)>,
+    pub(crate) spec: QuerySpec,
+}
+
+/// One host's slice of a service epoch batch.
+pub(crate) struct LiveTask {
+    pub(crate) host: usize,
+    pub(crate) cache: HostCache,
+    pub(crate) sync: SyncState,
+    pub(crate) quarantine: QuarantineLedger,
+    /// Nonce-ordered queries for this host.
+    pub(crate) queries: Vec<LiveBatchItem>,
+}
+
+/// A [`LiveTask`]'s committed result.
+pub(crate) struct LiveDone {
+    pub(crate) host: usize,
+    pub(crate) cache: HostCache,
+    pub(crate) sync: SyncState,
+    pub(crate) quarantine: QuarantineLedger,
+    pub(crate) resyncs: u64,
+    pub(crate) outcomes: Vec<(u64, QueryOutcome)>,
+    pub(crate) answers: Vec<QueryAnswer>,
 }
 
 /// Who executes the epoch's host tasks.
 enum Driver<'d> {
     /// One thread, one recorder, tasks in host-id order.
     Sequential(&'d mut dyn Recorder),
+    /// Sequential, additionally capturing the full workload (per-epoch
+    /// fleet state + per-query inputs and answers) into a trace.
+    Recording {
+        rec: &'d mut dyn Recorder,
+        trace: &'d mut TrafficTrace,
+    },
     /// Pool workers with inert recorders.
     Parallel { pool: &'d ExecPool },
     /// Pool workers, each folding into its own shard-local recorder.
@@ -226,39 +300,8 @@ impl Simulation {
     /// bad knob surfaces as a typed [`ConfigError`] instead of a panic
     /// deep inside a substrate crate.
     pub fn try_new(cfg: SimConfig) -> Result<Self, ConfigError> {
-        cfg.check()?;
-        let side = cfg.params.world_mi;
-        let world = Rect::from_coords(0.0, 0.0, side, side);
-        let mut rng = SmallRng::seed_from_u64(cfg.seed);
-        let pois: Vec<Poi> = (0..cfg.params.poi_number)
-            .map(|i| {
-                Poi::new(
-                    i as u32,
-                    Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)),
-                )
-            })
-            .collect();
-        let build = BuildParams {
-            world,
-            hilbert_order: cfg.hilbert_order,
-            bucket_capacity: cfg.bucket_capacity,
-        };
-        // cfg.check() already vetted the capacity, so a build error here
-        // is unreachable; map it anyway rather than panic.
-        let index: Box<dyn AirIndexBackend> = match cfg.backend {
-            BackendKind::Hilbert => {
-                Box::new(<AirIndex as AirIndexBackend>::try_build(pois.clone(), &build)
-                    .map_err(|_| ConfigError::ZeroBucketCapacity)?)
-            }
-            BackendKind::Rtree => Box::new(
-                RtreeAirIndex::try_build(pois.clone(), &build)
-                    .map_err(|_| ConfigError::ZeroBucketCapacity)?,
-            ),
-        };
-        let schedule = Schedule::try_for_backend(index.as_ref(), cfg.index_m)
-            .map_err(|_| ConfigError::ZeroIndexReplication)?;
-        let oracle = RTree::bulk_load(pois.iter().map(|p| (p.pos, p.id)).collect());
-        let mut mobility_cfg = MobilityConfig::vehicular(world);
+        let core = build_world_core(&cfg)?;
+        let mut mobility_cfg = MobilityConfig::vehicular(core.world);
         mobility_cfg.speed_min *= cfg.params.speed_scale;
         mobility_cfg.speed_max *= cfg.params.speed_scale;
         let hosts: Vec<HostMobility> = (0..cfg.params.mh_number)
@@ -278,60 +321,23 @@ impl Simulation {
                 }
             })
             .collect();
-        let caches = (0..cfg.params.mh_number)
-            .map(|_| {
-                let c = HostCache::new(cfg.params.cache_size, cfg.policy)
-                    .with_subsume_overlap(cfg.subsume_overlap);
-                if cfg.max_regions == usize::MAX {
-                    c
-                } else {
-                    c.with_max_regions(cfg.max_regions)
-                }
-            })
-            .collect();
-        // Fault decisions are hashed from their own seed (derived from
-        // the master seed), never drawn from an RNG stream: an inert
-        // fault config leaves every other random stream untouched.
-        let faults = (!cfg.faults.is_inert()).then(|| {
-            cfg.faults.channel_faults(
-                cfg.seed ^ 0xFA17_5EED_0000_0001,
-                wire::bucket_frame_bytes(cfg.bucket_capacity),
-            )
-        });
-        let n = cfg.params.mh_number;
         let (online, churn_plan) = plan_churn(&cfg);
-        let outage = OutageSchedule::new(cfg.outages.clone());
-        let sync = vec![
-            SyncState {
-                last_sync_min: 0.0,
-                needs_resync: false,
-            };
-            n
-        ];
-        let quarantines = (0..n)
-            .map(|h| {
-                QuarantineLedger::new(
-                    QuarantineConfig::default(),
-                    split_seed(cfg.seed ^ QUARANTINE_SEED_SALT, h as u64, 0),
-                )
-            })
-            .collect();
         Ok(Self {
             cfg,
-            world,
-            pois,
-            index,
-            schedule,
-            oracle,
+            world: core.world,
+            pois: core.pois,
+            index: core.index,
+            schedule: core.schedule,
+            oracle: core.oracle,
             hosts,
-            caches,
-            faults,
+            caches: core.caches,
+            faults: core.faults,
             online,
             churn_plan,
             churn_cursor: 0,
-            outage,
-            sync,
-            quarantines,
+            outage: core.outage,
+            sync: core.sync,
+            quarantines: core.quarantines,
         })
     }
 
@@ -372,6 +378,31 @@ impl Simulation {
     /// [`run`]: Simulation::run
     pub fn run_with(&mut self, rec: &mut dyn Recorder) -> SimReport {
         self.run_engine(Driver::Sequential(rec))
+    }
+
+    /// Runs sequentially while recording the full workload into a
+    /// [`TrafficTrace`]: per-epoch fleet state (positions, online flags,
+    /// churn transitions) plus every query's inputs *and* its
+    /// oracle-checked answer (POI ids + [`AnswerQuality`]). The report
+    /// is bit-identical to a plain [`Simulation::run`]; the trace is
+    /// what `airshare-serve`'s replay client drives against the live
+    /// service, asserting answer-set parity.
+    pub fn run_recording(&mut self) -> (SimReport, TrafficTrace) {
+        let mut trace = TrafficTrace {
+            seed: self.cfg.seed,
+            hosts: self.cfg.params.mh_number,
+            epoch_min: self.cfg.epoch_min,
+            ..TrafficTrace::default()
+        };
+        let mut noop = NoopRecorder;
+        let report = self.run_engine(Driver::Recording {
+            rec: &mut noop,
+            trace: &mut trace,
+        });
+        // Per-epoch recording appends in host-id order; replay wants
+        // global (nonce) order, which is also time order.
+        trace.queries.sort_by_key(|q| q.nonce);
+        (report, trace)
     }
 
     /// Runs the simulation with each epoch's host shards fanned out
@@ -420,11 +451,15 @@ impl Simulation {
         // heap allocation.
         enum Workers<'d> {
             Sequential(&'d mut dyn Recorder, QueryScratch),
+            Recording(&'d mut dyn Recorder, QueryScratch, &'d mut TrafficTrace),
             Parallel(&'d ExecPool, Vec<(NoopRecorder, QueryScratch)>),
             ParallelMetrics(&'d ExecPool, Vec<(&'d mut MetricsRecorder, QueryScratch)>),
         }
         let mut workers = match driver {
             Driver::Sequential(rec) => Workers::Sequential(rec, QueryScratch::new()),
+            Driver::Recording { rec, trace } => {
+                Workers::Recording(rec, QueryScratch::new(), trace)
+            }
             Driver::Parallel { pool } => Workers::Parallel(
                 pool,
                 (0..pool.threads())
@@ -449,6 +484,12 @@ impl Simulation {
             QueryScheduler::new(cfg.params.query_rate, cfg.params.mh_number, cfg.seed ^ 0xA5);
         let events = scheduler.events_until(cfg.total_min());
 
+        if let Workers::Recording(_, _, trace) = &mut workers {
+            // Pristine churn-plan state: who is on the air before the
+            // first epoch's transitions apply.
+            trace.initial_online = self.online.clone();
+        }
+
         let mut report = SimReport::default();
         let mut i = 0usize;
         while i < events.len() {
@@ -462,6 +503,7 @@ impl Simulation {
             // boundary (epochs without events are caught up lazily).
             // This runs in the main loop — identically under every
             // driver — so churn costs the parallel engine nothing.
+            let mut epoch_churn: Vec<(u32, u64, bool)> = Vec::new();
             while self.churn_cursor < self.churn_plan.len()
                 && self.churn_plan[self.churn_cursor].0 <= epoch
             {
@@ -492,6 +534,13 @@ impl Simulation {
                 };
                 match &mut workers {
                     Workers::Sequential(rec, _) => rec.record(event),
+                    Workers::Recording(rec, _, _) => {
+                        // The trace keeps the *planned* epoch `e`, not the
+                        // barrier epoch: a restart's sync clock is pinned
+                        // to when the host actually came online.
+                        epoch_churn.push((h as u32, e, up));
+                        rec.record(event);
+                    }
                     Workers::Parallel(..) => {}
                     Workers::ParallelMetrics(_, ctxs) => {
                         if let Some((rec, _)) = ctxs.first_mut() {
@@ -510,6 +559,14 @@ impl Simulation {
             let t_build = (epoch as f64 * epoch_len).min(events[i].time);
             let positions: Vec<Point> =
                 self.hosts.iter_mut().map(|h| h.position_at(t_build)).collect();
+            if let Workers::Recording(_, _, trace) = &mut workers {
+                trace.epochs.push(EpochRecord {
+                    epoch,
+                    positions: positions.clone(),
+                    online: self.online.clone(),
+                    churn: std::mem::take(&mut epoch_churn),
+                });
+            }
             let grid = NeighborGrid::build_active(positions, cell, &self.online);
 
             // The committed cache state peers observe this epoch. A
@@ -572,18 +629,30 @@ impl Simulation {
                 Workers::Sequential(rec, scratch) => {
                     let mut v = Vec::with_capacity(tasks.len());
                     for task in tasks {
-                        v.push(ctx.run_host(task, scratch, &mut **rec));
+                        v.push(ctx.run_host(task, scratch, &mut **rec, None));
+                    }
+                    v
+                }
+                Workers::Recording(rec, scratch, trace) => {
+                    let mut v = Vec::with_capacity(tasks.len());
+                    for task in tasks {
+                        v.push(ctx.run_host(
+                            task,
+                            scratch,
+                            &mut **rec,
+                            Some(&mut trace.queries),
+                        ));
                     }
                     v
                 }
                 Workers::Parallel(pool, ctxs) => {
                     pool.map_with(ctxs, tasks, |(rec, scratch), _, task| {
-                        ctx.run_host(task, scratch, rec)
+                        ctx.run_host(task, scratch, rec, None)
                     })
                 }
                 Workers::ParallelMetrics(pool, ctxs) => {
                     pool.map_with(ctxs, tasks, |(rec, scratch), _, task| {
-                        ctx.run_host(task, scratch, &mut **rec)
+                        ctx.run_host(task, scratch, &mut **rec, None)
                     })
                 }
             };
@@ -613,11 +682,18 @@ impl Simulation {
 impl EpochCtx<'_> {
     /// Runs one host's epoch shard: its events in time order, against
     /// the shared epoch snapshot, with all mutations host-local.
+    ///
+    /// Each event's query inputs (position, heading, window sample) are
+    /// derived here from the host's mobility and window streams, then
+    /// handed to the stream-free [`EpochCtx::process_query`]. When `tap`
+    /// is set, every query's inputs and answer are captured as a
+    /// [`RecordedQuery`] for service replay.
     fn run_host(
         &self,
         task: HostTask,
         scratch: &mut QueryScratch,
         rec: &mut dyn Recorder,
+        mut tap: Option<&mut Vec<RecordedQuery>>,
     ) -> HostDone {
         let HostTask {
             host,
@@ -631,16 +707,59 @@ impl EpochCtx<'_> {
         let mut outcomes = Vec::new();
         let mut resyncs = 0u64;
         for (idx, t) in events {
+            let qpos = mobility.position_at(t);
+            let heading = mobility.heading_at(t);
+            // The per-(host, epoch) stream's only consumer is window
+            // sampling, so drawing here (instead of mid-query) leaves
+            // the draw sequence untouched.
+            let spec = match self.cfg.query_kind {
+                QueryKind::Knn => QuerySpec::Knn {
+                    k: self.cfg.params.knn_k,
+                },
+                QueryKind::Window => QuerySpec::Window {
+                    rect: self.sample_window(qpos, &mut rng),
+                },
+            };
             let mut q = QueryHostState {
                 host,
-                mobility: &mut mobility,
                 cache: &mut cache,
-                rng: &mut rng,
                 sync: &mut sync,
                 quarantine: &mut quarantine,
                 resyncs: &mut resyncs,
             };
-            if let Some(o) = self.process_query(idx, t, &mut q, scratch, rec) {
+            let mut answer = tap.as_deref_mut().map(|_| QueryAnswer {
+                nonce: idx,
+                host: host as u32,
+                ids: Vec::new(),
+                quality: AnswerQuality::Failed,
+            });
+            let out = self.process_query(
+                idx,
+                t,
+                qpos,
+                heading,
+                &spec,
+                &mut q,
+                scratch,
+                rec,
+                answer.as_mut(),
+            );
+            if let Some(sink) = tap.as_deref_mut() {
+                let ans = answer.expect("answer sink allocated when recording");
+                sink.push(RecordedQuery {
+                    nonce: idx,
+                    host: host as u32,
+                    at_min: t,
+                    epoch: self.epoch,
+                    pos: qpos,
+                    heading,
+                    spec,
+                    ids: ans.ids,
+                    quality: ans.quality,
+                    measured: t >= self.cfg.warmup_min,
+                });
+            }
+            if let Some(o) = out {
                 outcomes.push((idx, o));
             }
         }
@@ -655,20 +774,92 @@ impl EpochCtx<'_> {
         }
     }
 
+    /// Runs one host's slice of a *service* epoch batch: the same
+    /// resolution path as [`EpochCtx::run_host`], but with every query's
+    /// inputs supplied by the client instead of derived from mobility,
+    /// and with an answer produced for every query.
+    pub(crate) fn run_live_host(
+        &self,
+        task: LiveTask,
+        scratch: &mut QueryScratch,
+        rec: &mut dyn Recorder,
+    ) -> LiveDone {
+        let LiveTask {
+            host,
+            mut cache,
+            mut sync,
+            mut quarantine,
+            queries,
+        } = task;
+        let mut outcomes = Vec::new();
+        let mut answers = Vec::with_capacity(queries.len());
+        let mut resyncs = 0u64;
+        for item in queries {
+            let mut q = QueryHostState {
+                host,
+                cache: &mut cache,
+                sync: &mut sync,
+                quarantine: &mut quarantine,
+                resyncs: &mut resyncs,
+            };
+            let mut answer = QueryAnswer {
+                nonce: item.nonce,
+                host: host as u32,
+                ids: Vec::new(),
+                quality: AnswerQuality::Failed,
+            };
+            let out = self.process_query(
+                item.nonce,
+                item.at_min,
+                item.pos,
+                item.heading,
+                &item.spec,
+                &mut q,
+                scratch,
+                rec,
+                Some(&mut answer),
+            );
+            if let Some(o) = out {
+                outcomes.push((item.nonce, o));
+            }
+            answers.push(answer);
+        }
+        LiveDone {
+            host,
+            cache,
+            sync,
+            quarantine,
+            resyncs,
+            outcomes,
+            answers,
+        }
+    }
+
     /// Resolves one query. Returns its contribution to the report, or
     /// `None` during warm-up (cache effects still apply).
-    fn process_query(
+    ///
+    /// The query's inputs — position, heading, and the fully-sampled
+    /// [`QuerySpec`] — are supplied by the caller (derived from mobility
+    /// in the simulator, client-submitted in the serving layer), so this
+    /// path is identical for both. When `answer` is set, the answer's
+    /// POI ids and [`AnswerQuality`] are always filled in, warm-up or
+    /// not: the service answers every query, while the report only
+    /// counts measured ones.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn process_query(
         &self,
         nonce: u64,
         t: f64,
+        qpos: Point,
+        heading: Option<(f64, f64)>,
+        spec: &QuerySpec,
         q: &mut QueryHostState<'_>,
         scratch: &mut QueryScratch,
         rec: &mut dyn Recorder,
+        mut answer: Option<&mut QueryAnswer>,
     ) -> Option<QueryOutcome> {
         let cfg = self.cfg;
         let host = q.host;
-        let qpos = q.mobility.position_at(t);
-        let heading = q.mobility.heading_at(t);
         let measuring = t >= cfg.warmup_min;
         let tune_in = (t * cfg.ticks_per_min as f64) as u64;
         rec.begin_query(nonce, tune_in);
@@ -738,8 +929,6 @@ impl EpochCtx<'_> {
         }
         let mvr = MergedRegion::from_regions(region_pairs);
 
-        let window =
-            matches!(cfg.query_kind, QueryKind::Window).then(|| self.sample_window(qpos, q.rng));
         let client = match self.faults {
             Some(f) => OnAirClient::with_faults(self.index, self.schedule, f),
             None => OnAirClient::new(self.index, self.schedule),
@@ -750,10 +939,10 @@ impl EpochCtx<'_> {
             now: t,
         };
 
-        match cfg.query_kind {
-            QueryKind::Knn => {
+        match spec {
+            QuerySpec::Knn { k } => {
                 let sbnn_cfg = SbnnConfig {
-                    k: cfg.params.knn_k,
+                    k: *k,
                     accept_approx: cfg.accept_approx,
                     min_correctness: cfg.min_correctness,
                     lambda: cfg.params.poi_density(),
@@ -770,15 +959,19 @@ impl EpochCtx<'_> {
                         // (or Failed when it held nothing).
                         q.sync.needs_resync = true;
                         q.cache.touch(CAT, &Rect::centered_square(qpos, self.range), t);
-                        if !measuring {
-                            return None;
-                        }
                         let entries = heap.entries();
                         let quality = if entries.is_empty() {
                             AnswerQuality::Failed
                         } else {
                             AnswerQuality::Stale
                         };
+                        if let Some(a) = answer.as_deref_mut() {
+                            a.ids = entries.iter().map(|c| c.poi.id).collect();
+                            a.quality = quality;
+                        }
+                        if !measuring {
+                            return None;
+                        }
                         rec.record(TraceEvent::QueryQuality { quality });
                         let mut violation = false;
                         if cfg.validate && !entries.is_empty() {
@@ -836,14 +1029,18 @@ impl EpochCtx<'_> {
                 }
                 q.cache.touch(CAT, &Rect::centered_square(qpos, self.range), t);
 
-                if !measuring {
-                    return None;
-                }
                 let quality = if degraded {
                     AnswerQuality::Degraded
                 } else {
                     AnswerQuality::Exact
                 };
+                if let Some(a) = answer.as_deref_mut() {
+                    a.ids = res.neighbors.iter().map(|n| n.poi.id).collect();
+                    a.quality = quality;
+                }
+                if !measuring {
+                    return None;
+                }
                 rec.record(TraceEvent::QueryQuality { quality });
                 let mut out = QueryOutcome {
                     share,
@@ -915,8 +1112,8 @@ impl EpochCtx<'_> {
                 }
                 Some(out)
             }
-            QueryKind::Window => {
-                let w = window.expect("sampled above for window workloads");
+            QuerySpec::Window { rect } => {
+                let w = *rect;
                 let sbwq_cfg = SbwqConfig {
                     use_window_reduction: cfg.use_window_reduction,
                 };
@@ -929,9 +1126,6 @@ impl EpochCtx<'_> {
                         // quality depends on how much area peers covered.
                         q.sync.needs_resync = true;
                         q.cache.touch(CAT, &w, t);
-                        if !measuring {
-                            return None;
-                        }
                         let wa = w.area();
                         let coverage = if wa > 0.0 {
                             let miss: f64 = missing.iter().map(Rect::area).sum();
@@ -944,6 +1138,13 @@ impl EpochCtx<'_> {
                         } else {
                             AnswerQuality::Failed
                         };
+                        if let Some(a) = answer.as_deref_mut() {
+                            a.ids = partial.iter().map(|p| p.id).collect();
+                            a.quality = quality;
+                        }
+                        if !measuring {
+                            return None;
+                        }
                         rec.record(TraceEvent::QueryQuality { quality });
                         let mut violation = false;
                         if cfg.validate && !partial.is_empty() {
@@ -1001,14 +1202,18 @@ impl EpochCtx<'_> {
                 }
                 q.cache.touch(CAT, &w, t);
 
-                if !measuring {
-                    return None;
-                }
                 let quality = if degraded {
                     AnswerQuality::Degraded
                 } else {
                     AnswerQuality::Exact
                 };
+                if let Some(a) = answer {
+                    a.ids = res.pois.iter().map(|p| p.id).collect();
+                    a.quality = quality;
+                }
+                if !measuring {
+                    return None;
+                }
                 rec.record(TraceEvent::QueryQuality { quality });
                 let (resolution, window_coverage) = match res.resolved_by {
                     ResolvedBy::PeersVerified => (Resolution::Peers, None),
@@ -1092,6 +1297,113 @@ impl EpochCtx<'_> {
     }
 }
 
+/// Everything the base-station side of a run owns, minus the fleet's
+/// mobility. Built identically for the closed-loop [`Simulation`] and
+/// the serving layer's [`crate::LiveWorld`]: same POI draws, same
+/// backend build, same fault/outage/quarantine seeds — so both resolve
+/// queries over the *same* world and replay parity is structural.
+pub(crate) struct WorldCore {
+    pub(crate) world: Rect,
+    pub(crate) pois: Vec<Poi>,
+    pub(crate) index: Box<dyn AirIndexBackend>,
+    pub(crate) schedule: Schedule,
+    pub(crate) oracle: RTree<u32>,
+    pub(crate) faults: Option<ChannelFaults>,
+    pub(crate) outage: OutageSchedule,
+    pub(crate) caches: Vec<HostCache>,
+    pub(crate) sync: Vec<SyncState>,
+    pub(crate) quarantines: Vec<QuarantineLedger>,
+}
+
+/// Builds the shared world: POIs placed uniformly at random (the
+/// paper's Poisson-field assumption), the air index behind the
+/// configured backend, the `(1, m)` schedule, the ground-truth R-tree,
+/// and per-host caches/sync/quarantine state. Validates the
+/// configuration first.
+pub(crate) fn build_world_core(cfg: &SimConfig) -> Result<WorldCore, ConfigError> {
+    cfg.check()?;
+    let side = cfg.params.world_mi;
+    let world = Rect::from_coords(0.0, 0.0, side, side);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let pois: Vec<Poi> = (0..cfg.params.poi_number)
+        .map(|i| {
+            Poi::new(
+                i as u32,
+                Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)),
+            )
+        })
+        .collect();
+    let build = BuildParams {
+        world,
+        hilbert_order: cfg.hilbert_order,
+        bucket_capacity: cfg.bucket_capacity,
+    };
+    // cfg.check() already vetted the capacity, so a build error here
+    // is unreachable; map it anyway rather than panic.
+    let index: Box<dyn AirIndexBackend> = match cfg.backend {
+        BackendKind::Hilbert => Box::new(
+            <AirIndex as AirIndexBackend>::try_build(pois.clone(), &build)
+                .map_err(|_| ConfigError::ZeroBucketCapacity)?,
+        ),
+        BackendKind::Rtree => Box::new(
+            RtreeAirIndex::try_build(pois.clone(), &build)
+                .map_err(|_| ConfigError::ZeroBucketCapacity)?,
+        ),
+    };
+    let schedule = Schedule::try_for_backend(index.as_ref(), cfg.index_m)
+        .map_err(|_| ConfigError::ZeroIndexReplication)?;
+    let oracle = RTree::bulk_load(pois.iter().map(|p| (p.pos, p.id)).collect());
+    let n = cfg.params.mh_number;
+    let caches = (0..n)
+        .map(|_| {
+            let c = HostCache::new(cfg.params.cache_size, cfg.policy)
+                .with_subsume_overlap(cfg.subsume_overlap);
+            if cfg.max_regions == usize::MAX {
+                c
+            } else {
+                c.with_max_regions(cfg.max_regions)
+            }
+        })
+        .collect();
+    // Fault decisions are hashed from their own seed (derived from
+    // the master seed), never drawn from an RNG stream: an inert
+    // fault config leaves every other random stream untouched.
+    let faults = (!cfg.faults.is_inert()).then(|| {
+        cfg.faults.channel_faults(
+            cfg.seed ^ 0xFA17_5EED_0000_0001,
+            wire::bucket_frame_bytes(cfg.bucket_capacity),
+        )
+    });
+    let outage = OutageSchedule::new(cfg.outages.clone());
+    let sync = vec![
+        SyncState {
+            last_sync_min: 0.0,
+            needs_resync: false,
+        };
+        n
+    ];
+    let quarantines = (0..n)
+        .map(|h| {
+            QuarantineLedger::new(
+                QuarantineConfig::default(),
+                split_seed(cfg.seed ^ QUARANTINE_SEED_SALT, h as u64, 0),
+            )
+        })
+        .collect();
+    Ok(WorldCore {
+        world,
+        pois,
+        index,
+        schedule,
+        oracle,
+        faults,
+        outage,
+        caches,
+        sync,
+        quarantines,
+    })
+}
+
 /// Precomputes the churn schedule: each host's initial online flag and
 /// the full list of crash/restart/join transitions, sorted by
 /// `(epoch, host)`.
@@ -1168,7 +1480,7 @@ fn sample_normal(rng: &mut SmallRng, mean: f64, sd: f64) -> f64 {
 
 /// Folds one measured query into the report. Called in global event
 /// order regardless of thread count.
-fn fold_outcome(report: &mut SimReport, calibration_cap: usize, o: QueryOutcome) {
+pub(crate) fn fold_outcome(report: &mut SimReport, calibration_cap: usize, o: QueryOutcome) {
     report.queries.total += 1;
     report.record_share(&o.share);
     if o.quality == AnswerQuality::Degraded {

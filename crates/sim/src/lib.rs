@@ -25,14 +25,18 @@
 
 mod config;
 mod engine;
+mod live;
 pub mod params;
 mod report;
+mod traffic;
 
 pub use airshare_obs::{AnswerQuality, FaultStats, MetricsSnapshot};
 pub use config::{
-    BackendKind, ChurnConfig, ConfigError, FaultConfig, MobilityModel, QueryKind, SimConfig,
-    SimConfigBuilder,
+    BackendKind, ChurnConfig, ConfigError, FaultConfig, MobilityModel, ParseBackendError,
+    QueryKind, SimConfig, SimConfigBuilder,
 };
-pub use engine::Simulation;
+pub use engine::{QueryAnswer, QuerySpec, Simulation};
+pub use live::{LiveQuery, LiveWorld};
 pub use params::ParamSet;
 pub use report::{LatencySummary, QualityStats, QueryStats, SimReport};
+pub use traffic::{EpochRecord, RecordedQuery, TrafficTrace};

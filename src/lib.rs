@@ -63,6 +63,7 @@
 //! | [`obs`] | recorder trait, trace events, counters/histograms, stats |
 //! | [`exec`] | deterministic worker pool, work stealing, seed splitting |
 //! | [`sim`] | the full-system simulator behind §4 |
+//! | [`serve`] | the base station as a long-running service: sessions, batched admission, backpressure |
 //!
 //! ## Parallelism
 //!
@@ -122,6 +123,7 @@ pub use airshare_mobility as mobility;
 pub use airshare_obs as obs;
 pub use airshare_p2p as p2p;
 pub use airshare_rtree as rtree;
+pub use airshare_serve as serve;
 pub use airshare_sim as sim;
 
 /// The items most programs need, re-exported flat.
@@ -149,8 +151,11 @@ pub mod prelude {
     };
     pub use airshare_p2p::{gather_peer_data, NeighborGrid, PeerReply};
     pub use airshare_rtree::RTree;
+    pub use airshare_serve::{
+        Pacing, QueryRequest, ServeConfig, ServeError, Service, ServiceHandle, ServiceReport,
+    };
     pub use airshare_sim::{
-        params, BackendKind, ChurnConfig, QualityStats, QueryKind, SimConfig, SimConfigBuilder,
-        SimReport, Simulation,
+        params, BackendKind, ChurnConfig, QualityStats, QueryAnswer, QueryKind, QuerySpec,
+        SimConfig, SimConfigBuilder, SimReport, Simulation,
     };
 }
