@@ -1,0 +1,151 @@
+//! The fleet-scale experiment: one simulation at a million hosts.
+//!
+//! This is the acceptance benchmark for the arena/columnar storage
+//! refactor (DESIGN.md §15). The engine streams epochs straight off the
+//! query process — memory is O(hosts + live epoch), never O(events) —
+//! so the only per-host costs are the [`airshare_sim::FleetStore`]
+//! columns, one
+//! mobility stream, and one arena-backed cache. The run reports
+//! throughput in *host-epochs per second* (every host advances, joins
+//! the neighbor grid, and has its cache snapshotted each epoch, whether
+//! or not it queried), peak RSS, and mean per-epoch wall time, and
+//! writes them to `BENCH_million.json`.
+//!
+//! Knobs:
+//! - `AIRSHARE_MILLION_HOSTS` — fleet size (default 1,000,000). CI runs
+//!   the 100k smoke with an RSS budget asserted on the JSON.
+//! - The serial == parallel determinism check runs at
+//!   `min(hosts, 100_000)` so the full-size run doesn't pay for a
+//!   second complete simulation; the million-host run itself still goes
+//!   through `run_parallel`.
+//!
+//! The world keeps LA-City *densities* (Table 3) and grows the area to
+//! fit the fleet, so per-query behavior (neighbors in radio range,
+//! cache hit geometry) matches the paper's regime at any size.
+
+use airshare_exec::ExecPool;
+use airshare_sim::{params, ParamSet, QueryKind, SimConfig, Simulation};
+use std::time::Instant;
+
+/// LA-City densities stretched to hold `hosts` mobile hosts.
+fn million_params(hosts: usize) -> ParamSet {
+    let base = params::la_city();
+    let area = hosts as f64 / base.mh_density();
+    let side = area.sqrt();
+    ParamSet {
+        name: "LA densities, fleet-scale",
+        poi_number: ((base.poi_density() * area).round() as usize).max(20),
+        mh_number: hosts,
+        cache_size: 30,
+        // Aggregate Poisson rate: a light but real query load (~0.2% of
+        // the fleet per minute) — the experiment measures fleet storage
+        // and epoch streaming, not query throughput (exp_hotpath does).
+        query_rate: (hosts as f64 * 0.002).max(50.0),
+        world_mi: side,
+        distance_mi: base.distance_mi,
+        speed_scale: 1.0,
+        ..base
+    }
+}
+
+fn config(hosts: usize, seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::paper_defaults(million_params(hosts), QueryKind::Knn, seed);
+    cfg.warmup_min = 1.0;
+    cfg.measure_min = 2.0;
+    cfg.validate = false;
+    cfg.hilbert_order = 8;
+    cfg
+}
+
+/// Peak resident set (VmHWM) in MiB, from `/proc/self/status`; 0.0
+/// where the file doesn't exist (non-Linux).
+fn peak_rss_mib() -> f64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0.0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.trim().strip_suffix("kB"))
+        .and_then(|kb| kb.trim().parse::<f64>().ok())
+        .map_or(0.0, |kb| kb / 1024.0)
+}
+
+fn main() {
+    let hosts: usize = std::env::var("AIRSHARE_MILLION_HOSTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get().min(8));
+
+    // Determinism first: the parallel run below is only trustworthy
+    // because serial == parallel holds. Checked at a bounded size so
+    // the full-size run isn't simulated twice.
+    let check_hosts = hosts.min(100_000);
+    println!("## exp_million — {hosts} hosts, {threads} threads");
+    println!("determinism check at {check_hosts} hosts ...");
+    let t = Instant::now();
+    let serial = Simulation::try_new(config(check_hosts, 42))
+        .expect("config valid by construction")
+        .run();
+    let parallel = Simulation::try_new(config(check_hosts, 42))
+        .expect("config valid by construction")
+        .run_parallel(&ExecPool::fixed(threads));
+    assert_eq!(
+        parallel, serial,
+        "parallel run diverged from sequential at {check_hosts} hosts"
+    );
+    println!(
+        "  serial == parallel ({} queries, {:.1}s for both runs)",
+        serial.queries.total,
+        t.elapsed().as_secs_f64()
+    );
+
+    // The timed run.
+    let cfg = config(hosts, 42);
+    let epochs = (cfg.total_min() / cfg.epoch_min).ceil() as u64;
+    println!(
+        "world {:.1} mi, {} POIs, {} epochs, ~{:.0} queries expected",
+        cfg.params.world_mi,
+        cfg.params.poi_number,
+        epochs,
+        cfg.params.query_rate * cfg.total_min()
+    );
+    let t = Instant::now();
+    let mut sim = Simulation::try_new(cfg).expect("config valid by construction");
+    let build_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let report = sim.run_parallel(&ExecPool::fixed(threads));
+    let wall_s = t.elapsed().as_secs_f64();
+    drop(sim);
+
+    let host_epochs = hosts as u64 * epochs;
+    let hosts_per_sec = host_epochs as f64 / wall_s;
+    let epoch_ms = wall_s * 1000.0 / epochs as f64;
+    let rss = peak_rss_mib();
+    println!(
+        "build {build_s:.1}s | run {wall_s:.1}s | {hosts_per_sec:.0} host-epochs/s | \
+         {epoch_ms:.0} ms/epoch | peak RSS {rss:.0} MiB"
+    );
+    println!(
+        "queries: {} total ({} by peers, {} approx, {} broadcast)",
+        report.queries.total,
+        report.queries.by_peers,
+        report.queries.by_approx,
+        report.queries.by_broadcast
+    );
+
+    let json = format!(
+        "{{\n  \"meta\": {{\n    \"note\": \"fleet-scale run on LA-City densities; hosts_per_sec \
+         counts host-epochs (every host advances + snapshots each epoch); determinism = serial vs \
+         {threads}-thread parallel report equality\",\n    \"threads\": {threads}\n  }},\n  \
+         \"hosts\": {hosts},\n  \"epochs\": {epochs},\n  \"build_s\": {build_s:.3},\n  \
+         \"wall_s\": {wall_s:.3},\n  \"hosts_per_sec\": {hosts_per_sec:.0},\n  \
+         \"epoch_wall_ms\": {epoch_ms:.2},\n  \"peak_rss_mib\": {rss:.1},\n  \
+         \"queries\": {},\n  \"determinism\": {{\n    \"hosts\": {check_hosts},\n    \
+         \"serial_parallel_match\": true\n  }}\n}}\n",
+        report.queries.total
+    );
+    std::fs::write("BENCH_million.json", &json).expect("write BENCH_million.json");
+    println!("wrote BENCH_million.json");
+}

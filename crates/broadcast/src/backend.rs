@@ -18,7 +18,7 @@
 //!   buckets in STR bulk-load order, internal-node descriptors as the
 //!   index segment, MBR intersection as the predicate map.
 
-use crate::{Bucket, BucketId, IndexError, Poi, QueryScratch};
+use crate::{Bucket, BucketId, IndexError, PoiTable, QueryScratch};
 use airshare_geom::{Point, Rect};
 use bytes::Bytes;
 
@@ -79,9 +79,11 @@ pub struct BuildParams {
 /// [`buckets_for_windows_scratch`]: AirIndexBackend::buckets_for_windows_scratch
 /// [`try_build`]: AirIndexBackend::try_build
 pub trait AirIndexBackend: std::fmt::Debug + Send + Sync {
-    /// Builds the broadcast organization for a POI set, rejecting
-    /// impossible parameters instead of panicking.
-    fn try_build(pois: Vec<Poi>, params: &BuildParams) -> Result<Self, IndexError>
+    /// Builds the broadcast organization from the canonical POI table,
+    /// rejecting impossible parameters instead of panicking. The backend
+    /// copies out whatever broadcast-order layout it needs; the table
+    /// stays the single authority on POI payloads.
+    fn try_build(pois: &PoiTable, params: &BuildParams) -> Result<Self, IndexError>
     where
         Self: Sized;
 

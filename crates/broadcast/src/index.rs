@@ -1,7 +1,7 @@
 //! The server-side air index: POIs in Hilbert order, packed into buckets.
 
 use crate::backend::{AirIndexBackend, BuildParams, INDEX_FANOUT};
-use crate::{Bucket, BucketId, Poi, QueryScratch};
+use crate::{Bucket, BucketId, Poi, PoiTable, QueryScratch};
 use airshare_geom::{Point, Rect};
 use airshare_hilbert::Grid;
 use bytes::{BufMut, Bytes, BytesMut};
@@ -288,9 +288,9 @@ impl AirIndex {
 /// as code calling [`AirIndex`] directly. The determinism pins in
 /// `crates/sim/tests/determinism_pin.rs` enforce this.
 impl AirIndexBackend for AirIndex {
-    fn try_build(pois: Vec<Poi>, params: &BuildParams) -> Result<Self, IndexError> {
+    fn try_build(pois: &PoiTable, params: &BuildParams) -> Result<Self, IndexError> {
         let grid = Grid::new(params.world, params.hilbert_order);
-        AirIndex::try_build(pois, grid, params.bucket_capacity)
+        AirIndex::try_build(pois.to_vec(), grid, params.bucket_capacity)
     }
 
     fn world(&self) -> Rect {

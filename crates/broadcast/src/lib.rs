@@ -46,6 +46,7 @@ mod poi;
 mod rtree_index;
 mod schedule;
 mod scratch;
+mod table;
 pub mod wire;
 
 pub use backend::{AirIndexBackend, BuildParams};
@@ -58,3 +59,4 @@ pub use outage::OutageSchedule;
 pub use poi::{Poi, PoiCategory, PoiId};
 pub use schedule::{Schedule, ScheduleError};
 pub use scratch::QueryScratch;
+pub use table::PoiTable;

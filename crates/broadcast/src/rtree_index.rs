@@ -2,7 +2,7 @@
 //! nodes as index buckets.
 
 use crate::backend::{AirIndexBackend, BuildParams, INDEX_FANOUT};
-use crate::{Bucket, IndexError, Poi, QueryScratch};
+use crate::{Bucket, IndexError, Poi, PoiTable, QueryScratch};
 use airshare_geom::{Point, Rect};
 use airshare_rtree::RTree;
 use bytes::{BufMut, Bytes, BytesMut};
@@ -112,12 +112,12 @@ impl RtreeAirIndex {
 }
 
 impl AirIndexBackend for RtreeAirIndex {
-    fn try_build(pois: Vec<Poi>, params: &BuildParams) -> Result<Self, IndexError> {
+    fn try_build(pois: &PoiTable, params: &BuildParams) -> Result<Self, IndexError> {
         if params.bucket_capacity < 1 {
             return Err(IndexError::ZeroBucketCapacity);
         }
         let poi_count = pois.len();
-        let tree = RTree::bulk_load(pois.into_iter().map(|p| (p.pos, p)).collect());
+        let tree = RTree::bulk_load(pois.iter().map(|p| (p.pos, *p)).collect());
         let ordered: Vec<Poi> = tree.iter().map(|(_, p)| *p).collect();
         let mut buckets = Vec::with_capacity(ordered.len().div_ceil(params.bucket_capacity));
         for (i, chunk) in ordered.chunks(params.bucket_capacity).enumerate() {
@@ -260,7 +260,7 @@ mod tests {
     }
 
     fn setup(n: usize, cap: usize) -> RtreeAirIndex {
-        RtreeAirIndex::try_build(scatter(n), &params(cap)).unwrap()
+        RtreeAirIndex::try_build(&crate::PoiTable::from_pois(scatter(n)), &params(cap)).unwrap()
     }
 
     #[test]
@@ -390,7 +390,7 @@ mod tests {
 
     #[test]
     fn empty_and_invalid_builds() {
-        let idx = RtreeAirIndex::try_build(Vec::new(), &params(4)).unwrap();
+        let idx = RtreeAirIndex::try_build(&crate::PoiTable::new(), &params(4)).unwrap();
         assert_eq!(idx.data_buckets(), 0);
         assert_eq!(idx.index_buckets(), 1);
         assert!(idx
@@ -400,7 +400,7 @@ mod tests {
         let frame = idx.encode_index_bucket(0).unwrap();
         assert!(verify_payload(&frame).unwrap().is_empty());
         assert_eq!(
-            RtreeAirIndex::try_build(Vec::new(), &params(0)).unwrap_err(),
+            RtreeAirIndex::try_build(&crate::PoiTable::new(), &params(0)).unwrap_err(),
             IndexError::ZeroBucketCapacity
         );
     }

@@ -6,19 +6,20 @@
 //! to the concrete static-dispatch path.
 
 use airshare_broadcast::{
-    AirIndex, AirIndexBackend, BuildParams, OnAirClient, Poi, RtreeAirIndex, Schedule,
+    AirIndex, AirIndexBackend, BuildParams, OnAirClient, Poi, PoiTable, RtreeAirIndex, Schedule,
 };
 use airshare_geom::{Point, Rect};
 use proptest::prelude::*;
 
 const SIDE: f64 = 32.0;
 
-fn pois(coords: &[(f64, f64)]) -> Vec<Poi> {
-    coords
-        .iter()
-        .enumerate()
-        .map(|(i, &(x, y))| Poi::new(i as u32, Point::new(x, y)))
-        .collect()
+fn pois(coords: &[(f64, f64)]) -> PoiTable {
+    PoiTable::from_pois(
+        coords
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| Poi::new(i as u32, Point::new(x, y))),
+    )
 }
 
 fn params(cap: usize) -> BuildParams {
@@ -33,8 +34,8 @@ fn params(cap: usize) -> BuildParams {
 /// with a schedule sized to its own bucket layout.
 fn build_pair(coords: &[(f64, f64)], cap: usize, m: usize) -> (AirIndex, RtreeAirIndex, Schedule, Schedule) {
     let p = params(cap);
-    let hilbert = <AirIndex as AirIndexBackend>::try_build(pois(coords), &p).unwrap();
-    let rtree = <RtreeAirIndex as AirIndexBackend>::try_build(pois(coords), &p).unwrap();
+    let hilbert = <AirIndex as AirIndexBackend>::try_build(&pois(coords), &p).unwrap();
+    let rtree = <RtreeAirIndex as AirIndexBackend>::try_build(&pois(coords), &p).unwrap();
     let hs = Schedule::try_for_backend(&hilbert, m).unwrap();
     let rs = Schedule::try_for_backend(&rtree, m).unwrap();
     (hilbert, rtree, hs, rs)
@@ -108,7 +109,7 @@ proptest! {
     ) {
         prop_assume!(coords.len() >= k);
         let p = params(cap);
-        let index = <AirIndex as AirIndexBackend>::try_build(pois(&coords), &p).unwrap();
+        let index = <AirIndex as AirIndexBackend>::try_build(&pois(&coords), &p).unwrap();
         let schedule = Schedule::try_for_backend(&index, 4).unwrap();
         let concrete = OnAirClient::new(&index, &schedule);
         let erased = concrete.as_dyn();

@@ -1,10 +1,19 @@
 //! The per-host cache.
+//!
+//! Since the fleet-scale storage refactor the cache is handle-based:
+//! entries live in an [`EntryArena`] (flat slot + POI-handle pools,
+//! generational [`EntryId`] handles) and POI *payloads* live once in the
+//! workspace-wide [`PoiTable`] — the cache stores only 4-byte [`PoiId`]s.
+//! The public insert API still accepts owned [`RegionEntry`] values (the
+//! transfer type peers and the broadcast path produce); accessors that
+//! used to return owned `Vec<Poi>` now either yield handles
+//! ([`HostCache::entries`], [`HostCache::share_regions`]) or require the
+//! table to resolve against ([`HostCacheRef`](crate::HostCacheRef)).
 
-use crate::{RegionEntry, ReplacementPolicy};
-use airshare_broadcast::{Poi, PoiCategory};
+use crate::{EntryArena, EntryId, EntryView, RegionEntry, ReplacementPolicy};
+use airshare_broadcast::{Poi, PoiCategory, PoiId, PoiTable};
 use airshare_geom::{Point, Rect};
 use airshare_obs::{CacheRejectReason, NoopRecorder, Recorder, TraceEvent};
-use std::collections::HashMap;
 
 /// What [`HostCache::insert`] did with the offered entry.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -31,10 +40,10 @@ pub struct CacheContext {
 /// A mobile host's query-result cache.
 ///
 /// Storage is organized per POI category ("data type"); the capacity
-/// (`CSize` in Table 4) bounds the number of *POIs* cached per category.
-/// Entries are whole [`RegionEntry`]s and are evicted whole, so the
+/// (`CSize` of Table 4) bounds the number of *POIs* cached per category.
+/// Entries are whole verified regions and are evicted whole, so the
 /// verified-region invariant can never be broken by partial eviction.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct HostCache {
     capacity_per_category: usize,
     max_regions: usize,
@@ -43,7 +52,46 @@ pub struct HostCache {
     /// 1.0 = only full containment (strict subsumption).
     subsume_overlap: f64,
     policy: ReplacementPolicy,
-    entries: HashMap<PoiCategory, Vec<RegionEntry>>,
+    arena: EntryArena,
+    /// Per-category entry lists, in first-touch category order. A small
+    /// ordered Vec beats a HashMap here: real workloads hold one or two
+    /// categories, and Vec iteration order is deterministic.
+    cats: Vec<(PoiCategory, Vec<EntryId>)>,
+}
+
+impl Clone for HostCache {
+    fn clone(&self) -> Self {
+        Self {
+            capacity_per_category: self.capacity_per_category,
+            max_regions: self.max_regions,
+            subsume_overlap: self.subsume_overlap,
+            policy: self.policy,
+            arena: self.arena.clone(),
+            cats: self.cats.clone(),
+        }
+    }
+
+    /// Buffer-reusing clone: the simulator refreshes per-epoch cache
+    /// snapshots with this, so a warm snapshot allocates nothing.
+    fn clone_from(&mut self, source: &Self) {
+        self.capacity_per_category = source.capacity_per_category;
+        self.max_regions = source.max_regions;
+        self.subsume_overlap = source.subsume_overlap;
+        self.policy = source.policy;
+        self.arena.clone_from(&source.arena);
+        // By hand rather than `Vec::clone_from`: tuples have no
+        // `clone_from` specialization, so the delegating form would
+        // reallocate every per-category entry list on every snapshot.
+        self.cats.truncate(source.cats.len());
+        let shared = self.cats.len();
+        for ((dst_cat, dst_list), (src_cat, src_list)) in
+            self.cats.iter_mut().zip(&source.cats)
+        {
+            *dst_cat = *src_cat;
+            dst_list.clone_from(src_list);
+        }
+        self.cats.extend(source.cats[shared..].iter().cloned());
+    }
 }
 
 impl HostCache {
@@ -57,7 +105,8 @@ impl HostCache {
             max_regions: capacity_per_category,
             subsume_overlap: 1.0,
             policy,
-            entries: HashMap::new(),
+            arena: EntryArena::new(),
+            cats: Vec::new(),
         }
     }
 
@@ -94,20 +143,82 @@ impl HostCache {
         self.policy
     }
 
+    fn list(&self, category: PoiCategory) -> Option<&[EntryId]> {
+        self.cats
+            .iter()
+            .find(|(c, _)| *c == category)
+            .map(|(_, l)| l.as_slice())
+    }
+
+    fn cat_index(&mut self, category: PoiCategory) -> usize {
+        match self.cats.iter().position(|(c, _)| *c == category) {
+            Some(i) => i,
+            None => {
+                self.cats.push((category, Vec::new()));
+                self.cats.len() - 1
+            }
+        }
+    }
+
     /// Cached POI count for a category.
     pub fn poi_count(&self, category: PoiCategory) -> usize {
-        self.entries
-            .get(&category)
-            .map(|v| v.iter().map(RegionEntry::len).sum())
+        self.list(category)
+            .map(|l| l.iter().map(|&e| self.arena.poi_len(e)).sum())
             .unwrap_or(0)
     }
 
-    /// The verified regions currently cached for a category.
-    pub fn regions(&self, category: PoiCategory) -> &[RegionEntry] {
-        self.entries
-            .get(&category)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+    /// Number of verified regions cached for a category.
+    pub fn region_count(&self, category: PoiCategory) -> usize {
+        self.list(category).map_or(0, <[EntryId]>::len)
+    }
+
+    /// The entry handles cached for a category, in storage order.
+    pub fn entry_ids(&self, category: PoiCategory) -> &[EntryId] {
+        self.list(category).unwrap_or(&[])
+    }
+
+    /// A view of one entry, or `None` for a stale handle.
+    pub fn get(&self, id: EntryId) -> Option<EntryView<'_>> {
+        self.arena.get(id)
+    }
+
+    /// Views of the verified regions cached for a category, in storage
+    /// order.
+    pub fn entries(
+        &self,
+        category: PoiCategory,
+    ) -> impl Iterator<Item = EntryView<'_>> + '_ {
+        self.entry_ids(category)
+            .iter()
+            .map(|&e| self.arena.get(e).expect("live handle"))
+    }
+
+    /// The share reply a peer receives on request: every verified region
+    /// with the handles of its POIs (the paper's `⟨p.VR, p.O⟩`, with
+    /// `p.O` as [`PoiId`]s to be resolved against the receiver's own
+    /// [`PoiTable`]).
+    pub fn share_regions(
+        &self,
+        category: PoiCategory,
+    ) -> impl Iterator<Item = (Rect, &[PoiId])> + '_ {
+        self.entries(category).map(|v| (v.vr, v.poi_ids))
+    }
+
+    /// Resolving view over this cache: borrows the canonical table so
+    /// accessors can return owned POIs again.
+    pub fn with_table<'a>(&'a self, table: &'a PoiTable) -> crate::HostCacheRef<'a> {
+        crate::HostCacheRef::new(self, table)
+    }
+
+    /// The verified regions currently cached for a category, resolved to
+    /// owned [`RegionEntry`] values through `table`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "POI payloads live in the PoiTable now; iterate `entries()` \
+                or use `with_table(...)` (HostCacheRef) to resolve handles"
+    )]
+    pub fn regions(&self, table: &PoiTable, category: PoiCategory) -> Vec<RegionEntry> {
+        self.entries(category).map(|v| v.resolve(table)).collect()
     }
 
     /// Inserts a verified entry for `category`, evicting per policy until
@@ -133,9 +244,11 @@ impl HostCache {
 
     /// [`Self::insert`], tracing a refused admission into `rec` with its
     /// [`CacheRejectReason`]. Successful stores emit nothing here — the
-    /// query layer already traced the data's origin. This is the single
-    /// implementation; [`Self::insert`] delegates with a
-    /// [`NoopRecorder`].
+    /// query layer already traced the data's origin.
+    ///
+    /// The entry's POIs are interned down to [`PoiId`] handles on store;
+    /// the consistency check and capacity shrink run on the carried
+    /// positions first, exactly as before the handle refactor.
     pub fn insert_rec(
         &mut self,
         category: PoiCategory,
@@ -156,85 +269,234 @@ impl HostCache {
             return InsertOutcome::RejectedNoCapacity;
         }
         let entry = entry.shrink_to_fit(ctx.pos, self.capacity_per_category);
-        let list = self.entries.entry(category).or_default();
-        let threshold = self.subsume_overlap;
-        list.retain(|e| {
-            if entry.vr.contains_rect(&e.vr) {
-                return false;
-            }
-            if threshold < 1.0 && e.vr.area() > 0.0 {
-                if let Some(i) = entry.vr.intersection(&e.vr) {
-                    if i.area() >= threshold * e.vr.area() {
-                        return false;
-                    }
+        let ci = self.cat_index(category);
+        self.make_room(ci, &entry.vr, entry.len(), ctx);
+        let eid = self.arena.insert(
+            entry.vr,
+            entry.created_at,
+            entry.last_used,
+            entry.pois.iter().map(Poi::handle),
+        );
+        self.cats[ci].1.push(eid);
+        InsertOutcome::Stored
+    }
+
+    /// Handle-native insert: stores a verified region given directly as
+    /// `(vr, poi handles)`, validating and (if oversized) shrinking
+    /// against the canonical `table` instead of carried positions.
+    ///
+    /// Allocation-free once the cache is warm — this is the path the
+    /// zero-steady-state-allocation guarantee is measured on. Behavior
+    /// matches [`Self::insert_rec`] fed the resolved entry: the two paths
+    /// run the same subsume/evict/shrink arithmetic.
+    pub fn insert_ids(
+        &mut self,
+        table: &PoiTable,
+        category: PoiCategory,
+        vr: Rect,
+        ids: &[PoiId],
+        now: f64,
+        ctx: &CacheContext,
+    ) -> InsertOutcome {
+        self.insert_ids_rec(table, category, vr, ids, now, ctx, &mut NoopRecorder)
+    }
+
+    /// [`Self::insert_ids`], tracing refused admissions into `rec`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn insert_ids_rec(
+        &mut self,
+        table: &PoiTable,
+        category: PoiCategory,
+        vr: Rect,
+        ids: &[PoiId],
+        now: f64,
+        ctx: &CacheContext,
+        rec: &mut dyn Recorder,
+    ) -> InsertOutcome {
+        let well_formed = vr.x1.is_finite()
+            && vr.y1.is_finite()
+            && vr.x2.is_finite()
+            && vr.y2.is_finite()
+            && vr.x1 <= vr.x2
+            && vr.y1 <= vr.y2;
+        let contained = ids
+            .iter()
+            .all(|&id| table.get(id).is_some_and(|p| vr.contains(p.pos)));
+        if !well_formed || !contained {
+            rec.record(TraceEvent::CacheRejected {
+                reason: CacheRejectReason::Inconsistent,
+            });
+            return InsertOutcome::RejectedInconsistent;
+        }
+        if self.capacity_per_category == 0 {
+            rec.record(TraceEvent::CacheRejected {
+                reason: CacheRejectReason::NoCapacity,
+            });
+            return InsertOutcome::RejectedNoCapacity;
+        }
+        // Shrink around the host if oversized — same binary search as
+        // `RegionEntry::shrink_to_fit`, counting through the table.
+        let (vr, len) = if ids.len() > self.capacity_per_category {
+            let anchor = vr.clamp_point(ctx.pos);
+            let scaled = |s: f64| {
+                Rect::from_coords(
+                    anchor.x + (vr.x1 - anchor.x) * s,
+                    anchor.y + (vr.y1 - anchor.y) * s,
+                    anchor.x + (vr.x2 - anchor.x) * s,
+                    anchor.y + (vr.y2 - anchor.y) * s,
+                )
+            };
+            let count_in = |r: &Rect| {
+                ids.iter()
+                    .filter(|&&id| table.get(id).is_some_and(|p| r.contains(p.pos)))
+                    .count()
+            };
+            let mut lo = 0.0_f64;
+            let mut hi = 1.0_f64;
+            for _ in 0..40 {
+                let mid = 0.5 * (lo + hi);
+                if count_in(&scaled(mid)) <= self.capacity_per_category {
+                    lo = mid;
+                } else {
+                    hi = mid;
                 }
             }
-            true
+            let r = scaled(lo);
+            let n = count_in(&r);
+            (r, n)
+        } else {
+            (vr, ids.len())
+        };
+        let ci = self.cat_index(category);
+        self.make_room(ci, &vr, len, ctx);
+        let eid = self.arena.insert(
+            vr,
+            now,
+            now,
+            ids.iter()
+                .copied()
+                .filter(|&id| table.get(id).is_some_and(|p| vr.contains(p.pos))),
+        );
+        self.cats[ci].1.push(eid);
+        InsertOutcome::Stored
+    }
+
+    /// Drops subsumed entries, then evicts worst-scored entries until an
+    /// incoming entry of `len` POIs fits both budgets. The incoming entry
+    /// itself is never a victim: it answers the query in flight.
+    fn make_room(&mut self, ci: usize, new_vr: &Rect, len: usize, ctx: &CacheContext) {
+        let threshold = self.subsume_overlap;
+        let arena = &mut self.arena;
+        let list = &mut self.cats[ci].1;
+        list.retain(|&eid| {
+            let evr = arena.vr(eid);
+            let subsumed = new_vr.contains_rect(&evr)
+                || (threshold < 1.0
+                    && evr.area() > 0.0
+                    && new_vr
+                        .intersection(&evr)
+                        .is_some_and(|i| i.area() >= threshold * evr.area()));
+            if subsumed {
+                arena.remove(eid);
+            }
+            !subsumed
         });
-        // Evict worst-scored existing entries until the new entry fits.
-        // The new entry itself is never a victim: it answers the query
-        // in flight.
-        let budget = self.capacity_per_category.saturating_sub(entry.len());
+        let budget = self.capacity_per_category.saturating_sub(len);
         while !list.is_empty()
-            && (list.iter().map(RegionEntry::len).sum::<usize>() > budget
+            && (list.iter().map(|&e| arena.poi_len(e)).sum::<usize>() > budget
                 || list.len() + 1 > self.max_regions)
         {
             let (worst, _) = list
                 .iter()
                 .enumerate()
-                .map(|(i, e)| (i, self.policy.score(e, ctx.pos, ctx.heading, ctx.now)))
+                .map(|(i, &e)| {
+                    let score = self.policy.score_parts(
+                        &arena.vr(e),
+                        arena.last_used(e),
+                        ctx.pos,
+                        ctx.heading,
+                        ctx.now,
+                    );
+                    (i, score)
+                })
                 .max_by(|a, b| a.1.total_cmp(&b.1))
                 .expect("non-empty list");
-            list.swap_remove(worst);
+            let victim = list.swap_remove(worst);
+            arena.remove(victim);
         }
-        list.push(entry);
-        InsertOutcome::Stored
     }
 
     /// Inserts an entry *without* consistency validation, capacity
     /// enforcement, or subsumption. Exists so fault-injection tests can
     /// model a buggy or byzantine peer whose cache holds an invariant-
     /// violating entry; production code paths must use [`Self::insert`].
+    ///
+    /// Note that only the entry's *claims* (region and POI ids) are
+    /// stored: positions resolve through the canonical table, so a
+    /// byzantine entry can claim the wrong POIs for a region but cannot
+    /// forge POI coordinates.
     pub fn insert_unchecked(&mut self, category: PoiCategory, entry: RegionEntry) {
-        self.entries.entry(category).or_default().push(entry);
+        let ci = self.cat_index(category);
+        let eid = self.arena.insert(
+            entry.vr,
+            entry.created_at,
+            entry.last_used,
+            entry.pois.iter().map(Poi::handle),
+        );
+        self.cats[ci].1.push(eid);
     }
 
-    /// Sweeps out entries that violate the containment invariant (e.g.
-    /// adopted before validation existed, or injected by tests), returning
-    /// how many were evicted.
-    pub fn purge_inconsistent(&mut self) -> usize {
+    /// Sweeps out entries that violate the containment invariant against
+    /// the canonical table (e.g. injected by tests, or holding handles
+    /// the table does not know), returning how many were evicted.
+    pub fn purge_inconsistent(&mut self, table: &PoiTable) -> usize {
         let mut evicted = 0;
-        for list in self.entries.values_mut() {
-            let before = list.len();
-            list.retain(RegionEntry::is_consistent);
-            evicted += before - list.len();
+        let arena = &mut self.arena;
+        for (_, list) in &mut self.cats {
+            list.retain(|&eid| {
+                let ok = arena.get(eid).expect("live handle").is_consistent(table);
+                if !ok {
+                    arena.remove(eid);
+                    evicted += 1;
+                }
+                ok
+            });
         }
         evicted
     }
 
     /// Marks entries intersecting `area` as used at `now` (LRU upkeep).
     pub fn touch(&mut self, category: PoiCategory, area: &Rect, now: f64) {
-        if let Some(list) = self.entries.get_mut(&category) {
-            for e in list {
-                if e.vr.intersects(area) {
-                    e.last_used = now;
+        if let Some(i) = self.cats.iter().position(|(c, _)| *c == category) {
+            let (_, list) = &self.cats[i];
+            for k in 0..list.len() {
+                let eid = self.cats[i].1[k];
+                if self.arena.vr(eid).intersects(area) {
+                    self.arena.set_last_used(eid, now);
                 }
             }
         }
     }
 
-    /// The share snapshot a peer receives on request: every verified
-    /// region with its POIs (the paper's `⟨p.VR, p.O⟩` reply).
-    pub fn share_snapshot(&self, category: PoiCategory) -> Vec<(Rect, Vec<Poi>)> {
-        self.regions(category)
-            .iter()
-            .map(|e| (e.vr, e.pois.clone()))
-            .collect()
+    /// The share snapshot as owned `(region, POIs)` pairs, resolved
+    /// through `table`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "peers exchange PoiId handles now; use `share_regions()` \
+                or `with_table(...).share_snapshot(...)`"
+    )]
+    pub fn share_snapshot(
+        &self,
+        table: &PoiTable,
+        category: PoiCategory,
+    ) -> Vec<(Rect, Vec<Poi>)> {
+        self.with_table(table).share_snapshot(category)
     }
 
     /// Drops everything (e.g. on simulation reset).
     pub fn clear(&mut self) {
-        self.entries.clear();
+        self.cats.clear();
+        self.arena.clear();
     }
 }
 
@@ -263,13 +525,17 @@ mod tests {
         RegionEntry::new(vr, pois, 0.0)
     }
 
+    fn covers(c: &HostCache, x: f64, y: f64) -> bool {
+        c.entries(CAT).any(|e| e.vr.contains(Point::new(x, y)))
+    }
+
     #[test]
     fn insert_within_capacity_keeps_everything() {
         let mut c = HostCache::new(10, ReplacementPolicy::default());
         c.insert(CAT, entry(0.0, 0.0, 4, 0), &ctx(0.0, 0.0));
         c.insert(CAT, entry(5.0, 0.0, 4, 10), &ctx(0.0, 0.0));
         assert_eq!(c.poi_count(CAT), 8);
-        assert_eq!(c.regions(CAT).len(), 2);
+        assert_eq!(c.region_count(CAT), 2);
     }
 
     #[test]
@@ -280,8 +546,8 @@ mod tests {
         assert!(c.poi_count(CAT) <= 6);
         // The far region was evicted? No: the far region was just
         // inserted (protected); the near one got evicted instead.
-        assert_eq!(c.regions(CAT).len(), 1);
-        assert!(c.regions(CAT)[0].vr.contains(Point::new(10.0, 0.0)));
+        assert_eq!(c.region_count(CAT), 1);
+        assert!(covers(&c, 10.0, 0.0));
     }
 
     #[test]
@@ -293,15 +559,7 @@ mod tests {
         // Third insert forces eviction of one old entry.
         c.insert(CAT, entry(0.0, 3.0, 4, 20), &ctx(0.0, 0.0));
         assert!(c.poi_count(CAT) <= 8);
-        let kept_ahead = c
-            .regions(CAT)
-            .iter()
-            .any(|e| e.vr.contains(Point::new(5.0, 0.0)));
-        let kept_behind = c
-            .regions(CAT)
-            .iter()
-            .any(|e| e.vr.contains(Point::new(-5.0, 0.0)));
-        assert!(kept_ahead && !kept_behind);
+        assert!(covers(&c, 5.0, 0.0) && !covers(&c, -5.0, 0.0));
     }
 
     #[test]
@@ -309,9 +567,9 @@ mod tests {
         let mut c = HostCache::new(5, ReplacementPolicy::default());
         c.insert(CAT, entry(0.0, 0.0, 20, 0), &ctx(0.0, 0.0));
         assert!(c.poi_count(CAT) <= 5);
-        assert_eq!(c.regions(CAT).len(), 1);
+        assert_eq!(c.region_count(CAT), 1);
         // The shrunk region still covers the host's position (clamped).
-        assert!(c.regions(CAT)[0].vr.contains(Point::new(0.0, 0.0)));
+        assert!(covers(&c, 0.0, 0.0));
     }
 
     #[test]
@@ -329,7 +587,7 @@ mod tests {
         );
         c.insert(CAT, small, &ctx(0.0, 0.0));
         c.insert(CAT, big, &ctx(0.0, 0.0));
-        assert_eq!(c.regions(CAT).len(), 1);
+        assert_eq!(c.region_count(CAT), 1);
         assert_eq!(c.poi_count(CAT), 2);
     }
 
@@ -348,7 +606,7 @@ mod tests {
         let out = c.insert(CAT, entry(0.0, 0.0, 3, 0), &ctx(0.0, 0.0));
         assert_eq!(out, InsertOutcome::RejectedNoCapacity);
         assert_eq!(c.poi_count(CAT), 0);
-        assert!(c.share_snapshot(CAT).is_empty());
+        assert_eq!(c.share_regions(CAT).count(), 0);
     }
 
     #[test]
@@ -364,7 +622,7 @@ mod tests {
         assert!(!bad.is_consistent());
         let out = c.insert(CAT, bad.clone(), &ctx(0.0, 0.0));
         assert_eq!(out, InsertOutcome::RejectedInconsistent);
-        assert!(c.regions(CAT).is_empty());
+        assert_eq!(c.region_count(CAT), 0);
 
         // Malformed (NaN) region: same fate.
         let nan = RegionEntry {
@@ -388,13 +646,20 @@ mod tests {
             c.insert(CAT, entry(0.0, 0.0, 2, 0), &ctx(0.0, 0.0)),
             InsertOutcome::Stored
         );
-        assert_eq!(c.regions(CAT).len(), 1);
+        assert_eq!(c.region_count(CAT), 1);
     }
 
     #[test]
     fn purge_sweeps_injected_inconsistency() {
+        let good = entry(0.0, 0.0, 2, 0);
+        let table = PoiTable::from_pois(
+            good.pois
+                .iter()
+                .copied()
+                .chain([Poi::new(9, Point::new(9.0, 9.0))]),
+        );
         let mut c = HostCache::new(10, ReplacementPolicy::default());
-        c.insert(CAT, entry(0.0, 0.0, 2, 0), &ctx(0.0, 0.0));
+        c.insert(CAT, good, &ctx(0.0, 0.0));
         c.insert_unchecked(
             CAT,
             RegionEntry {
@@ -404,22 +669,28 @@ mod tests {
                 last_used: 0.0,
             },
         );
-        assert_eq!(c.regions(CAT).len(), 2);
-        assert_eq!(c.purge_inconsistent(), 1);
-        assert_eq!(c.regions(CAT).len(), 1);
-        assert!(c.regions(CAT).iter().all(RegionEntry::is_consistent));
+        assert_eq!(c.region_count(CAT), 2);
+        assert_eq!(c.purge_inconsistent(&table), 1);
+        assert_eq!(c.region_count(CAT), 1);
+        assert!(c.entries(CAT).all(|e| e.is_consistent(&table)));
     }
 
     #[test]
     fn snapshot_matches_contents() {
+        let e = entry(2.0, 2.0, 3, 0);
+        let table = PoiTable::from_pois(e.pois.iter().copied());
         let mut c = HostCache::new(10, ReplacementPolicy::default());
-        c.insert(CAT, entry(2.0, 2.0, 3, 0), &ctx(2.0, 2.0));
-        let snap = c.share_snapshot(CAT);
+        c.insert(CAT, e, &ctx(2.0, 2.0));
+        let snap = c.with_table(&table).share_snapshot(CAT);
         assert_eq!(snap.len(), 1);
         assert_eq!(snap[0].1.len(), 3);
         for p in &snap[0].1 {
             assert!(snap[0].0.contains(p.pos));
         }
+        // The handle-level share carries the same membership.
+        let (vr, ids) = c.share_regions(CAT).next().unwrap();
+        assert_eq!(vr, snap[0].0);
+        assert_eq!(ids.len(), 3);
     }
 
     #[test]
@@ -433,10 +704,28 @@ mod tests {
         let mut ctx2 = ctx(0.0, 0.0);
         ctx2.now = 6.0;
         c.insert(CAT, entry(20.0, 20.0, 4, 20), &ctx2);
-        let kept_hot = c
-            .regions(CAT)
-            .iter()
-            .any(|e| e.vr.contains(Point::new(0.0, 0.0)));
-        assert!(kept_hot, "recently touched entry evicted under LRU");
+        assert!(covers(&c, 0.0, 0.0), "recently touched entry evicted under LRU");
+    }
+
+    #[test]
+    fn insert_ids_matches_insert_on_same_data() {
+        let pois: Vec<Poi> = (0..12)
+            .map(|i| Poi::new(i, Point::new(i as f64 * 0.1, 0.5)))
+            .collect();
+        let table = PoiTable::from_pois(pois.iter().copied());
+        let ids: Vec<PoiId> = pois.iter().map(Poi::handle).collect();
+        let vr = Rect::from_coords(0.0, 0.0, 1.2, 1.0);
+
+        let mut a = HostCache::new(5, ReplacementPolicy::default());
+        a.insert(CAT, RegionEntry::new(vr, pois.iter().copied(), 3.0), &ctx(0.6, 0.5));
+        let mut b = HostCache::new(5, ReplacementPolicy::default());
+        b.insert_ids(&table, CAT, vr, &ids, 3.0, &ctx(0.6, 0.5));
+
+        assert_eq!(a.region_count(CAT), b.region_count(CAT));
+        let va = a.entries(CAT).next().unwrap();
+        let vb = b.entries(CAT).next().unwrap();
+        assert_eq!(va.vr, vb.vr);
+        assert_eq!(va.poi_ids, vb.poi_ids);
+        assert_eq!(va.created_at, vb.created_at);
     }
 }

@@ -24,12 +24,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod entry;
 mod host_cache;
 mod policy;
 mod quarantine;
+mod view;
 
+pub use arena::{EntryArena, EntryId, EntryView};
 pub use entry::RegionEntry;
 pub use host_cache::{CacheContext, HostCache, InsertOutcome};
 pub use policy::ReplacementPolicy;
 pub use quarantine::{QuarantineConfig, QuarantineLedger};
+pub use view::HostCacheRef;

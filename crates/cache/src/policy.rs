@@ -37,15 +37,30 @@ impl ReplacementPolicy {
         heading: Option<(f64, f64)>,
         now: f64,
     ) -> f64 {
+        self.score_parts(&entry.vr, entry.last_used, pos, heading, now)
+    }
+
+    /// [`Self::score`] on the two columns a decision actually reads —
+    /// the entry's region and last-used time — so arena-backed storage
+    /// can score without materializing a [`RegionEntry`]. Same float
+    /// arithmetic as `score`, bit for bit.
+    pub fn score_parts(
+        &self,
+        vr: &airshare_geom::Rect,
+        last_used: f64,
+        pos: Point,
+        heading: Option<(f64, f64)>,
+        now: f64,
+    ) -> f64 {
         match self {
-            ReplacementPolicy::Lru => now - entry.last_used,
-            ReplacementPolicy::DistanceOnly => entry.vr.distance_to_point(pos),
+            ReplacementPolicy::Lru => now - last_used,
+            ReplacementPolicy::DistanceOnly => vr.distance_to_point(pos),
             ReplacementPolicy::DirectionDistance => {
-                let d = entry.vr.distance_to_point(pos);
+                let d = vr.distance_to_point(pos);
                 match heading {
                     None => d,
                     Some((hx, hy)) => {
-                        let c = entry.vr.center();
+                        let c = vr.center();
                         let (vx, vy) = pos.vector_to(c);
                         let norm = vx.hypot(vy);
                         if norm < 1e-9 {

@@ -2,7 +2,7 @@
 //! invariants must survive arbitrary insertion sequences under every
 //! replacement policy.
 
-use airshare_broadcast::{Poi, PoiCategory};
+use airshare_broadcast::{Poi, PoiCategory, PoiTable};
 use airshare_cache::{CacheContext, HostCache, RegionEntry, ReplacementPolicy};
 use airshare_geom::{Point, Rect};
 use proptest::prelude::*;
@@ -44,14 +44,31 @@ fn arb_insertion() -> impl Strategy<Value = Insertion> {
         })
 }
 
+fn pois_of(ins: &Insertion, id0: u32) -> Vec<Poi> {
+    ins.pois
+        .iter()
+        .enumerate()
+        .map(|(i, &(fx, fy))| {
+            Poi::new(
+                id0 + i as u32,
+                Point::new(ins.cx + fx * ins.half, ins.cy + fy * ins.half),
+            )
+        })
+        .collect()
+}
+
+fn table_for(inserts: &[Insertion]) -> PoiTable {
+    PoiTable::from_pois(
+        inserts
+            .iter()
+            .enumerate()
+            .flat_map(|(i, ins)| pois_of(ins, (i * 100) as u32)),
+    )
+}
+
 fn apply(cache: &mut HostCache, ins: &Insertion, id0: u32, now: f64) {
     let vr = Rect::centered_square(Point::new(ins.cx, ins.cy), ins.half);
-    let pois = ins.pois.iter().enumerate().map(|(i, &(fx, fy))| {
-        Poi::new(
-            id0 + i as u32,
-            Point::new(ins.cx + fx * ins.half, ins.cy + fy * ins.half),
-        )
-    });
+    let pois = pois_of(ins, id0);
     cache.insert(
         CAT,
         RegionEntry::new(vr, pois, now),
@@ -81,12 +98,11 @@ proptest! {
         for (i, ins) in inserts.iter().enumerate() {
             apply(&mut cache, ins, (i * 100) as u32, i as f64);
             prop_assert!(cache.poi_count(CAT) <= capacity);
-            prop_assert!(cache.regions(CAT).len() <= cache.max_regions().max(1));
+            prop_assert!(cache.region_count(CAT) <= cache.max_regions().max(1));
             // Entry-local soundness: every cached POI is inside its region.
-            for e in cache.regions(CAT) {
-                for p in &e.pois {
-                    prop_assert!(e.vr.contains(p.pos));
-                }
+            let table = table_for(&inserts);
+            for e in cache.entries(CAT) {
+                prop_assert!(e.is_consistent(&table));
             }
         }
     }
@@ -104,8 +120,7 @@ proptest! {
             let host = Point::new(ins.host_x, ins.host_y);
             let orig = Rect::centered_square(Point::new(ins.cx, ins.cy), ins.half);
             let found = cache
-                .regions(CAT)
-                .iter()
+                .entries(CAT)
                 .any(|e| orig.inflate(1e-9).unwrap().contains_rect(&e.vr)
                     && (e.vr.contains(orig.clamp_point(host))));
             prop_assert!(found, "fresh entry evicted at step {i}");
@@ -127,8 +142,8 @@ proptest! {
         apply(&mut cache, &big, 1000, 1.0);
         // The small region was subsumed: only one region remains (the
         // big one), carrying its own POIs.
-        prop_assert_eq!(cache.regions(CAT).len(), 1);
-        let kept = &cache.regions(CAT)[0];
+        prop_assert_eq!(cache.region_count(CAT), 1);
+        let kept = cache.entries(CAT).next().unwrap();
         prop_assert!(kept.len() <= capacity);
     }
 
@@ -141,8 +156,9 @@ proptest! {
         for (i, ins) in inserts.iter().enumerate() {
             apply(&mut cache, ins, (i * 100) as u32, i as f64);
         }
-        let snap = cache.share_snapshot(CAT);
-        prop_assert_eq!(snap.len(), cache.regions(CAT).len());
+        let table = table_for(&inserts);
+        let snap = cache.with_table(&table).share_snapshot(CAT);
+        prop_assert_eq!(snap.len(), cache.region_count(CAT));
         let snap_pois: usize = snap.iter().map(|(_, p)| p.len()).sum();
         prop_assert_eq!(snap_pois, cache.poi_count(CAT));
         for (vr, pois) in &snap {

@@ -1,6 +1,6 @@
 //! The merged verified region and the peer data behind it.
 
-use airshare_broadcast::Poi;
+use airshare_broadcast::{Poi, PoiId, PoiTable};
 use airshare_geom::{Point, Rect, RectUnion, Segment};
 use airshare_p2p::PeerReply;
 
@@ -9,7 +9,9 @@ use airshare_p2p::PeerReply;
 ///
 /// By the cache invariant every POI located inside the MVR is present in
 /// `pois` — the completeness that Lemma 3.1 and the §3.3.3 search bounds
-/// rely on.
+/// rely on. Replies and cache entries carry [`PoiId`] handles; the merge
+/// resolves them once against the canonical [`PoiTable`], so all the
+/// geometry below works on materialized positions.
 #[derive(Clone, Debug)]
 pub struct MergedRegion {
     region: RectUnion,
@@ -18,20 +20,38 @@ pub struct MergedRegion {
 
 impl MergedRegion {
     /// Merges peer replies (the `MapOverlay` step of Algorithm 1,
-    /// specialized to MBRs). POIs are deduplicated by id.
-    pub fn from_replies(replies: &[PeerReply]) -> Self {
-        let region = RectUnion::from_rects(
+    /// specialized to MBRs), resolving POI handles through `table`.
+    /// POIs are deduplicated by id; handles the table cannot resolve
+    /// are dropped (sanitation upstream already rejects such regions).
+    pub fn from_replies(replies: &[PeerReply], table: &PoiTable) -> Self {
+        Self::from_id_regions(
+            table,
             replies
                 .iter()
-                .flat_map(|r| r.regions.iter().map(|(vr, _)| *vr)),
-        );
-        let mut pois: Vec<Poi> = replies
-            .iter()
-            .flat_map(|r| r.regions.iter().flat_map(|(_, ps)| ps.iter().copied()))
-            .collect();
-        pois.sort_by_key(|p| p.id);
+                .flat_map(|r| r.regions.iter().map(|(vr, ids)| (*vr, ids.as_slice()))),
+        )
+    }
+
+    /// Builds from handle-based `(VR, POI ids)` pairs resolved through
+    /// `table` — the zero-copy path for chaining peer reply regions with
+    /// a host's own [`share_regions`](airshare_cache::HostCache::share_regions)
+    /// iterator. POIs are deduplicated by id.
+    pub fn from_id_regions<'a>(
+        table: &PoiTable,
+        regions: impl IntoIterator<Item = (Rect, &'a [PoiId])>,
+    ) -> Self {
+        let mut rects = Vec::new();
+        let mut pois = Vec::new();
+        for (vr, ids) in regions {
+            rects.push(vr);
+            pois.extend(ids.iter().filter_map(|&id| table.get(id).copied()));
+        }
+        pois.sort_by_key(|p: &Poi| p.id);
         pois.dedup_by_key(|p| p.id);
-        Self { region, pois }
+        Self {
+            region: RectUnion::from_rects(rects),
+            pois,
+        }
     }
 
     /// Builds directly from `(VR, POIs)` pairs (used in tests and by
@@ -166,23 +186,26 @@ impl MergedRegion {
 mod tests {
     use super::*;
 
-    fn reply(peer: usize, vr: Rect, pois: Vec<Poi>) -> PeerReply {
+    fn reply(peer: usize, vr: Rect, ids: Vec<PoiId>) -> PeerReply {
         PeerReply {
             peer,
-            regions: vec![(vr, pois)],
+            regions: vec![(vr, ids)],
         }
     }
 
     #[test]
     fn merge_dedups_pois_across_peers() {
-        let shared = Poi::new(1, Point::new(0.5, 0.5));
+        let table = PoiTable::from_pois([
+            Poi::new(1, Point::new(0.5, 0.5)),
+            Poi::new(2, Point::new(0.2, 0.2)),
+        ]);
         let a = reply(
             0,
             Rect::from_coords(0.0, 0.0, 1.0, 1.0),
-            vec![shared, Poi::new(2, Point::new(0.2, 0.2))],
+            vec![PoiId(1), PoiId(2)],
         );
-        let b = reply(1, Rect::from_coords(0.0, 0.0, 2.0, 2.0), vec![shared]);
-        let m = MergedRegion::from_replies(&[a, b]);
+        let b = reply(1, Rect::from_coords(0.0, 0.0, 2.0, 2.0), vec![PoiId(1)]);
+        let m = MergedRegion::from_replies(&[a, b], &table);
         assert_eq!(m.pois().len(), 2);
         assert!(m.contains(Point::new(1.5, 1.5)));
         assert!(!m.contains(Point::new(3.0, 3.0)));
@@ -190,7 +213,7 @@ mod tests {
 
     #[test]
     fn empty_when_no_replies() {
-        let m = MergedRegion::from_replies(&[]);
+        let m = MergedRegion::from_replies(&[], &PoiTable::new());
         assert!(m.is_empty());
         assert_eq!(m.nearest_edge(Point::ORIGIN), None);
         assert_eq!(m.adoptable_region(Point::ORIGIN, 1.0), None);
@@ -202,7 +225,7 @@ mod tests {
         // the outer rim, not the (interior) shared edge.
         let a = reply(0, Rect::from_coords(0.0, 0.0, 1.0, 2.0), vec![]);
         let b = reply(1, Rect::from_coords(1.0, 0.0, 2.0, 2.0), vec![]);
-        let m = MergedRegion::from_replies(&[a, b]);
+        let m = MergedRegion::from_replies(&[a, b], &PoiTable::new());
         let (d, _) = m.nearest_edge(Point::new(1.0, 1.0)).unwrap();
         assert!((d - 1.0).abs() < 1e-9, "expected 1.0, got {d}");
     }
@@ -212,7 +235,7 @@ mod tests {
         // L-shape; q deep in the wide arm: true boundary distance 0.5.
         let a = reply(0, Rect::from_coords(0.0, 0.0, 4.0, 1.0), vec![]);
         let b = reply(1, Rect::from_coords(0.0, 0.0, 1.0, 4.0), vec![]);
-        let m = MergedRegion::from_replies(&[a, b]);
+        let m = MergedRegion::from_replies(&[a, b], &PoiTable::new());
         let q = Point::new(2.0, 0.5);
         let d = m.boundary_distance_capped(q, 10.0).unwrap();
         assert!((d - 0.5).abs() < 1e-9, "d = {d}");
@@ -280,7 +303,7 @@ mod tests {
     #[test]
     fn adoptable_region_is_inside_mvr() {
         let a = reply(0, Rect::from_coords(0.0, 0.0, 4.0, 4.0), vec![]);
-        let m = MergedRegion::from_replies(&[a]);
+        let m = MergedRegion::from_replies(&[a], &PoiTable::new());
         let r = m.adoptable_region(Point::new(2.0, 2.0), 10.0).unwrap();
         assert!(Rect::from_coords(-1e-6, -1e-6, 4.0 + 1e-6, 4.0 + 1e-6).contains_rect(&r));
         assert!(r.width() > 3.9);

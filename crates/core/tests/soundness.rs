@@ -12,7 +12,7 @@
 //! * the broadcast fallback (with §3.3.3 bound filtering) is always
 //!   exact.
 
-use airshare_broadcast::{AirIndex, OnAirClient, Poi, Schedule};
+use airshare_broadcast::{AirIndex, OnAirClient, Poi, PoiTable, Schedule};
 use airshare_core::{nnv, sbnn, sbwq, MergedRegion, ResolvedBy, SbnnConfig, SbwqConfig, SbwqOutcome};
 use airshare_geom::{Point, Rect};
 use airshare_hilbert::Grid;
@@ -46,7 +46,10 @@ fn consistent_replies(pois: &[Poi], vrs: &[Rect]) -> Vec<PeerReply> {
             peer: i,
             regions: vec![(
                 *vr,
-                pois.iter().filter(|p| vr.contains(p.pos)).copied().collect(),
+                pois.iter()
+                    .filter(|p| vr.contains(p.pos))
+                    .map(Poi::handle)
+                    .collect(),
             )],
         })
         .collect()
@@ -80,7 +83,8 @@ proptest! {
     ) {
         let (pois, tree) = dataset(&coords);
         let replies = consistent_replies(&pois, &vrs);
-        let mvr = MergedRegion::from_replies(&replies);
+        let table = PoiTable::from_pois(pois.iter().copied());
+        let mvr = MergedRegion::from_replies(&replies, &table);
         let q = Point::new(qx, qy);
         let heap = nnv(q, k, &mvr, 0.3);
         let truth = tree.knn(q, k);
@@ -126,7 +130,8 @@ proptest! {
         let schedule = Schedule::new(index.data_buckets(), index.index_buckets(), 4);
         let client = OnAirClient::new(&index, &schedule);
         let replies = consistent_replies(&pois, &vrs);
-        let mvr = MergedRegion::from_replies(&replies);
+        let table = PoiTable::from_pois(pois.iter().copied());
+        let mvr = MergedRegion::from_replies(&replies, &table);
         let q = Point::new(qx, qy);
         let cfg = SbnnConfig {
             accept_approx: false, // force exactness end to end
@@ -174,7 +179,8 @@ proptest! {
         let schedule = Schedule::new(index.data_buckets(), index.index_buckets(), 4);
         let client = OnAirClient::new(&index, &schedule);
         let replies = consistent_replies(&pois, &vrs);
-        let mvr = MergedRegion::from_replies(&replies);
+        let table = PoiTable::from_pois(pois.iter().copied());
+        let mvr = MergedRegion::from_replies(&replies, &table);
         let w = Rect::from_coords(wx, wy, wx + ww, wy + wh);
         let cfg = SbwqConfig { use_window_reduction: reduction };
         let res = sbwq(&w, &cfg, &mvr, Some((&client.as_dyn(), tune_in)))
@@ -203,7 +209,8 @@ proptest! {
     ) {
         let (pois, tree) = dataset(&coords);
         let replies = consistent_replies(&pois, &vrs);
-        let mvr = MergedRegion::from_replies(&replies);
+        let table = PoiTable::from_pois(pois.iter().copied());
+        let mvr = MergedRegion::from_replies(&replies, &table);
         let w = Rect::from_coords(wx, wy, wx + ww, wy + wh);
         match sbwq(&w, &SbwqConfig::default(), &mvr, None) {
             SbwqOutcome::Resolved(res) => {

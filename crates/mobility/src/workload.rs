@@ -96,6 +96,13 @@ impl QueryScheduler {
         }
     }
 
+    /// Time of the upcoming event, without consuming it. Lets callers
+    /// pull events epoch by epoch (streaming) with exactly the draw
+    /// sequence [`QueryScheduler::events_until`] would have produced.
+    pub fn peek_time(&self) -> f64 {
+        self.process.peek()
+    }
+
     /// All query events up to (and excluding) `horizon` minutes.
     pub fn events_until(&mut self, horizon: f64) -> Vec<QueryEvent> {
         let mut out = Vec::new();

@@ -26,5 +26,7 @@ pub use protocol::{
     gather_peer_data, gather_peer_data_checked, gather_peer_data_checked_rec,
     gather_peer_data_guarded_rec, gather_peer_data_multihop, gather_peer_data_multihop_checked,
     gather_peer_data_multihop_checked_rec, gather_peer_data_multihop_guarded_rec,
-    sanitize_regions, PeerReply, QuarantineGuard, ShareFaults,
+    sanitize_id_regions, PeerReply, QuarantineGuard, ShareFaults,
 };
+#[allow(deprecated)]
+pub use protocol::sanitize_regions;

@@ -1,7 +1,18 @@
 //! The request/reply sharing exchange.
+//!
+//! Replies are *handle-based*: a peer ships each verified region as
+//! `(Rect, Vec<PoiId>)` — the region plus the ids of the POIs it claims
+//! are inside — and the receiver resolves ids against its own canonical
+//! [`PoiTable`]. This both shrinks reply payloads (4 bytes per POI
+//! instead of a full `Poi`) and hardens the protocol: a byzantine peer
+//! can claim the wrong *membership* for a region, but it can no longer
+//! forge POI *positions*, because positions only ever come from the
+//! receiver's table. Claims that don't check out against the table are
+//! rejected whole, exactly like the old position-carrying protocol
+//! rejected POIs outside their claimed rectangle.
 
 use crate::NeighborGrid;
-use airshare_broadcast::{ChannelFaults, Poi, PoiCategory};
+use airshare_broadcast::{ChannelFaults, Poi, PoiCategory, PoiId, PoiTable};
 use airshare_cache::{HostCache, QuarantineLedger};
 use airshare_geom::{Point, Rect};
 use airshare_obs::{NoopRecorder, Recorder, ShareStats, TraceEvent};
@@ -16,14 +27,32 @@ const MALFORM_NONCE_SALT: u64 = 0x3A1F_A17E_D000_0001;
 /// ledger plus the current epoch the decisions are evaluated at.
 pub type QuarantineGuard<'a> = Option<(&'a mut QuarantineLedger, u64)>;
 
-/// One peer's reply to a share request: its verified regions with their
-/// POIs (`⟨p.VR, p.O⟩` in the paper's notation).
+/// One peer's reply to a share request: its verified regions with the
+/// handles of the POIs inside each (`⟨p.VR, p.O⟩` in the paper's
+/// notation, with `p.O` as [`PoiId`]s).
 #[derive(Clone, Debug)]
 pub struct PeerReply {
     /// Replying host id.
     pub peer: usize,
-    /// Verified regions and the POIs inside each.
-    pub regions: Vec<(Rect, Vec<Poi>)>,
+    /// Verified regions and the POI handles inside each.
+    pub regions: Vec<(Rect, Vec<PoiId>)>,
+}
+
+impl PeerReply {
+    /// Materializes the reply with POI payloads resolved through
+    /// `table` (unresolvable handles are dropped). This is the
+    /// allocating bridge for callers still working in `Vec<Poi>` terms.
+    pub fn resolve(&self, table: &PoiTable) -> Vec<(Rect, Vec<Poi>)> {
+        self.regions
+            .iter()
+            .map(|(r, ids)| {
+                (
+                    *r,
+                    ids.iter().filter_map(|&id| table.get(id).copied()).collect(),
+                )
+            })
+            .collect()
+    }
 }
 
 /// Fault knobs for one share exchange. With the default (no decision
@@ -73,6 +102,11 @@ impl ShareFaults<'_> {
 /// that region); survivors are clipped to `world` with their POIs
 /// restricted accordingly. Returns the sanitized regions and the number
 /// rejected.
+#[deprecated(
+    since = "0.2.0",
+    note = "replies carry PoiId handles now; use `sanitize_id_regions` \
+            with the canonical PoiTable"
+)]
 pub fn sanitize_regions(
     regions: Vec<(Rect, Vec<Poi>)>,
     world: Option<&Rect>,
@@ -106,6 +140,53 @@ pub fn sanitize_regions(
     (out, rejected)
 }
 
+/// Validates one reply's handle-based regions against the canonical
+/// `table`: a region is rejected whole when it is structurally
+/// malformed, claims a handle the table cannot resolve, or claims a POI
+/// whose canonical position lies outside the rectangle. Survivors are
+/// clipped to `world` with their membership restricted accordingly.
+/// Returns the sanitized regions and the number rejected.
+pub fn sanitize_id_regions(
+    regions: Vec<(Rect, Vec<PoiId>)>,
+    table: &PoiTable,
+    world: Option<&Rect>,
+) -> (Vec<(Rect, Vec<PoiId>)>, usize) {
+    let mut out = Vec::with_capacity(regions.len());
+    let mut rejected = 0usize;
+    for (r, ids) in regions {
+        let well_formed = r.x1.is_finite()
+            && r.y1.is_finite()
+            && r.x2.is_finite()
+            && r.y2.is_finite()
+            && r.x1 <= r.x2
+            && r.y1 <= r.y2;
+        let claims_hold = well_formed
+            && ids
+                .iter()
+                .all(|&id| table.get(id).is_some_and(|p| r.contains(p.pos)));
+        if !claims_hold {
+            rejected += 1;
+            continue;
+        }
+        let clipped = match world {
+            Some(w) => match r.intersection(w) {
+                Some(c) => c,
+                None => {
+                    rejected += 1;
+                    continue;
+                }
+            },
+            None => r,
+        };
+        let ids: Vec<PoiId> = ids
+            .into_iter()
+            .filter(|&id| table.get(id).is_some_and(|p| clipped.contains(p.pos)))
+            .collect();
+        out.push((clipped, ids));
+    }
+    (out, rejected)
+}
+
 /// Collects validated replies from `peers`, applying drop and malform
 /// decisions and accumulating traffic stats. Each contact, dropped
 /// reply, and data-bearing reply (as a `CacheHit` with the contributed
@@ -116,10 +197,12 @@ pub fn sanitize_regions(
 /// a peer whose reply fails sanitation is struck and quarantined with
 /// seeded exponential backoff. With `guard: None` (or an empty ledger)
 /// the exchange is byte-identical to the pre-quarantine protocol.
+#[allow(clippy::too_many_arguments)]
 fn collect_replies(
     peers: Vec<usize>,
     category: PoiCategory,
     caches: &[HostCache],
+    table: &PoiTable,
     world: Option<&Rect>,
     faults: ShareFaults<'_>,
     mut guard: QuarantineGuard<'_>,
@@ -137,7 +220,10 @@ fn collect_replies(
         }
         stats.peers_contacted += 1;
         rec.record(TraceEvent::PeerContacted { peer: peer as u32 });
-        let mut regions = caches[peer].share_snapshot(category);
+        let mut regions: Vec<(Rect, Vec<PoiId>)> = caches[peer]
+            .share_regions(category)
+            .map(|(r, ids)| (r, ids.to_vec()))
+            .collect();
         if regions.is_empty() {
             continue;
         }
@@ -154,7 +240,7 @@ fn collect_replies(
                 r.x1 = f64::NAN;
             }
         }
-        let (regions, rejected) = sanitize_regions(regions, world);
+        let (regions, rejected) = sanitize_id_regions(regions, table, world);
         stats.regions_rejected += rejected;
         if rejected > 0 {
             if let Some((ledger, epoch)) = guard.as_mut() {
@@ -183,7 +269,8 @@ fn collect_replies(
 /// Performs the single-hop share exchange for a querying host.
 ///
 /// `caches[i]` must be host `i`'s cache; `grid` must reflect current
-/// positions. Returns every non-empty peer reply plus traffic stats.
+/// positions; `table` is the canonical POI store claims resolve
+/// against. Returns every non-empty peer reply plus traffic stats.
 /// Empty-handed peers are counted as contacted (they cost a request
 /// message) but transfer nothing.
 pub fn gather_peer_data(
@@ -193,6 +280,7 @@ pub fn gather_peer_data(
     category: PoiCategory,
     grid: &NeighborGrid,
     caches: &[HostCache],
+    table: &PoiTable,
 ) -> (Vec<PeerReply>, ShareStats) {
     gather_peer_data_checked(
         querier,
@@ -201,6 +289,7 @@ pub fn gather_peer_data(
         category,
         grid,
         caches,
+        table,
         None,
         ShareFaults::default(),
     )
@@ -208,9 +297,9 @@ pub fn gather_peer_data(
 
 /// [`gather_peer_data`] with reply validation and fault injection: each
 /// contacted peer's reply may be dropped per `faults`, and surviving
-/// replies are sanitized against `world` (see [`sanitize_regions`]), so a
-/// flaky or inconsistent peer degrades the querier to on-air retrieval
-/// instead of poisoning its cache.
+/// replies are sanitized against `world` (see [`sanitize_id_regions`]),
+/// so a flaky or inconsistent peer degrades the querier to on-air
+/// retrieval instead of poisoning its cache.
 #[allow(clippy::too_many_arguments)]
 pub fn gather_peer_data_checked(
     querier: usize,
@@ -219,6 +308,7 @@ pub fn gather_peer_data_checked(
     category: PoiCategory,
     grid: &NeighborGrid,
     caches: &[HostCache],
+    table: &PoiTable,
     world: Option<&Rect>,
     faults: ShareFaults<'_>,
 ) -> (Vec<PeerReply>, ShareStats) {
@@ -229,6 +319,7 @@ pub fn gather_peer_data_checked(
         category,
         grid,
         caches,
+        table,
         world,
         faults,
         &mut NoopRecorder,
@@ -245,6 +336,7 @@ pub fn gather_peer_data_checked_rec(
     category: PoiCategory,
     grid: &NeighborGrid,
     caches: &[HostCache],
+    table: &PoiTable,
     world: Option<&Rect>,
     faults: ShareFaults<'_>,
     rec: &mut dyn Recorder,
@@ -256,6 +348,7 @@ pub fn gather_peer_data_checked_rec(
         category,
         grid,
         caches,
+        table,
         world,
         faults,
         None,
@@ -276,13 +369,14 @@ pub fn gather_peer_data_guarded_rec(
     category: PoiCategory,
     grid: &NeighborGrid,
     caches: &[HostCache],
+    table: &PoiTable,
     world: Option<&Rect>,
     faults: ShareFaults<'_>,
     guard: QuarantineGuard<'_>,
     rec: &mut dyn Recorder,
 ) -> (Vec<PeerReply>, ShareStats) {
     let peers = grid.neighbors_within(querier_pos, range, Some(querier));
-    collect_replies(peers, category, caches, world, faults, guard, rec)
+    collect_replies(peers, category, caches, table, world, faults, guard, rec)
 }
 
 /// Multi-hop extension of [`gather_peer_data`]: peers relay the share
@@ -294,6 +388,7 @@ pub fn gather_peer_data_guarded_rec(
 ///
 /// Positions come from `grid`; contacted peers are counted once each.
 /// With `hops == 1` this reduces exactly to [`gather_peer_data`].
+#[allow(clippy::too_many_arguments)]
 pub fn gather_peer_data_multihop(
     querier: usize,
     querier_pos: Point,
@@ -302,6 +397,7 @@ pub fn gather_peer_data_multihop(
     category: PoiCategory,
     grid: &NeighborGrid,
     caches: &[HostCache],
+    table: &PoiTable,
 ) -> (Vec<PeerReply>, ShareStats) {
     gather_peer_data_multihop_checked(
         querier,
@@ -311,6 +407,7 @@ pub fn gather_peer_data_multihop(
         category,
         grid,
         caches,
+        table,
         None,
         ShareFaults::default(),
     )
@@ -327,6 +424,7 @@ pub fn gather_peer_data_multihop_checked(
     category: PoiCategory,
     grid: &NeighborGrid,
     caches: &[HostCache],
+    table: &PoiTable,
     world: Option<&Rect>,
     faults: ShareFaults<'_>,
 ) -> (Vec<PeerReply>, ShareStats) {
@@ -338,6 +436,7 @@ pub fn gather_peer_data_multihop_checked(
         category,
         grid,
         caches,
+        table,
         world,
         faults,
         &mut NoopRecorder,
@@ -355,6 +454,7 @@ pub fn gather_peer_data_multihop_checked_rec(
     category: PoiCategory,
     grid: &NeighborGrid,
     caches: &[HostCache],
+    table: &PoiTable,
     world: Option<&Rect>,
     faults: ShareFaults<'_>,
     rec: &mut dyn Recorder,
@@ -367,6 +467,7 @@ pub fn gather_peer_data_multihop_checked_rec(
         category,
         grid,
         caches,
+        table,
         world,
         faults,
         None,
@@ -387,6 +488,7 @@ pub fn gather_peer_data_multihop_guarded_rec(
     category: PoiCategory,
     grid: &NeighborGrid,
     caches: &[HostCache],
+    table: &PoiTable,
     world: Option<&Rect>,
     faults: ShareFaults<'_>,
     guard: QuarantineGuard<'_>,
@@ -419,7 +521,7 @@ pub fn gather_peer_data_multihop_guarded_rec(
         frontier = next;
     }
 
-    collect_replies(reached, category, caches, world, faults, guard, rec)
+    collect_replies(reached, category, caches, table, world, faults, guard, rec)
 }
 
 #[cfg(test)]
@@ -437,15 +539,25 @@ mod tests {
         }
     }
 
-    fn cache_with_region(center: Point) -> HostCache {
+    fn cache_with_poi(poi: Poi) -> HostCache {
         let mut c = HostCache::new(10, ReplacementPolicy::default());
-        let vr = Rect::centered_square(center, 1.0);
-        c.insert(
-            CAT,
-            RegionEntry::new(vr, [Poi::new(1, center)], 0.0),
-            &ctx(center),
-        );
+        let vr = Rect::centered_square(poi.pos, 1.0);
+        c.insert(CAT, RegionEntry::new(vr, [poi], 0.0), &ctx(poi.pos));
         c
+    }
+
+    /// One data-bearing peer per position (unique POI ids), plus the
+    /// canonical table covering them all. `caches[0]` is an empty
+    /// querier cache.
+    fn fleet(positions: &[Point]) -> (Vec<HostCache>, PoiTable) {
+        let pois: Vec<Poi> = positions[1..]
+            .iter()
+            .enumerate()
+            .map(|(i, p)| Poi::new(i as u32 + 1, *p))
+            .collect();
+        let mut caches = vec![HostCache::new(10, ReplacementPolicy::default())];
+        caches.extend(pois.iter().map(|&p| cache_with_poi(p)));
+        (caches, PoiTable::from_pois(pois))
     }
 
     #[test]
@@ -455,19 +567,18 @@ mod tests {
             Point::new(0.1, 0.0),  // near, has data
             Point::new(50.0, 0.0), // far, has data
         ];
-        let caches = vec![
-            HostCache::new(10, ReplacementPolicy::default()),
-            cache_with_region(Point::new(0.1, 0.0)),
-            cache_with_region(Point::new(50.0, 0.0)),
-        ];
+        let (caches, table) = fleet(&positions);
         let grid = NeighborGrid::build(positions, 1.0);
         let (replies, stats) =
-            gather_peer_data(0, Point::new(0.0, 0.0), 1.0, CAT, &grid, &caches);
+            gather_peer_data(0, Point::new(0.0, 0.0), 1.0, CAT, &grid, &caches, &table);
         assert_eq!(replies.len(), 1);
         assert_eq!(replies[0].peer, 1);
         assert_eq!(stats.peers_contacted, 1);
         assert_eq!(stats.peers_with_data, 1);
         assert_eq!(stats.pois_received, 1);
+        // The reply resolves back to the canonical payload.
+        let resolved = replies[0].resolve(&table);
+        assert_eq!(resolved[0].1[0].pos, Point::new(0.1, 0.0));
     }
 
     #[test]
@@ -477,9 +588,10 @@ mod tests {
             HostCache::new(10, ReplacementPolicy::default()),
             HostCache::new(10, ReplacementPolicy::default()),
         ];
+        let table = PoiTable::new();
         let grid = NeighborGrid::build(positions, 1.0);
         let (replies, stats) =
-            gather_peer_data(0, Point::new(0.0, 0.0), 1.0, CAT, &grid, &caches);
+            gather_peer_data(0, Point::new(0.0, 0.0), 1.0, CAT, &grid, &caches, &table);
         assert!(replies.is_empty());
         assert_eq!(stats.peers_contacted, 1);
         assert_eq!(stats.peers_with_data, 0);
@@ -487,11 +599,13 @@ mod tests {
 
     #[test]
     fn querier_does_not_reply_to_itself() {
-        let positions = vec![Point::new(0.0, 0.0)];
-        let caches = vec![cache_with_region(Point::new(0.0, 0.0))];
+        let poi = Poi::new(1, Point::new(0.0, 0.0));
+        let positions = vec![poi.pos];
+        let caches = vec![cache_with_poi(poi)];
+        let table = PoiTable::from_pois([poi]);
         let grid = NeighborGrid::build(positions, 1.0);
         let (replies, stats) =
-            gather_peer_data(0, Point::new(0.0, 0.0), 5.0, CAT, &grid, &caches);
+            gather_peer_data(0, Point::new(0.0, 0.0), 5.0, CAT, &grid, &caches, &table);
         assert!(replies.is_empty());
         assert_eq!(stats.peers_contacted, 0);
     }
@@ -506,12 +620,14 @@ mod tests {
             Point::new(1.8, 0.0),
             Point::new(2.7, 0.0),
         ];
+        let poi = Poi::new(1, Point::new(2.7, 0.0));
         let caches = vec![
             HostCache::new(10, ReplacementPolicy::default()),
             HostCache::new(10, ReplacementPolicy::default()),
             HostCache::new(10, ReplacementPolicy::default()),
-            cache_with_region(Point::new(2.7, 0.0)),
+            cache_with_poi(poi),
         ];
+        let table = PoiTable::from_pois([poi]);
         let grid = NeighborGrid::build(positions, 1.0);
         for (hops, expect_contacted, expect_replies) in [(1, 1, 0), (2, 2, 0), (3, 3, 1)] {
             let (replies, stats) = gather_peer_data_multihop(
@@ -522,6 +638,7 @@ mod tests {
                 CAT,
                 &grid,
                 &caches,
+                &table,
             );
             assert_eq!(stats.peers_contacted, expect_contacted, "hops {hops}");
             assert_eq!(replies.len(), expect_replies, "hops {hops}");
@@ -531,15 +648,20 @@ mod tests {
     #[test]
     fn multihop_one_hop_matches_single_hop() {
         let positions = vec![Point::new(0.0, 0.0), Point::new(0.1, 0.0), Point::new(5.0, 5.0)];
-        let caches = vec![
-            HostCache::new(10, ReplacementPolicy::default()),
-            cache_with_region(Point::new(0.1, 0.0)),
-            cache_with_region(Point::new(5.0, 5.0)),
-        ];
+        let (caches, table) = fleet(&positions);
         let grid = NeighborGrid::build(positions, 1.0);
-        let (r1, s1) = gather_peer_data(0, Point::new(0.0, 0.0), 1.0, CAT, &grid, &caches);
-        let (r2, s2) =
-            gather_peer_data_multihop(0, Point::new(0.0, 0.0), 1.0, 1, CAT, &grid, &caches);
+        let (r1, s1) =
+            gather_peer_data(0, Point::new(0.0, 0.0), 1.0, CAT, &grid, &caches, &table);
+        let (r2, s2) = gather_peer_data_multihop(
+            0,
+            Point::new(0.0, 0.0),
+            1.0,
+            1,
+            CAT,
+            &grid,
+            &caches,
+            &table,
+        );
         assert_eq!(s1, s2);
         assert_eq!(r1.len(), r2.len());
         assert_eq!(r1[0].peer, r2[0].peer);
@@ -550,13 +672,24 @@ mod tests {
         // Dense clique: querier reachable from everyone; must not appear
         // in its own replies at any hop depth.
         let positions: Vec<Point> = (0..6).map(|i| Point::new(i as f64 * 0.1, 0.0)).collect();
-        let caches: Vec<HostCache> = positions
+        let pois: Vec<Poi> = positions
             .iter()
-            .map(|p| cache_with_region(*p))
+            .enumerate()
+            .map(|(i, p)| Poi::new(i as u32, *p))
             .collect();
+        let caches: Vec<HostCache> = pois.iter().map(|&p| cache_with_poi(p)).collect();
+        let table = PoiTable::from_pois(pois);
         let grid = NeighborGrid::build(positions, 1.0);
-        let (replies, stats) =
-            gather_peer_data_multihop(2, Point::new(0.2, 0.0), 1.0, 4, CAT, &grid, &caches);
+        let (replies, stats) = gather_peer_data_multihop(
+            2,
+            Point::new(0.2, 0.0),
+            1.0,
+            4,
+            CAT,
+            &grid,
+            &caches,
+            &table,
+        );
         assert_eq!(stats.peers_contacted, 5);
         assert!(replies.iter().all(|r| r.peer != 2));
     }
@@ -566,8 +699,7 @@ mod tests {
         // 8 peers with data, 100% drop probability: everything is lost
         // and the querier is left to the broadcast channel.
         let positions: Vec<Point> = (0..9).map(|i| Point::new(i as f64 * 0.05, 0.0)).collect();
-        let mut caches: Vec<HostCache> = vec![HostCache::new(10, ReplacementPolicy::default())];
-        caches.extend(positions[1..].iter().map(|p| cache_with_region(*p)));
+        let (caches, table) = fleet(&positions);
         let grid = NeighborGrid::build(positions, 1.0);
         let model = ChannelFaults::from_loss_prob(11, 0.0, 0);
         let all_dropped = ShareFaults {
@@ -583,6 +715,7 @@ mod tests {
             CAT,
             &grid,
             &caches,
+            &table,
             None,
             all_dropped,
         );
@@ -607,6 +740,7 @@ mod tests {
                 CAT,
                 &grid,
                 &caches,
+                &table,
                 None,
                 some,
             )
@@ -617,7 +751,8 @@ mod tests {
         assert_eq!(r1.len(), r2.len());
         assert_eq!(s1.replies_dropped + s1.peers_with_data, 8);
 
-        let (r0, s0) = gather_peer_data(0, Point::new(0.0, 0.0), 1.0, CAT, &grid, &caches);
+        let (r0, s0) =
+            gather_peer_data(0, Point::new(0.0, 0.0), 1.0, CAT, &grid, &caches, &table);
         assert_eq!(r0.len(), 8);
         assert_eq!(s0.replies_dropped, 0);
     }
@@ -625,6 +760,13 @@ mod tests {
     #[test]
     fn malformed_regions_are_rejected_and_valid_ones_clipped() {
         let world = Rect::from_coords(0.0, 0.0, 10.0, 10.0);
+        let table = PoiTable::from_pois([
+            Poi::new(1, Point::new(5.0, 5.0)),
+            Poi::new(2, Point::new(25.0, 25.0)),
+            Poi::new(3, Point::new(9.0, 8.5)),
+            Poi::new(4, Point::new(12.0, 8.5)),
+            Poi::new(5, Point::new(3.0, 3.0)),
+        ]);
         let regions = vec![
             // NaN edge: structurally malformed.
             (
@@ -636,45 +778,60 @@ mod tests {
                 },
                 vec![],
             ),
-            // Claims a POI outside itself: inconsistent, rejected whole.
-            (
-                Rect::from_coords(0.0, 0.0, 1.0, 1.0),
-                vec![Poi::new(1, Point::new(5.0, 5.0))],
-            ),
+            // Claims a POI whose canonical position is outside itself:
+            // inconsistent, rejected whole.
+            (Rect::from_coords(0.0, 0.0, 1.0, 1.0), vec![PoiId(1)]),
+            // Claims a handle the table does not know: rejected whole.
+            (Rect::from_coords(2.0, 2.0, 4.0, 4.0), vec![PoiId(99)]),
             // Entirely outside the world: rejected.
             (
                 Rect::from_coords(20.0, 20.0, 30.0, 30.0),
-                vec![Poi::new(2, Point::new(25.0, 25.0))],
+                vec![PoiId(2)],
             ),
             // Straddles the world edge: clipped, outside POI dropped.
             (
                 Rect::from_coords(8.0, 8.0, 14.0, 9.0),
-                vec![
-                    Poi::new(3, Point::new(9.0, 8.5)),
-                    Poi::new(4, Point::new(12.0, 8.5)),
-                ],
+                vec![PoiId(3), PoiId(4)],
             ),
             // Fully valid: untouched.
+            (Rect::from_coords(2.0, 2.0, 4.0, 4.0), vec![PoiId(5)]),
+        ];
+        let (kept, rejected) = sanitize_id_regions(regions, &table, Some(&world));
+        assert_eq!(rejected, 4);
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[0].0, Rect::from_coords(8.0, 8.0, 10.0, 9.0));
+        assert_eq!(kept[0].1, vec![PoiId(3)]);
+        assert_eq!(kept[1].0, Rect::from_coords(2.0, 2.0, 4.0, 4.0));
+        assert_eq!(kept[1].1, vec![PoiId(5)]);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_poi_sanitizer_still_works() {
+        let world = Rect::from_coords(0.0, 0.0, 10.0, 10.0);
+        let regions = vec![
+            (
+                Rect::from_coords(0.0, 0.0, 1.0, 1.0),
+                vec![Poi::new(1, Point::new(5.0, 5.0))],
+            ),
             (
                 Rect::from_coords(2.0, 2.0, 4.0, 4.0),
                 vec![Poi::new(5, Point::new(3.0, 3.0))],
             ),
         ];
         let (kept, rejected) = sanitize_regions(regions, Some(&world));
-        assert_eq!(rejected, 3);
-        assert_eq!(kept.len(), 2);
-        assert_eq!(kept[0].0, Rect::from_coords(8.0, 8.0, 10.0, 9.0));
-        assert_eq!(kept[0].1.len(), 1);
-        assert_eq!(kept[0].1[0].id, 3);
-        assert_eq!(kept[1].0, Rect::from_coords(2.0, 2.0, 4.0, 4.0));
-        assert_eq!(kept[1].1.len(), 1);
+        assert_eq!(rejected, 1);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].1[0].id, 5);
     }
 
     #[test]
     fn inconsistent_peer_cache_degrades_to_no_reply() {
-        // A peer whose cache claims a POI outside its VR (possible only
-        // by constructing the entry by hand) must contribute nothing.
+        // A peer whose cache claims a POI inside a VR the canonical
+        // position contradicts (possible only by constructing the entry
+        // by hand) must contribute nothing.
         let positions = vec![Point::new(0.0, 0.0), Point::new(0.1, 0.0)];
+        let table = PoiTable::from_pois([Poi::new(9, Point::new(7.0, 7.0))]);
         let mut bad = HostCache::new(10, ReplacementPolicy::default());
         bad.insert_unchecked(
             CAT,
@@ -695,6 +852,7 @@ mod tests {
             CAT,
             &grid,
             &caches,
+            &table,
             Some(&world),
             ShareFaults::default(),
         );
@@ -707,8 +865,7 @@ mod tests {
     fn traced_exchange_counts_match_share_stats() {
         use airshare_obs::MetricsRecorder;
         let positions: Vec<Point> = (0..9).map(|i| Point::new(i as f64 * 0.05, 0.0)).collect();
-        let mut caches: Vec<HostCache> = vec![HostCache::new(10, ReplacementPolicy::default())];
-        caches.extend(positions[1..].iter().map(|p| cache_with_region(*p)));
+        let (caches, table) = fleet(&positions);
         let grid = NeighborGrid::build(positions, 1.0);
         let model = ChannelFaults::from_loss_prob(11, 0.0, 0);
         let some = ShareFaults {
@@ -725,6 +882,7 @@ mod tests {
             CAT,
             &grid,
             &caches,
+            &table,
             None,
             some,
             &mut rec,
@@ -741,6 +899,7 @@ mod tests {
             CAT,
             &grid,
             &caches,
+            &table,
             None,
             some,
         );
@@ -755,8 +914,7 @@ mod tests {
         // wins the same variate). The salted nonce keeps them
         // independent: with drops off, every reply malforms.
         let positions: Vec<Point> = (0..5).map(|i| Point::new(i as f64 * 0.05, 0.0)).collect();
-        let mut caches: Vec<HostCache> = vec![HostCache::new(10, ReplacementPolicy::default())];
-        caches.extend(positions[1..].iter().map(|p| cache_with_region(*p)));
+        let (caches, table) = fleet(&positions);
         let grid = NeighborGrid::build(positions, 1.0);
         let model = ChannelFaults::from_loss_prob(11, 0.0, 0);
         let all_malformed = ShareFaults {
@@ -772,6 +930,7 @@ mod tests {
             CAT,
             &grid,
             &caches,
+            &table,
             None,
             all_malformed,
         );
@@ -785,8 +944,7 @@ mod tests {
     fn quarantine_guard_skips_and_strikes() {
         use airshare_cache::{QuarantineConfig, QuarantineLedger};
         let positions: Vec<Point> = (0..4).map(|i| Point::new(i as f64 * 0.05, 0.0)).collect();
-        let mut caches: Vec<HostCache> = vec![HostCache::new(10, ReplacementPolicy::default())];
-        caches.extend(positions[1..].iter().map(|p| cache_with_region(*p)));
+        let (caches, table) = fleet(&positions);
         let grid = NeighborGrid::build(positions, 1.0);
         let model = ChannelFaults::from_loss_prob(11, 0.0, 0);
         let all_malformed = ShareFaults {
@@ -805,6 +963,7 @@ mod tests {
             CAT,
             &grid,
             &caches,
+            &table,
             None,
             all_malformed,
             Some((&mut ledger, 0)),
@@ -825,6 +984,7 @@ mod tests {
             CAT,
             &grid,
             &caches,
+            &table,
             None,
             all_malformed,
             Some((&mut ledger, 1)),
@@ -840,8 +1000,7 @@ mod tests {
     fn empty_guard_matches_unguarded_exchange() {
         use airshare_cache::{QuarantineConfig, QuarantineLedger};
         let positions: Vec<Point> = (0..6).map(|i| Point::new(i as f64 * 0.05, 0.0)).collect();
-        let mut caches: Vec<HostCache> = vec![HostCache::new(10, ReplacementPolicy::default())];
-        caches.extend(positions[1..].iter().map(|p| cache_with_region(*p)));
+        let (caches, table) = fleet(&positions);
         let grid = NeighborGrid::build(positions, 1.0);
         let model = ChannelFaults::from_loss_prob(11, 0.0, 0);
         let some = ShareFaults {
@@ -858,6 +1017,7 @@ mod tests {
             CAT,
             &grid,
             &caches,
+            &table,
             None,
             some,
             Some((&mut ledger, 3)),
@@ -870,6 +1030,7 @@ mod tests {
             CAT,
             &grid,
             &caches,
+            &table,
             None,
             some,
         );
@@ -881,10 +1042,7 @@ mod tests {
     #[test]
     fn category_filter_applies() {
         let positions = vec![Point::new(0.0, 0.0), Point::new(0.1, 0.0)];
-        let caches = vec![
-            HostCache::new(10, ReplacementPolicy::default()),
-            cache_with_region(Point::new(0.1, 0.0)), // category 0 only
-        ];
+        let (caches, table) = fleet(&positions);
         let grid = NeighborGrid::build(positions, 1.0);
         let (replies, _) = gather_peer_data(
             0,
@@ -893,6 +1051,7 @@ mod tests {
             PoiCategory(7),
             &grid,
             &caches,
+            &table,
         );
         assert!(replies.is_empty());
     }

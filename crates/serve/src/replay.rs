@@ -72,8 +72,11 @@ pub fn replay(handle: &ServiceHandle, trace: &TrafficTrace) -> Result<ReplayRepo
                 handle.disconnect(host as usize, planned_epoch, Some(er.epoch))?;
             }
         }
-        for (host, &pos) in er.positions.iter().enumerate() {
-            handle.update_position(host, pos, Some(er.epoch))?;
+        // Traces carry position deltas; the live world keeps each
+        // host's last position, so applying them in epoch order
+        // reconstructs the full vector.
+        for &(host, pos) in &er.moved {
+            handle.update_position(host as usize, pos, Some(er.epoch))?;
         }
         for (qi, q) in trace.queries.iter().enumerate() {
             if q.epoch != er.epoch {

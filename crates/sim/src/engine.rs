@@ -10,20 +10,21 @@
 //! so [`Simulation::run_parallel`] is **bit-identical** to the sequential
 //! [`Simulation::run`] for every thread count.
 
+use crate::fleet::FleetStore;
 use crate::traffic::{EpochRecord, RecordedQuery, TrafficTrace};
 use crate::{BackendKind, ConfigError, MobilityModel, QueryKind, SimConfig, SimReport};
 use airshare_broadcast::{
     wire, AirIndex, AirIndexBackend, BuildParams, ChannelFaults, OnAirClient, OutageSchedule, Poi,
-    PoiCategory, QueryScratch, RtreeAirIndex, Schedule,
+    PoiCategory, PoiId, PoiTable, QueryScratch, RtreeAirIndex, Schedule,
 };
-use airshare_cache::{CacheContext, HostCache, QuarantineConfig, QuarantineLedger, RegionEntry};
+use airshare_cache::{CacheContext, HostCache, QuarantineConfig, QuarantineLedger};
 use airshare_core::{
     sbnn_rec, sbwq_rec, MergedRegion, ResolvedBy, SbnnConfig, SbnnOutcome, SbwqConfig, SbwqOutcome,
 };
 use airshare_exec::{split_seed, ExecPool};
 use airshare_geom::{meters_to_miles, Point, Rect};
 use airshare_mobility::{
-    GridRoadWaypoint, Mobility, MobilityConfig, QueryScheduler, RandomWaypoint,
+    GridRoadWaypoint, Mobility, MobilityConfig, QueryEvent, QueryScheduler, RandomWaypoint,
 };
 use airshare_obs::{
     AccessStats, AnswerQuality, MetricsRecorder, NoopRecorder, Recorder, ShareStats, TraceEvent,
@@ -99,7 +100,9 @@ pub struct QueryAnswer {
 }
 
 enum HostMobility {
-    Waypoint(Box<RandomWaypoint>),
+    /// Stored inline: at a million hosts, one heap box per waypoint
+    /// stream is pure pointer-chasing overhead.
+    Waypoint(RandomWaypoint),
     Roads(Box<GridRoadWaypoint>),
     /// Placeholder left behind while the host's state is moved into an
     /// epoch task; restored at the barrier, never observed in between.
@@ -198,6 +201,8 @@ struct HostDone {
 pub(crate) struct EpochCtx<'a> {
     pub(crate) cfg: &'a SimConfig,
     pub(crate) world: &'a Rect,
+    /// The canonical POI table peer-shared handles resolve against.
+    pub(crate) table: &'a PoiTable,
     pub(crate) index: &'a dyn AirIndexBackend,
     pub(crate) schedule: &'a Schedule,
     pub(crate) oracle: &'a RTree<u32>,
@@ -266,19 +271,21 @@ enum Driver<'d> {
 pub struct Simulation {
     cfg: SimConfig,
     world: Rect,
-    pois: Vec<Poi>,
+    /// The canonical POI table: the one copy of every POI payload.
+    /// Caches, peer replies, and the index all refer into it by handle.
+    table: PoiTable,
     /// The broadcast organization, behind the backend trait: the
     /// `BackendKind` knob picks the concrete index at build time.
     index: Box<dyn AirIndexBackend>,
     schedule: Schedule,
     oracle: RTree<u32>,
     hosts: Vec<HostMobility>,
-    caches: Vec<HostCache>,
+    /// Columnar per-host mutable state (online flags, positions, sync
+    /// scalars, caches, quarantine ledgers).
+    fleet: FleetStore,
     /// Deterministic fault decision source; `None` when the fault config
     /// is inert, so the ideal-channel path pays nothing.
     faults: Option<ChannelFaults>,
-    /// Which hosts are on the air right now (churn state).
-    online: Vec<bool>,
     /// Precomputed churn transitions `(epoch, host, comes_online)`,
     /// sorted by `(epoch, host)`; a pure function of the master seed.
     churn_plan: Vec<(u64, usize, bool)>,
@@ -286,10 +293,6 @@ pub struct Simulation {
     churn_cursor: usize,
     /// Base-station silence windows over epoch numbers.
     outage: OutageSchedule,
-    /// Per-host channel-sync state (staleness bounds, resync debts).
-    sync: Vec<SyncState>,
-    /// Per-host quarantine ledgers for misbehaving peers.
-    quarantines: Vec<QuarantineLedger>,
 }
 
 impl Simulation {
@@ -300,7 +303,7 @@ impl Simulation {
     /// bad knob surfaces as a typed [`ConfigError`] instead of a panic
     /// deep inside a substrate crate.
     pub fn try_new(cfg: SimConfig) -> Result<Self, ConfigError> {
-        let core = build_world_core(&cfg)?;
+        let mut core = build_world_core(&cfg)?;
         let mut mobility_cfg = MobilityConfig::vehicular(core.world);
         mobility_cfg.speed_min *= cfg.params.speed_scale;
         mobility_cfg.speed_max *= cfg.params.speed_scale;
@@ -309,7 +312,7 @@ impl Simulation {
                 let seed = cfg.seed ^ (0x9E3779B97F4A7C15u64.wrapping_mul(i as u64 + 1));
                 match cfg.mobility {
                     MobilityModel::RandomWaypoint => {
-                        HostMobility::Waypoint(Box::new(RandomWaypoint::new(mobility_cfg, seed)))
+                        HostMobility::Waypoint(RandomWaypoint::new(mobility_cfg, seed))
                     }
                     MobilityModel::GridRoads { spacing_milli_mi } => {
                         HostMobility::Roads(Box::new(GridRoadWaypoint::new(
@@ -322,22 +325,20 @@ impl Simulation {
             })
             .collect();
         let (online, churn_plan) = plan_churn(&cfg);
+        core.fleet.online = online;
         Ok(Self {
             cfg,
             world: core.world,
-            pois: core.pois,
+            table: core.table,
             index: core.index,
             schedule: core.schedule,
             oracle: core.oracle,
             hosts,
-            caches: core.caches,
+            fleet: core.fleet,
             faults: core.faults,
-            online,
             churn_plan,
             churn_cursor: 0,
             outage: core.outage,
-            sync: core.sync,
-            quarantines: core.quarantines,
         })
     }
 
@@ -348,7 +349,18 @@ impl Simulation {
 
     /// The global POI set (for external validation).
     pub fn pois(&self) -> &[Poi] {
-        &self.pois
+        self.table.as_slice()
+    }
+
+    /// The canonical POI table every cached or peer-shared handle
+    /// resolves against.
+    pub fn poi_table(&self) -> &PoiTable {
+        &self.table
+    }
+
+    /// Read-only view of the fleet's columnar state.
+    pub fn fleet(&self) -> &FleetStore {
+        &self.fleet
     }
 
     /// Runs the simulation to completion and returns the report.
@@ -482,21 +494,42 @@ impl Simulation {
 
         let mut scheduler =
             QueryScheduler::new(cfg.params.query_rate, cfg.params.mh_number, cfg.seed ^ 0xA5);
-        let events = scheduler.events_until(cfg.total_min());
+        let horizon = cfg.total_min();
 
         if let Workers::Recording(_, _, trace) = &mut workers {
             // Pristine churn-plan state: who is on the air before the
             // first epoch's transitions apply.
-            trace.initial_online = self.online.clone();
+            trace.initial_online = self.fleet.online.clone();
         }
 
         let mut report = SimReport::default();
-        let mut i = 0usize;
-        while i < events.len() {
-            let epoch = (events[i].time / epoch_len) as u64;
-            let mut j = i;
-            while j < events.len() && (events[j].time / epoch_len) as u64 == epoch {
-                j += 1;
+        // The committed cache state peers observe, maintained
+        // *incrementally*: cloned whole once, then only hosts whose
+        // cache changed (a commit or a crash wipe) are re-cloned at the
+        // next boundary. `HostCache::clone_from` reuses the snapshot's
+        // buffers, so a warm steady state refreshes without allocating.
+        let mut snapshot: Vec<HostCache> = self.fleet.caches.clone();
+        let mut dirty: Vec<usize> = Vec::new();
+        // Events are pulled from the scheduler one epoch at a time into
+        // a reused buffer — memory stays O(hosts + live epoch) instead
+        // of materializing the whole run's event list. The draw sequence
+        // (time, then host, per event) is exactly what a full
+        // `events_until(horizon)` would have produced.
+        let mut epoch_events: Vec<QueryEvent> = Vec::new();
+        let mut next_index: u64 = 0;
+        // Recording keeps the previous epoch's recorded positions so
+        // the trace can carry per-epoch *deltas* instead of full
+        // position vectors.
+        let mut last_rec_positions: Option<Vec<Point>> = None;
+        while scheduler.peek_time() < horizon {
+            let first = scheduler.next_query();
+            let epoch = (first.time / epoch_len) as u64;
+            epoch_events.clear();
+            epoch_events.push(first);
+            while scheduler.peek_time() < horizon
+                && (scheduler.peek_time() / epoch_len) as u64 == epoch
+            {
+                epoch_events.push(scheduler.next_query());
             }
 
             // Apply churn transitions due at or before this epoch's
@@ -510,22 +543,27 @@ impl Simulation {
                 let (e, h, up) = self.churn_plan[self.churn_cursor];
                 self.churn_cursor += 1;
                 let event = if up {
-                    self.online[h] = true;
+                    self.fleet.online[h] = true;
                     // Came online cold: nothing cached, channel unheard.
-                    self.sync[h] = SyncState {
-                        last_sync_min: e as f64 * epoch_len,
-                        needs_resync: true,
-                    };
+                    self.fleet.set_sync_state(
+                        h,
+                        SyncState {
+                            last_sync_min: e as f64 * epoch_len,
+                            needs_resync: true,
+                        },
+                    );
                     report.hosts_restarted += 1;
                     TraceEvent::HostRestarted {
                         host: h as u32,
                         epoch: e,
                     }
                 } else {
-                    // Crash wipes all volatile state.
-                    self.online[h] = false;
-                    self.caches[h].clear();
-                    self.quarantines[h].clear();
+                    // Crash wipes all volatile state; the peer-visible
+                    // snapshot must reflect the wipe this epoch.
+                    self.fleet.online[h] = false;
+                    self.fleet.caches[h].clear();
+                    self.fleet.quarantines[h].clear();
+                    dirty.push(h);
                     report.hosts_crashed += 1;
                     TraceEvent::HostCrashed {
                         host: h as u32,
@@ -556,23 +594,59 @@ impl Simulation {
             // host — offline ones included — so mobility streams stay
             // aligned across churn configurations; offline hosts are
             // merely undiscoverable.
-            let t_build = (epoch as f64 * epoch_len).min(events[i].time);
-            let positions: Vec<Point> =
-                self.hosts.iter_mut().map(|h| h.position_at(t_build)).collect();
+            let t_build = (epoch as f64 * epoch_len).min(epoch_events[0].time);
+            for (h, m) in self.hosts.iter_mut().enumerate() {
+                self.fleet.positions[h] = m.position_at(t_build);
+            }
             if let Workers::Recording(_, _, trace) = &mut workers {
+                // Position deltas against the previous recorded epoch:
+                // the first record carries every host, later ones only
+                // hosts whose position actually changed (a paused
+                // waypoint host costs nothing).
+                let moved: Vec<(u32, Point)> = match &mut last_rec_positions {
+                    None => {
+                        last_rec_positions = Some(self.fleet.positions.clone());
+                        self.fleet
+                            .positions
+                            .iter()
+                            .enumerate()
+                            .map(|(h, &p)| (h as u32, p))
+                            .collect()
+                    }
+                    Some(prev) => self
+                        .fleet
+                        .positions
+                        .iter()
+                        .zip(prev.iter_mut())
+                        .enumerate()
+                        .filter_map(|(h, (&now, old))| {
+                            (now != *old).then(|| {
+                                *old = now;
+                                (h as u32, now)
+                            })
+                        })
+                        .collect(),
+                };
                 trace.epochs.push(EpochRecord {
                     epoch,
-                    positions: positions.clone(),
-                    online: self.online.clone(),
+                    moved,
+                    online: self.fleet.online.clone(),
                     churn: std::mem::take(&mut epoch_churn),
                 });
             }
-            let grid = NeighborGrid::build_active(positions, cell, &self.online);
+            let grid =
+                NeighborGrid::build_active(self.fleet.positions.clone(), cell, &self.fleet.online);
 
-            // The committed cache state peers observe this epoch. A
+            // Refresh the peer-visible snapshot: only hosts dirtied
+            // since the last boundary (commits and crash wipes). A
             // host's *own* inserts stay visible to itself immediately;
             // everyone else sees them from the next epoch on.
-            let snapshot: Vec<HostCache> = self.caches.clone();
+            dirty.sort_unstable();
+            dirty.dedup();
+            for &h in &dirty {
+                snapshot[h].clone_from(&self.fleet.caches[h]);
+            }
+            dirty.clear();
 
             // Shard by host: all of one host's events stay on one worker,
             // in time order. BTreeMap gives host-id task order. Offline
@@ -580,14 +654,14 @@ impl Simulation {
             // global index numbering `(i + k)` is untouched, so the
             // fold order of surviving outcomes is churn-independent.
             let mut by_host: BTreeMap<usize, Vec<(u64, f64)>> = BTreeMap::new();
-            for (k, ev) in events[i..j].iter().enumerate() {
-                if !self.online[ev.host] {
+            for (k, ev) in epoch_events.iter().enumerate() {
+                if !self.fleet.online[ev.host] {
                     continue;
                 }
                 by_host
                     .entry(ev.host)
                     .or_default()
-                    .push(((i + k) as u64, ev.time));
+                    .push((next_index + k as u64, ev.time));
             }
             let tasks: Vec<HostTask> = by_host
                 .into_iter()
@@ -595,7 +669,7 @@ impl Simulation {
                     host,
                     mobility: std::mem::replace(&mut self.hosts[host], HostMobility::Vacant),
                     cache: std::mem::replace(
-                        &mut self.caches[host],
+                        &mut self.fleet.caches[host],
                         HostCache::new(0, cfg.policy),
                     ),
                     rng: SmallRng::seed_from_u64(split_seed(
@@ -603,9 +677,9 @@ impl Simulation {
                         host as u64,
                         epoch,
                     )),
-                    sync: self.sync[host],
+                    sync: self.fleet.sync_state(host),
                     quarantine: std::mem::replace(
-                        &mut self.quarantines[host],
+                        &mut self.fleet.quarantines[host],
                         QuarantineLedger::new(QuarantineConfig::default(), 0),
                     ),
                     events: evs,
@@ -615,6 +689,7 @@ impl Simulation {
             let ctx = EpochCtx {
                 cfg: &cfg,
                 world: &self.world,
+                table: &self.table,
                 index: self.index.as_ref(),
                 schedule: &self.schedule,
                 oracle: &self.oracle,
@@ -663,9 +738,10 @@ impl Simulation {
             let mut outcomes: Vec<(u64, QueryOutcome)> = Vec::new();
             for d in done {
                 self.hosts[d.host] = d.mobility;
-                self.caches[d.host] = d.cache;
-                self.sync[d.host] = d.sync;
-                self.quarantines[d.host] = d.quarantine;
+                self.fleet.caches[d.host] = d.cache;
+                self.fleet.set_sync_state(d.host, d.sync);
+                self.fleet.quarantines[d.host] = d.quarantine;
+                dirty.push(d.host);
                 report.outage_resyncs += d.resyncs;
                 outcomes.extend(d.outcomes);
             }
@@ -673,7 +749,7 @@ impl Simulation {
             for (_, o) in outcomes {
                 fold_outcome(&mut report, cfg.calibration_cap, o);
             }
-            i = j;
+            next_index += epoch_events.len() as u64;
         }
         report
     }
@@ -894,6 +970,7 @@ impl EpochCtx<'_> {
                 CAT,
                 self.grid,
                 self.snapshot,
+                self.table,
                 Some(self.world),
                 share_faults,
                 guard,
@@ -907,27 +984,37 @@ impl EpochCtx<'_> {
                 CAT,
                 self.grid,
                 self.snapshot,
+                self.table,
                 Some(self.world),
                 share_faults,
                 guard,
                 rec,
             )
         };
-        let mut region_pairs: Vec<(Rect, Vec<Poi>)> = replies
-            .into_iter()
-            .flat_map(|r| r.regions.into_iter())
-            .collect();
         if cfg.use_own_cache {
             // Own reads are live — a host always trusts its freshest self.
-            let own = q.cache.share_snapshot(CAT);
-            if !own.is_empty() {
+            let own_regions = q.cache.region_count(CAT);
+            if own_regions > 0 {
                 rec.record(TraceEvent::CacheHit {
-                    regions: own.len() as u32,
+                    regions: own_regions as u32,
                 });
             }
-            region_pairs.extend(own);
         }
-        let mvr = MergedRegion::from_regions(region_pairs);
+        // Merge handle-level: peer regions first (reply order), then the
+        // querier's own cache — all resolved once against the canonical
+        // table, never materialized as owned POI vectors.
+        let own = cfg
+            .use_own_cache
+            .then(|| q.cache.share_regions(CAT))
+            .into_iter()
+            .flatten();
+        let mvr = MergedRegion::from_id_regions(
+            self.table,
+            replies
+                .iter()
+                .flat_map(|r| r.regions.iter().map(|(vr, ids)| (*vr, ids.as_slice())))
+                .chain(own),
+        );
 
         let client = match self.faults {
             Some(f) => OnAirClient::with_faults(self.index, self.schedule, f),
@@ -1019,12 +1106,8 @@ impl EpochCtx<'_> {
                 // poison every peer it is later shared with.
                 if !degraded {
                     if let Some((vr, pois)) = &res.adoptable {
-                        q.cache.insert_rec(
-                            CAT,
-                            RegionEntry::new(*vr, pois.iter().copied(), t),
-                            &ctx,
-                            rec,
-                        );
+                        let ids: Vec<PoiId> = pois.iter().map(Poi::handle).collect();
+                        q.cache.insert_ids_rec(self.table, CAT, *vr, &ids, t, &ctx, rec);
                     }
                 }
                 q.cache.touch(CAT, &Rect::centered_square(qpos, self.range), t);
@@ -1193,12 +1276,8 @@ impl EpochCtx<'_> {
                 // retrieval lost buckets, in which case the window may be
                 // missing POIs and must not become a verified region.
                 if !degraded {
-                    q.cache.insert_rec(
-                        CAT,
-                        RegionEntry::new(w, res.pois.iter().copied(), t),
-                        &ctx,
-                        rec,
-                    );
+                    let ids: Vec<PoiId> = res.pois.iter().map(Poi::handle).collect();
+                    q.cache.insert_ids_rec(self.table, CAT, w, &ids, t, &ctx, rec);
                 }
                 q.cache.touch(CAT, &w, t);
 
@@ -1304,15 +1383,17 @@ impl EpochCtx<'_> {
 /// queries over the *same* world and replay parity is structural.
 pub(crate) struct WorldCore {
     pub(crate) world: Rect,
-    pub(crate) pois: Vec<Poi>,
+    /// The canonical POI table (dense: ids are `0..poi_number`).
+    pub(crate) table: PoiTable,
     pub(crate) index: Box<dyn AirIndexBackend>,
     pub(crate) schedule: Schedule,
     pub(crate) oracle: RTree<u32>,
     pub(crate) faults: Option<ChannelFaults>,
     pub(crate) outage: OutageSchedule,
-    pub(crate) caches: Vec<HostCache>,
-    pub(crate) sync: Vec<SyncState>,
-    pub(crate) quarantines: Vec<QuarantineLedger>,
+    /// Columnar per-host state: everyone online, at the origin, in
+    /// sync, with empty caches and pristine ledgers. Callers overwrite
+    /// the online column with their own admission policy.
+    pub(crate) fleet: FleetStore,
 }
 
 /// Builds the shared world: POIs placed uniformly at random (the
@@ -1325,14 +1406,12 @@ pub(crate) fn build_world_core(cfg: &SimConfig) -> Result<WorldCore, ConfigError
     let side = cfg.params.world_mi;
     let world = Rect::from_coords(0.0, 0.0, side, side);
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
-    let pois: Vec<Poi> = (0..cfg.params.poi_number)
-        .map(|i| {
-            Poi::new(
-                i as u32,
-                Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)),
-            )
-        })
-        .collect();
+    let table = PoiTable::from_pois((0..cfg.params.poi_number).map(|i| {
+        Poi::new(
+            i as u32,
+            Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)),
+        )
+    }));
     let build = BuildParams {
         world,
         hilbert_order: cfg.hilbert_order,
@@ -1342,17 +1421,17 @@ pub(crate) fn build_world_core(cfg: &SimConfig) -> Result<WorldCore, ConfigError
     // is unreachable; map it anyway rather than panic.
     let index: Box<dyn AirIndexBackend> = match cfg.backend {
         BackendKind::Hilbert => Box::new(
-            <AirIndex as AirIndexBackend>::try_build(pois.clone(), &build)
+            <AirIndex as AirIndexBackend>::try_build(&table, &build)
                 .map_err(|_| ConfigError::ZeroBucketCapacity)?,
         ),
         BackendKind::Rtree => Box::new(
-            RtreeAirIndex::try_build(pois.clone(), &build)
+            <RtreeAirIndex as AirIndexBackend>::try_build(&table, &build)
                 .map_err(|_| ConfigError::ZeroBucketCapacity)?,
         ),
     };
     let schedule = Schedule::try_for_backend(index.as_ref(), cfg.index_m)
         .map_err(|_| ConfigError::ZeroIndexReplication)?;
-    let oracle = RTree::bulk_load(pois.iter().map(|p| (p.pos, p.id)).collect());
+    let oracle = RTree::bulk_load(table.iter().map(|p| (p.pos, p.id)).collect());
     let n = cfg.params.mh_number;
     let caches = (0..n)
         .map(|_| {
@@ -1375,13 +1454,6 @@ pub(crate) fn build_world_core(cfg: &SimConfig) -> Result<WorldCore, ConfigError
         )
     });
     let outage = OutageSchedule::new(cfg.outages.clone());
-    let sync = vec![
-        SyncState {
-            last_sync_min: 0.0,
-            needs_resync: false,
-        };
-        n
-    ];
     let quarantines = (0..n)
         .map(|h| {
             QuarantineLedger::new(
@@ -1390,17 +1462,23 @@ pub(crate) fn build_world_core(cfg: &SimConfig) -> Result<WorldCore, ConfigError
             )
         })
         .collect();
+    let fleet = FleetStore {
+        online: vec![true; n],
+        positions: vec![Point::new(0.0, 0.0); n],
+        last_sync_min: vec![0.0; n],
+        needs_resync: vec![false; n],
+        caches,
+        quarantines,
+    };
     Ok(WorldCore {
         world,
-        pois,
+        table,
         index,
         schedule,
         oracle,
         faults,
         outage,
-        caches,
-        sync,
-        quarantines,
+        fleet,
     })
 }
 

@@ -25,6 +25,7 @@
 
 mod config;
 mod engine;
+mod fleet;
 mod live;
 pub mod params;
 mod report;
@@ -36,6 +37,7 @@ pub use config::{
     QueryKind, SimConfig, SimConfigBuilder,
 };
 pub use engine::{QueryAnswer, QuerySpec, Simulation};
+pub use fleet::FleetStore;
 pub use live::{LiveQuery, LiveWorld};
 pub use params::ParamSet;
 pub use report::{LatencySummary, QualityStats, QueryStats, SimReport};

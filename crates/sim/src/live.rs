@@ -18,9 +18,10 @@ use crate::engine::{
     build_world_core, fold_outcome, EpochCtx, LiveBatchItem, LiveTask, QueryAnswer, QuerySpec,
     SyncState,
 };
+use crate::fleet::FleetStore;
 use crate::{ConfigError, SimConfig, SimReport};
 use airshare_broadcast::{
-    AirIndexBackend, ChannelFaults, OutageSchedule, Poi, QueryScratch, Schedule,
+    AirIndexBackend, ChannelFaults, OutageSchedule, PoiTable, QueryScratch, Schedule,
 };
 use airshare_cache::{HostCache, QuarantineConfig, QuarantineLedger};
 use airshare_exec::ExecPool;
@@ -53,20 +54,18 @@ pub struct LiveQuery {
 pub struct LiveWorld {
     cfg: SimConfig,
     world: Rect,
-    #[allow(dead_code)]
-    pois: Vec<Poi>,
+    /// The canonical POI table session caches hold handles into.
+    table: PoiTable,
     index: Box<dyn AirIndexBackend>,
     schedule: Schedule,
     oracle: RTree<u32>,
     faults: Option<ChannelFaults>,
     outage: OutageSchedule,
-    caches: Vec<HostCache>,
-    sync: Vec<SyncState>,
-    quarantines: Vec<QuarantineLedger>,
-    /// Which sessions are live (mirrors the simulator's online set).
-    online: Vec<bool>,
-    /// Last reported position per host (offline hosts keep theirs).
-    positions: Vec<Point>,
+    /// Columnar per-session state: online flags, last reported
+    /// positions (offline hosts keep theirs), sync clocks, arena-backed
+    /// caches, quarantine ledgers — the same [`FleetStore`] the
+    /// closed-loop engine rides.
+    fleet: FleetStore,
     /// Epoch-start neighbor grid over online hosts.
     grid: NeighborGrid,
     /// Epoch-start committed caches — what peers see this epoch.
@@ -84,26 +83,27 @@ impl LiveWorld {
     /// both sides agree on every POI, bucket, fault seed, and ledger.
     /// All sessions start offline with empty caches.
     pub fn try_new(cfg: SimConfig) -> Result<Self, ConfigError> {
-        let core = build_world_core(&cfg)?;
+        let mut core = build_world_core(&cfg)?;
         let n = cfg.params.mh_number;
         let range = meters_to_miles(cfg.params.tx_range_m);
         let cell = range.max(1e-3);
-        let positions = vec![Point::new(0.0, 0.0); n];
-        let grid = NeighborGrid::build_active(positions.clone(), cell, &vec![false; n]);
+        // All sessions start offline; `connect` admits them.
+        core.fleet.online = vec![false; n];
+        let grid = NeighborGrid::build_active(
+            core.fleet.positions.clone(),
+            cell,
+            &core.fleet.online,
+        );
         Ok(LiveWorld {
             cfg,
             world: core.world,
-            pois: core.pois,
+            table: core.table,
             index: core.index,
             schedule: core.schedule,
             oracle: core.oracle,
             faults: core.faults,
             outage: core.outage,
-            caches: core.caches,
-            sync: core.sync,
-            quarantines: core.quarantines,
-            online: vec![false; n],
-            positions,
+            fleet: core.fleet,
             grid,
             snapshot: Vec::new(),
             epoch: 0,
@@ -120,30 +120,43 @@ impl LiveWorld {
 
     /// Fleet capacity (maximum host id + 1).
     pub fn hosts(&self) -> usize {
-        self.online.len()
+        self.fleet.len()
+    }
+
+    /// The canonical POI table session caches resolve against.
+    pub fn poi_table(&self) -> &PoiTable {
+        &self.table
+    }
+
+    /// Read-only view of the per-session columnar state.
+    pub fn fleet(&self) -> &FleetStore {
+        &self.fleet
     }
 
     /// Whether a session is currently live.
     pub fn is_online(&self, host: usize) -> bool {
-        self.online.get(host).copied().unwrap_or(false)
+        self.fleet.is_online(host)
     }
 
     /// Opens a session for a host that was never online (initial join).
     /// Its sync clock stays at the world's origin — the simulator's
     /// pristine state for hosts online from the start.
     pub fn connect(&mut self, host: usize) {
-        self.online[host] = true;
+        self.fleet.online[host] = true;
     }
 
     /// Reopens a session after a crash: the host comes back cold at
     /// `planned_epoch`'s boundary, channel unheard, owing a resync.
     /// Mirrors the simulator's restart transition exactly.
     pub fn reconnect(&mut self, host: usize, planned_epoch: u64, rec: &mut dyn Recorder) {
-        self.online[host] = true;
-        self.sync[host] = SyncState {
-            last_sync_min: planned_epoch as f64 * self.cfg.epoch_min,
-            needs_resync: true,
-        };
+        self.fleet.online[host] = true;
+        self.fleet.set_sync_state(
+            host,
+            SyncState {
+                last_sync_min: planned_epoch as f64 * self.cfg.epoch_min,
+                needs_resync: true,
+            },
+        );
         self.report.hosts_restarted += 1;
         rec.record(TraceEvent::HostRestarted {
             host: host as u32,
@@ -155,9 +168,9 @@ impl LiveWorld {
     /// state (cache, quarantine memory) is wiped, exactly as the
     /// simulator's crash transition does.
     pub fn disconnect(&mut self, host: usize, planned_epoch: u64, rec: &mut dyn Recorder) {
-        self.online[host] = false;
-        self.caches[host].clear();
-        self.quarantines[host].clear();
+        self.fleet.online[host] = false;
+        self.fleet.caches[host].clear();
+        self.fleet.quarantines[host].clear();
         self.report.hosts_crashed += 1;
         rec.record(TraceEvent::HostCrashed {
             host: host as u32,
@@ -168,7 +181,7 @@ impl LiveWorld {
     /// Records a host's position (kept while offline too, matching the
     /// simulator's always-advancing mobility streams).
     pub fn update_position(&mut self, host: usize, pos: Point) {
-        self.positions[host] = pos;
+        self.fleet.positions[host] = pos;
     }
 
     /// Commits the epoch boundary: rebuilds the neighbor grid over the
@@ -176,8 +189,20 @@ impl LiveWorld {
     /// committed caches peers will see. Must run after this boundary's
     /// churn and position updates, before the epoch's batch.
     pub fn begin_epoch(&mut self, epoch: u64) {
-        self.grid = NeighborGrid::build_active(self.positions.clone(), self.cell, &self.online);
-        self.snapshot = self.caches.clone();
+        self.grid = NeighborGrid::build_active(
+            self.fleet.positions.clone(),
+            self.cell,
+            &self.fleet.online,
+        );
+        // Buffer-reusing refresh: `clone_from` keeps each snapshot
+        // cache's arena allocations across epochs.
+        if self.snapshot.len() == self.fleet.caches.len() {
+            for (s, c) in self.snapshot.iter_mut().zip(&self.fleet.caches) {
+                s.clone_from(c);
+            }
+        } else {
+            self.snapshot = self.fleet.caches.clone();
+        }
         self.epoch = epoch;
     }
 
@@ -221,10 +246,13 @@ impl LiveWorld {
                 items.sort_by_key(|it| it.nonce);
                 LiveTask {
                     host,
-                    cache: std::mem::replace(&mut self.caches[host], HostCache::new(0, self.cfg.policy)),
-                    sync: self.sync[host],
+                    cache: std::mem::replace(
+                        &mut self.fleet.caches[host],
+                        HostCache::new(0, self.cfg.policy),
+                    ),
+                    sync: self.fleet.sync_state(host),
                     quarantine: std::mem::replace(
-                        &mut self.quarantines[host],
+                        &mut self.fleet.quarantines[host],
                         QuarantineLedger::new(QuarantineConfig::default(), 0),
                     ),
                     queries: items,
@@ -235,6 +263,7 @@ impl LiveWorld {
         let ctx = EpochCtx {
             cfg: &self.cfg,
             world: &self.world,
+            table: &self.table,
             index: self.index.as_ref(),
             schedule: &self.schedule,
             oracle: &self.oracle,
@@ -251,9 +280,9 @@ impl LiveWorld {
 
         let mut outcomes = Vec::new();
         for d in done {
-            self.caches[d.host] = d.cache;
-            self.sync[d.host] = d.sync;
-            self.quarantines[d.host] = d.quarantine;
+            self.fleet.caches[d.host] = d.cache;
+            self.fleet.set_sync_state(d.host, d.sync);
+            self.fleet.quarantines[d.host] = d.quarantine;
             self.report.outage_resyncs += d.resyncs;
             outcomes.extend(d.outcomes);
             answers.extend(d.answers);

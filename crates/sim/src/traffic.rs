@@ -50,9 +50,14 @@ pub struct EpochRecord {
     /// The epoch number (epochs with no events are skipped, exactly as
     /// the engine skips them).
     pub epoch: u64,
-    /// Every host's position at the epoch start (offline hosts keep
-    /// their last position; the grid ignores them).
-    pub positions: Vec<Point>,
+    /// Position *deltas* against the previous recorded epoch: `(host,
+    /// new position)` for every host whose position changed. The first
+    /// epoch of a trace carries all hosts; replaying the deltas in
+    /// epoch order reconstructs every epoch's full position vector
+    /// (offline hosts keep their last position; the grid ignores them).
+    /// Recording full vectors instead made trace memory scale with
+    /// `hosts × epochs` — paused or slow hosts now cost nothing.
+    pub moved: Vec<(u32, Point)>,
     /// The online set *after* this epoch's churn applied.
     pub online: Vec<bool>,
     /// Churn transitions at this boundary: `(host, planned_epoch,

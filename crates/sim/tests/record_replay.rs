@@ -56,8 +56,8 @@ fn assert_replay_parity(cfg: SimConfig, threads: usize) {
                 live.disconnect(host as usize, planned_epoch, &mut rec);
             }
         }
-        for (host, &pos) in er.positions.iter().enumerate() {
-            live.update_position(host, pos);
+        for &(host, pos) in &er.moved {
+            live.update_position(host as usize, pos);
         }
         live.begin_epoch(er.epoch);
 

@@ -115,6 +115,22 @@
 
 pub use airshare_broadcast as broadcast;
 pub use airshare_cache as cache;
+
+/// Fleet-scale storage, re-exported flat: the canonical POI table and
+/// its handles, the cache entry arena and its generational handles, the
+/// columnar fleet store, and the resolving cache view.
+///
+/// These are the types behind the million-host engine (DESIGN.md §15):
+/// POI payloads live once in a [`fleet::PoiTable`] and everything else
+/// — caches, peer replies, index backends — refers to them by
+/// [`fleet::PoiId`]; per-host cache entries live in a
+/// [`fleet::EntryArena`] addressed by generational [`fleet::EntryId`]s;
+/// per-host scalars live in [`fleet::FleetStore`] columns.
+pub mod fleet {
+    pub use airshare_broadcast::{Poi, PoiId, PoiTable};
+    pub use airshare_cache::{EntryArena, EntryId, EntryView, HostCacheRef};
+    pub use airshare_sim::FleetStore;
+}
 pub use airshare_core as core;
 pub use airshare_exec as exec;
 pub use airshare_geom as geom;
@@ -130,11 +146,11 @@ pub use airshare_sim as sim;
 pub mod prelude {
     pub use airshare_broadcast::{
         AirIndex, AirIndexBackend, BuildParams, OnAirClient, OutageSchedule, Poi, PoiCategory,
-        RtreeAirIndex, Schedule,
+        PoiId, PoiTable, RtreeAirIndex, Schedule,
     };
     pub use airshare_cache::{
-        CacheContext, HostCache, QuarantineConfig, QuarantineLedger, RegionEntry,
-        ReplacementPolicy,
+        CacheContext, EntryArena, EntryId, EntryView, HostCache, HostCacheRef, QuarantineConfig,
+        QuarantineLedger, RegionEntry, ReplacementPolicy,
     };
     pub use airshare_core::{
         nnv, sbnn, sbnn_rec, sbwq, sbwq_rec, HeapState, MergedRegion, NnCandidate, ResolvedBy,
@@ -155,7 +171,7 @@ pub mod prelude {
         Pacing, QueryRequest, ServeConfig, ServeError, Service, ServiceHandle, ServiceReport,
     };
     pub use airshare_sim::{
-        params, BackendKind, ChurnConfig, QualityStats, QueryAnswer, QueryKind, QuerySpec,
-        SimConfig, SimConfigBuilder, SimReport, Simulation,
+        params, BackendKind, ChurnConfig, FleetStore, QualityStats, QueryAnswer, QueryKind,
+        QuerySpec, SimConfig, SimConfigBuilder, SimReport, Simulation,
     };
 }

@@ -12,6 +12,7 @@ struct World {
     index: AirIndex,
     schedule: Schedule,
     oracle: RTree<u32>,
+    table: PoiTable,
 }
 
 fn build_world(n: usize, side: f64, seed: u64) -> World {
@@ -26,12 +27,14 @@ fn build_world(n: usize, side: f64, seed: u64) -> World {
         })
         .collect();
     let oracle = RTree::bulk_load(pois.iter().map(|p| (p.pos, p.id)).collect());
+    let table = PoiTable::from_pois(pois.iter().copied());
     let index = AirIndex::try_build(pois, Grid::new(world, 6), 8).unwrap();
     let schedule = Schedule::new(index.data_buckets(), index.index_buckets(), 4);
     World {
         index,
         schedule,
         oracle,
+        table,
     }
 }
 
@@ -72,12 +75,14 @@ fn knowledge_flows_from_broadcast_to_peers() {
     let b_pos = a_pos.offset(airshare::geom::meters_to_miles(100.0), 0.0);
     let positions = vec![a_pos, b_pos];
     let caches = vec![cache_a, HostCache::new(50, ReplacementPolicy::default())];
+    // Replies carry PoiId handles; B resolves them against its own
+    // canonical table (the full POI set the world was built on).
     let grid = NeighborGrid::build(positions, 0.5);
-    let (replies, stats) = gather_peer_data(1, b_pos, 0.2, CAT, &grid, &caches);
+    let (replies, stats) = gather_peer_data(1, b_pos, 0.2, CAT, &grid, &caches, &w.table);
     assert_eq!(stats.peers_contacted, 1);
     assert_eq!(replies.len(), 1);
 
-    let mvr = MergedRegion::from_replies(&replies);
+    let mvr = MergedRegion::from_replies(&replies, &w.table);
     assert!(mvr.contains(b_pos), "B sits inside A's verified region");
     let heap = nnv(b_pos, 3, &mvr, 400.0 / 256.0);
     assert!(heap.verified_count() >= 1, "state: {:?}", heap.state());
