@@ -1,30 +1,37 @@
-//! The fleet-scale experiment: one simulation at a million hosts.
+//! The fleet-scale experiment: one simulation at a million hosts,
+//! swept across worker-pool sizes.
 //!
-//! This is the acceptance benchmark for the arena/columnar storage
-//! refactor (DESIGN.md §15). The engine streams epochs straight off the
+//! This is the acceptance benchmark for the fleet-scale epoch pipeline
+//! (DESIGN.md §15–16). The engine streams epochs straight off the
 //! query process — memory is O(hosts + live epoch), never O(events) —
-//! so the only per-host costs are the [`airshare_sim::FleetStore`]
-//! columns, one
-//! mobility stream, and one arena-backed cache. The run reports
-//! throughput in *host-epochs per second* (every host advances, joins
-//! the neighbor grid, and has its cache snapshotted each epoch, whether
-//! or not it queried), peak RSS, and mean per-epoch wall time, and
-//! writes them to `BENCH_million.json`.
+//! and the per-epoch fleet path (churn application, mobility advance,
+//! neighbor-grid refresh) is chunked over the same `ExecPool` the query
+//! shards fan out on. The run reports, per thread count, throughput in
+//! *host-epochs per second* (every host advances, joins the neighbor
+//! grid, and has its cache snapshotted each epoch, whether or not it
+//! queried) plus the engine's per-phase wall-time breakdown
+//! (advance / grid / queries / snapshot-refresh), and writes them to
+//! `BENCH_million.json`.
 //!
 //! Knobs:
 //! - `AIRSHARE_MILLION_HOSTS` — fleet size (default 1,000,000). CI runs
 //!   the 100k smoke with an RSS budget asserted on the JSON.
+//! - `AIRSHARE_MILLION_SWEEP` — comma-separated thread counts
+//!   (default `1,2,4,8`).
 //! - The serial == parallel determinism check runs at
 //!   `min(hosts, 100_000)` so the full-size run doesn't pay for a
-//!   second complete simulation; the million-host run itself still goes
-//!   through `run_parallel`.
+//!   second complete simulation; every sweep run at full size is
+//!   additionally asserted equal to the sweep's first report, so the
+//!   whole sweep doubles as a full-scale cross-thread determinism pin.
 //!
 //! The world keeps LA-City *densities* (Table 3) and grows the area to
 //! fit the fleet, so per-query behavior (neighbors in radio range,
 //! cache hit geometry) matches the paper's regime at any size.
 
 use airshare_exec::ExecPool;
-use airshare_sim::{params, ParamSet, QueryKind, SimConfig, Simulation};
+use airshare_obs::PhaseTimes;
+use airshare_sim::{params, ParamSet, QueryKind, SimConfig, SimReport, Simulation};
+use std::fmt::Write as _;
 use std::time::Instant;
 
 /// LA-City densities stretched to hold `hosts` mobile hosts.
@@ -71,18 +78,43 @@ fn peak_rss_mib() -> f64 {
         .map_or(0.0, |kb| kb / 1024.0)
 }
 
+/// One sweep column: a full run of the same world on `threads` workers.
+struct SweepRun {
+    threads: usize,
+    build_s: f64,
+    wall_s: f64,
+    hosts_per_sec: f64,
+    epoch_ms: f64,
+    phases: PhaseTimes,
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
 fn main() {
     let hosts: usize = std::env::var("AIRSHARE_MILLION_HOSTS")
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(1_000_000);
-    let threads = std::thread::available_parallelism().map_or(4, |n| n.get().min(8));
+    let sweep: Vec<usize> = std::env::var("AIRSHARE_MILLION_SWEEP")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&t| t > 0)
+                .collect()
+        })
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4, 8]);
+    let max_threads = sweep.iter().copied().max().unwrap_or(1);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
-    // Determinism first: the parallel run below is only trustworthy
-    // because serial == parallel holds. Checked at a bounded size so
-    // the full-size run isn't simulated twice.
+    // Determinism first: the sweep below is only trustworthy because
+    // serial == parallel holds. Checked at a bounded size so the
+    // full-size world isn't simulated twice just for the pin.
     let check_hosts = hosts.min(100_000);
-    println!("## exp_million — {hosts} hosts, {threads} threads");
+    println!("## exp_million — {hosts} hosts, sweep {sweep:?}, {cores} cores available");
     println!("determinism check at {check_hosts} hosts ...");
     let t = Instant::now();
     let serial = Simulation::try_new(config(check_hosts, 42))
@@ -90,7 +122,7 @@ fn main() {
         .run();
     let parallel = Simulation::try_new(config(check_hosts, 42))
         .expect("config valid by construction")
-        .run_parallel(&ExecPool::fixed(threads));
+        .run_parallel(&ExecPool::fixed(max_threads));
     assert_eq!(
         parallel, serial,
         "parallel run diverged from sequential at {check_hosts} hosts"
@@ -101,7 +133,6 @@ fn main() {
         t.elapsed().as_secs_f64()
     );
 
-    // The timed run.
     let cfg = config(hosts, 42);
     let epochs = (cfg.total_min() / cfg.epoch_min).ceil() as u64;
     println!(
@@ -111,21 +142,78 @@ fn main() {
         epochs,
         cfg.params.query_rate * cfg.total_min()
     );
-    let t = Instant::now();
-    let mut sim = Simulation::try_new(cfg).expect("config valid by construction");
-    let build_s = t.elapsed().as_secs_f64();
-    let t = Instant::now();
-    let report = sim.run_parallel(&ExecPool::fixed(threads));
-    let wall_s = t.elapsed().as_secs_f64();
-    drop(sim);
 
+    // Warm-up: the first full-size simulation pays every first-touch
+    // page fault for the fleet's ~650 B/host of state (its build alone
+    // runs ~10x slower than later ones, and the allocator keeps the
+    // pages afterwards). One discarded full-size run makes the sweep
+    // entries below measure steady state instead of iteration order.
+    let t = Instant::now();
+    let mut warm = Simulation::try_new(config(hosts, 42)).expect("config valid by construction");
+    let _ = warm.run_parallel(&ExecPool::fixed(1));
+    drop(warm);
+    println!("warm-up run discarded ({:.1}s)", t.elapsed().as_secs_f64());
+
+    // The sweep: the same world, rebuilt and rerun per thread count.
+    // Every report must be byte-identical — the sweep doubles as a
+    // full-scale determinism pin across thread counts.
     let host_epochs = hosts as u64 * epochs;
-    let hosts_per_sec = host_epochs as f64 / wall_s;
-    let epoch_ms = wall_s * 1000.0 / epochs as f64;
+    let mut runs: Vec<SweepRun> = Vec::new();
+    let mut reference: Option<SimReport> = None;
+    for &threads in &sweep {
+        let pool = ExecPool::fixed(threads);
+        let t = Instant::now();
+        let mut sim = Simulation::try_new(config(hosts, 42)).expect("config valid by construction");
+        let build_s = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let report = sim.run_parallel(&pool);
+        let wall_s = t.elapsed().as_secs_f64();
+        let phases = sim.phase_times();
+        drop(sim);
+        match &reference {
+            None => reference = Some(report),
+            Some(first) => assert_eq!(
+                &report, first,
+                "full-size report diverged at {threads} threads"
+            ),
+        }
+        let run = SweepRun {
+            threads,
+            build_s,
+            wall_s,
+            hosts_per_sec: host_epochs as f64 / wall_s,
+            epoch_ms: wall_s * 1000.0 / epochs as f64,
+            phases,
+        };
+        println!(
+            "threads {:>2}: build {:.1}s | run {:.1}s | {:.0} host-epochs/s | {:.0} ms/epoch | \
+             phases advance {:.0}ms grid {:.0}ms queries {:.0}ms snapshot {:.0}ms",
+            run.threads,
+            run.build_s,
+            run.wall_s,
+            run.hosts_per_sec,
+            run.epoch_ms,
+            ms(phases.advance_ns),
+            ms(phases.grid_ns),
+            ms(phases.query_ns),
+            ms(phases.snapshot_ns),
+        );
+        runs.push(run);
+    }
+    let report = reference.expect("sweep is never empty");
     let rss = peak_rss_mib();
+    let base = runs
+        .iter()
+        .find(|r| r.threads == 1)
+        .unwrap_or(&runs[0]);
+    let peak = runs
+        .iter()
+        .max_by(|a, b| a.hosts_per_sec.total_cmp(&b.hosts_per_sec))
+        .expect("sweep is never empty");
+    let speedup = peak.hosts_per_sec / base.hosts_per_sec;
     println!(
-        "build {build_s:.1}s | run {wall_s:.1}s | {hosts_per_sec:.0} host-epochs/s | \
-         {epoch_ms:.0} ms/epoch | peak RSS {rss:.0} MiB"
+        "best {:.0} host-epochs/s at {} threads ({speedup:.2}x vs {} thread(s)) | peak RSS {rss:.0} MiB",
+        peak.hosts_per_sec, peak.threads, base.threads
     );
     println!(
         "queries: {} total ({} by peers, {} approx, {} broadcast)",
@@ -135,16 +223,47 @@ fn main() {
         report.queries.by_broadcast
     );
 
+    let mut sweep_json = String::new();
+    for (i, r) in runs.iter().enumerate() {
+        let sep = if i + 1 < runs.len() { "," } else { "" };
+        let _ = write!(
+            sweep_json,
+            "\n    {{\n      \"threads\": {},\n      \"build_s\": {:.3},\n      \
+             \"wall_s\": {:.3},\n      \"hosts_per_sec\": {:.0},\n      \
+             \"epoch_wall_ms\": {:.2},\n      \"phases_ms\": {{\n        \
+             \"advance\": {:.1},\n        \"grid\": {:.1},\n        \
+             \"queries\": {:.1},\n        \"snapshot\": {:.1}\n      }}\n    }}{sep}",
+            r.threads,
+            r.build_s,
+            r.wall_s,
+            r.hosts_per_sec,
+            r.epoch_ms,
+            ms(r.phases.advance_ns),
+            ms(r.phases.grid_ns),
+            ms(r.phases.query_ns),
+            ms(r.phases.snapshot_ns),
+        );
+    }
     let json = format!(
-        "{{\n  \"meta\": {{\n    \"note\": \"fleet-scale run on LA-City densities; hosts_per_sec \
-         counts host-epochs (every host advances + snapshots each epoch); determinism = serial vs \
-         {threads}-thread parallel report equality\",\n    \"threads\": {threads}\n  }},\n  \
-         \"hosts\": {hosts},\n  \"epochs\": {epochs},\n  \"build_s\": {build_s:.3},\n  \
-         \"wall_s\": {wall_s:.3},\n  \"hosts_per_sec\": {hosts_per_sec:.0},\n  \
-         \"epoch_wall_ms\": {epoch_ms:.2},\n  \"peak_rss_mib\": {rss:.1},\n  \
-         \"queries\": {},\n  \"determinism\": {{\n    \"hosts\": {check_hosts},\n    \
+        "{{\n  \"meta\": {{\n    \"note\": \"fleet-scale sweep on LA-City densities; \
+         hosts_per_sec counts host-epochs (every host advances + snapshots each epoch); every \
+         sweep run's report is asserted byte-identical, and determinism additionally pins serial \
+         vs {max_threads}-thread parallel at the check size\",\n    \
+         \"available_parallelism\": {cores}\n  }},\n  \
+         \"hosts\": {hosts},\n  \"epochs\": {epochs},\n  \"sweep\": [{sweep_json}\n  ],\n  \
+         \"speedup_best_vs_1\": {speedup:.3},\n  \"peak_rss_mib\": {rss:.1},\n  \
+         \"queries\": {},\n  \"report\": {{\n    \"queries_total\": {},\n    \
+         \"by_peers\": {},\n    \"by_approx\": {},\n    \"by_broadcast\": {},\n    \
+         \"hosts_crashed\": {},\n    \"hosts_restarted\": {}\n  }},\n  \
+         \"determinism\": {{\n    \"hosts\": {check_hosts},\n    \
          \"serial_parallel_match\": true\n  }}\n}}\n",
-        report.queries.total
+        report.queries.total,
+        report.queries.total,
+        report.queries.by_peers,
+        report.queries.by_approx,
+        report.queries.by_broadcast,
+        report.hosts_crashed,
+        report.hosts_restarted,
     );
     std::fs::write("BENCH_million.json", &json).expect("write BENCH_million.json");
     println!("wrote BENCH_million.json");

@@ -224,6 +224,34 @@ impl ExecPool {
             .map(|r| r.expect("task produced no result"))
             .collect()
     }
+
+    /// Runs two independent closures, concurrently when the pool has
+    /// more than one worker, and returns both results. The idiom for
+    /// build-time work with exactly two coarse halves (e.g. the air
+    /// index and the validation oracle), where `map`'s per-task
+    /// machinery would be overhead.
+    ///
+    /// # Panics
+    /// Propagates a panic from either closure.
+    pub fn join<RA, RB>(
+        &self,
+        a: impl FnOnce() -> RA + Send,
+        b: impl FnOnce() -> RB + Send,
+    ) -> (RA, RB)
+    where
+        RA: Send,
+        RB: Send,
+    {
+        if self.threads <= 1 {
+            return (a(), b());
+        }
+        crossbeam::scope(|s| {
+            let hb = s.spawn(|_| b());
+            let ra = a();
+            (ra, hb.join().expect("exec join worker panicked"))
+        })
+        .expect("exec scope failed")
+    }
 }
 
 impl Default for ExecPool {
@@ -337,6 +365,28 @@ mod tests {
         assert!(out.is_empty());
         let out: Vec<u32> = pool.map_with(&mut [], Vec::<u32>::new(), |(), _, t| t);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = ExecPool::fixed(4).join(|| 6 * 7, || "ok".to_string());
+        assert_eq!(a, 42);
+        assert_eq!(b, "ok");
+        // Sequential pools run both inline.
+        let (a, b) = ExecPool::sequential().join(|| vec![1, 2], || 9u8);
+        assert_eq!(a, vec![1, 2]);
+        assert_eq!(b, 9);
+    }
+
+    #[test]
+    fn join_can_borrow_local_state() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let (sum, max) = ExecPool::fixed(2).join(
+            || xs.iter().sum::<u64>(),
+            || xs.iter().copied().max().unwrap_or(0),
+        );
+        assert_eq!(sum, 499_500);
+        assert_eq!(max, 999);
     }
 
     #[test]

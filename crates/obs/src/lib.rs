@@ -38,5 +38,6 @@ pub mod stats;
 pub use event::{AnswerQuality, CacheRejectReason, ResolutionKind, TraceEvent};
 pub use recorder::{JsonlTraceRecorder, MetricsRecorder, MetricsSnapshot, NoopRecorder, Recorder};
 pub use stats::{
-    AccessStats, Counter, FaultStats, Histogram, LatencySummary, PercentileSummary, ShareStats,
+    AccessStats, Counter, FaultStats, Histogram, LatencySummary, PercentileSummary, PhaseTimes,
+    ShareStats,
 };

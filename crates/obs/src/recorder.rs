@@ -1,7 +1,7 @@
 //! The `Recorder` sink trait and the concrete recorders.
 
 use crate::event::{AnswerQuality, ResolutionKind, TraceEvent};
-use crate::stats::{Counter, Histogram, PercentileSummary};
+use crate::stats::{Counter, Histogram, PercentileSummary, PhaseTimes};
 use std::fmt::Write as _;
 
 /// A sink for trace events emitted along a query's resolution path.
@@ -104,6 +104,11 @@ pub struct MetricsSnapshot {
     /// The full access-latency histogram behind
     /// [`MetricsSnapshot::latency`].
     pub latency_hist: Histogram,
+    /// Wall-clock breakdown of the engine's epoch loop, filled in by
+    /// the driving runtime (not by trace events). Compares equal
+    /// regardless of values — timing is measurement, not simulation
+    /// output — so determinism checks over snapshots stay valid.
+    pub phases: PhaseTimes,
 }
 
 impl MetricsSnapshot {
@@ -149,6 +154,7 @@ impl MetricsSnapshot {
         self.latency_hist.merge(&other.latency_hist);
         self.tuning = self.tuning_hist.percentiles();
         self.latency = self.latency_hist.percentiles();
+        self.phases.merge(other.phases);
     }
 }
 
@@ -233,6 +239,7 @@ impl MetricsRecorder {
             latency: self.latency.percentiles(),
             tuning_hist: self.tuning.clone(),
             latency_hist: self.latency.clone(),
+            phases: PhaseTimes::default(),
         }
     }
 

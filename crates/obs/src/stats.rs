@@ -104,6 +104,57 @@ impl FaultStats {
     }
 }
 
+/// Wall-clock time spent in each phase of the engine's epoch loop,
+/// in nanoseconds, summed across epochs.
+///
+/// Phase attribution follows the loop's structure: `advance` is churn
+/// application plus per-host mobility stepping, `grid` is the neighbor
+/// grid refresh, `snapshot` is the committed-cache snapshot rebuild,
+/// and `query` is query sharding, execution, and the barrier commit.
+///
+/// These are *measurements of* the run, not *outputs of* the
+/// simulation: two bit-identical runs will record different wall
+/// times. `PartialEq` therefore always returns `true`, so snapshots
+/// that differ only in timing still compare equal — the determinism
+/// suites compare whole [`crate::MetricsSnapshot`]s across thread
+/// counts, and wall-clock jitter must not fail them.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimes {
+    /// Churn application + mobility advance, in nanoseconds.
+    pub advance_ns: u64,
+    /// Neighbor-grid refresh, in nanoseconds.
+    pub grid_ns: u64,
+    /// Query sharding, execution, and barrier commit, in nanoseconds.
+    pub query_ns: u64,
+    /// Committed-cache snapshot refresh, in nanoseconds.
+    pub snapshot_ns: u64,
+}
+
+impl PhaseTimes {
+    /// Component-wise sum (for aggregating epochs or merging shards).
+    pub fn merge(&mut self, other: PhaseTimes) {
+        self.advance_ns += other.advance_ns;
+        self.grid_ns += other.grid_ns;
+        self.query_ns += other.query_ns;
+        self.snapshot_ns += other.snapshot_ns;
+    }
+
+    /// Total time across all phases, in nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.advance_ns + self.grid_ns + self.query_ns + self.snapshot_ns
+    }
+}
+
+impl PartialEq for PhaseTimes {
+    /// Always `true`: wall-clock timing is not simulation output, and
+    /// must never make two otherwise-identical snapshots unequal.
+    fn eq(&self, _other: &PhaseTimes) -> bool {
+        true
+    }
+}
+
+impl Eq for PhaseTimes {}
+
 /// A monotonically increasing event count.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Counter(u64);
@@ -535,6 +586,29 @@ mod tests {
         assert_eq!(m.retries, 1);
         assert!(!a.is_degraded());
         assert!(m.is_degraded());
+    }
+
+    #[test]
+    fn phase_times_merge_and_compare_equal() {
+        let mut a = PhaseTimes {
+            advance_ns: 10,
+            grid_ns: 20,
+            query_ns: 30,
+            snapshot_ns: 40,
+        };
+        let b = PhaseTimes {
+            advance_ns: 1,
+            grid_ns: 2,
+            query_ns: 3,
+            snapshot_ns: 4,
+        };
+        a.merge(b);
+        assert_eq!(a.advance_ns, 11);
+        assert_eq!(a.snapshot_ns, 44);
+        assert_eq!(a.total_ns(), 110);
+        // Timing never breaks equality: determinism suites compare
+        // snapshots across runs with different wall clocks.
+        assert_eq!(a, PhaseTimes::default());
     }
 
     #[test]

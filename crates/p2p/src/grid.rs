@@ -1,18 +1,174 @@
-//! Uniform-grid neighbor discovery.
+//! Uniform-grid neighbor discovery with incremental maintenance.
+//!
+//! The grid survives across epochs: [`NeighborGrid::refresh_active`]
+//! re-bins only the hosts whose cell (or online flag) changed since the
+//! last refresh, against retained buffers — no per-epoch clone of the
+//! position column and no from-scratch rebuild. Member lists are kept
+//! sorted by host id, which makes an incrementally-maintained grid
+//! *enumerate neighbors in exactly the order* a full
+//! [`NeighborGrid::build_active`] would: the full rebuild inserts hosts
+//! in increasing id order, so per-cell lists come out id-sorted either
+//! way. That ordering invariant is what keeps the simulator's reports
+//! bit-identical whichever maintenance path produced the grid (the
+//! debug-assert oracle in `refresh_active` checks it on every refresh).
 
-use airshare_geom::Point;
+use airshare_geom::{Point, Rect};
 use std::collections::HashMap;
+
+/// Sentinel cell for hosts that are not indexed (offline, or not yet
+/// refreshed in).
+const NOT_INDEXED: (i64, i64) = (i64::MIN, i64::MIN);
+
+/// Dense storage is used while the extent stays under this many cells
+/// per host (with a floor for small fleets); past it the grid falls
+/// back to a sparse hash map, trading lookup speed for bounded memory.
+fn dense_cell_cap(hosts: usize) -> i128 {
+    (8 * hosts.max(8_192)) as i128
+}
 
 /// A spatial hash over host positions.
 ///
 /// Cells are squares of side `cell`; a radius-`r` disk query inspects the
 /// `⌈r/cell⌉`-ring of cells around the query point. Pick `cell` equal to
 /// the maximum transmission range for O(occupants) queries.
+///
+/// Per-cell member lists are stored in a *counting-sort/bucket* layout:
+/// a dense `Vec` of cells spanning the world's extent (direct indexing,
+/// no hashing on the hot path), with id-sorted members per cell. Inputs
+/// whose extent would need an unreasonable number of cells fall back to
+/// a sparse `HashMap` with identical semantics.
 #[derive(Clone, Debug)]
 pub struct NeighborGrid {
     cell: f64,
-    buckets: HashMap<(i64, i64), Vec<usize>>,
     positions: Vec<Point>,
+    /// Each host's current cell, or [`NOT_INDEXED`]. This is the delta
+    /// detector: a refresh re-bins host `i` iff its recomputed cell
+    /// differs from `cell_of[i]`.
+    cell_of: Vec<(i64, i64)>,
+    store: BucketStore,
+}
+
+/// The per-cell member lists behind the grid.
+#[derive(Clone, Debug)]
+enum BucketStore {
+    /// Cells spanning `[base, base + (nx, ny))`, row-major. Lists keep
+    /// their allocations across refreshes.
+    Dense {
+        base: (i64, i64),
+        nx: i64,
+        ny: i64,
+        cells: Vec<Vec<u32>>,
+    },
+    /// Unbounded-extent fallback; stale empty lists are retained so
+    /// their allocations get reused.
+    Sparse(HashMap<(i64, i64), Vec<u32>>),
+}
+
+impl BucketStore {
+    /// An empty store sized for keys in `[min, max]` (inclusive), dense
+    /// when the extent fits the cap for `hosts`.
+    fn with_extent(min: (i64, i64), max: (i64, i64), hosts: usize) -> Self {
+        if min.0 > max.0 || min.1 > max.1 {
+            // No indexed hosts: a zero-extent dense store; any later
+            // insert grows it.
+            return BucketStore::Dense {
+                base: (0, 0),
+                nx: 0,
+                ny: 0,
+                cells: Vec::new(),
+            };
+        }
+        let nx = (max.0 as i128 - min.0 as i128) + 1;
+        let ny = (max.1 as i128 - min.1 as i128) + 1;
+        if nx * ny <= dense_cell_cap(hosts) {
+            let total = (nx * ny) as usize;
+            BucketStore::Dense {
+                base: min,
+                nx: nx as i64,
+                ny: ny as i64,
+                cells: (0..total).map(|_| Vec::new()).collect(),
+            }
+        } else {
+            BucketStore::Sparse(HashMap::new())
+        }
+    }
+
+    /// Whether `key` can be stored without growing the extent.
+    fn in_range(&self, key: (i64, i64)) -> bool {
+        match self {
+            BucketStore::Dense { base, nx, ny, .. } => {
+                let dx = key.0 as i128 - base.0 as i128;
+                let dy = key.1 as i128 - base.1 as i128;
+                dx >= 0 && dx < *nx as i128 && dy >= 0 && dy < *ny as i128
+            }
+            BucketStore::Sparse(_) => true,
+        }
+    }
+
+    /// Members of `key`'s cell, id-sorted; empty when out of range.
+    fn get(&self, key: (i64, i64)) -> &[u32] {
+        match self {
+            BucketStore::Dense { base, nx, ny, cells } => {
+                let dx = key.0 as i128 - base.0 as i128;
+                let dy = key.1 as i128 - base.1 as i128;
+                if dx >= 0 && dx < *nx as i128 && dy >= 0 && dy < *ny as i128 {
+                    &cells[(dy * *nx as i128 + dx) as usize]
+                } else {
+                    &[]
+                }
+            }
+            BucketStore::Sparse(map) => map.get(&key).map_or(&[], Vec::as_slice),
+        }
+    }
+
+    /// The cell behind `key`, which must be in range.
+    fn cell_mut(&mut self, key: (i64, i64)) -> &mut Vec<u32> {
+        match self {
+            BucketStore::Dense { base, nx, cells, .. } => {
+                let dx = key.0 - base.0;
+                let dy = key.1 - base.1;
+                &mut cells[(dy * *nx + dx) as usize]
+            }
+            BucketStore::Sparse(map) => map.entry(key).or_default(),
+        }
+    }
+
+    /// Inserts `host` into `key`'s cell, keeping the list id-sorted.
+    /// The key must be in range.
+    fn insert(&mut self, key: (i64, i64), host: u32) {
+        let v = self.cell_mut(key);
+        match v.binary_search(&host) {
+            Ok(_) => {}
+            Err(at) => v.insert(at, host),
+        }
+    }
+
+    /// Appends `host` to `key`'s cell. Only valid when hosts are pushed
+    /// in increasing id order (the full-rebuild path), which keeps the
+    /// list sorted without a search.
+    fn push_ascending(&mut self, key: (i64, i64), host: u32) {
+        let v = self.cell_mut(key);
+        debug_assert!(v.last().is_none_or(|&last| last < host));
+        v.push(host);
+    }
+
+    /// Removes `host` from `key`'s cell (a no-op if absent).
+    fn remove(&mut self, key: (i64, i64), host: u32) {
+        if !self.in_range(key) {
+            return;
+        }
+        let v = self.cell_mut(key);
+        if let Ok(at) = v.binary_search(&host) {
+            v.remove(at);
+        }
+    }
+
+    /// Empties `key`'s cell, keeping its allocation.
+    fn clear_cell(&mut self, key: (i64, i64)) {
+        if self.in_range(key) {
+            self.cell_mut(key).clear();
+        }
+    }
 }
 
 impl NeighborGrid {
@@ -33,16 +189,46 @@ impl NeighborGrid {
 
     fn build_filtered(positions: Vec<Point>, cell: f64, keep: impl Fn(usize) -> bool) -> Self {
         assert!(cell > 0.0 && cell.is_finite(), "cell size must be positive");
-        let mut buckets: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+        assert!(positions.len() < u32::MAX as usize, "host ids must fit u32");
+        let n = positions.len();
+        let mut min = (i64::MAX, i64::MAX);
+        let mut max = (i64::MIN, i64::MIN);
+        let mut cell_of = vec![NOT_INDEXED; n];
         for (i, p) in positions.iter().enumerate() {
             if keep(i) {
-                buckets.entry(Self::key(*p, cell)).or_default().push(i);
+                let k = Self::key(*p, cell);
+                min = (min.0.min(k.0), min.1.min(k.1));
+                max = (max.0.max(k.0), max.1.max(k.1));
+                cell_of[i] = k;
+            }
+        }
+        let mut store = BucketStore::with_extent(min, max, n);
+        for (i, &k) in cell_of.iter().enumerate() {
+            if k != NOT_INDEXED {
+                store.push_ascending(k, i as u32);
             }
         }
         Self {
             cell,
-            buckets,
             positions,
+            cell_of,
+            store,
+        }
+    }
+
+    /// An empty grid pre-sized to `bounds` so refreshes of a
+    /// `hosts`-sized fleet whose positions stay inside `bounds` never
+    /// reallocate the cell array. The first
+    /// [`NeighborGrid::refresh_active`] populates it.
+    pub fn with_bounds(bounds: &Rect, cell: f64, hosts: usize) -> Self {
+        assert!(cell > 0.0 && cell.is_finite(), "cell size must be positive");
+        let min = Self::key(Point::new(bounds.x1, bounds.y1), cell);
+        let max = Self::key(Point::new(bounds.x2, bounds.y2), cell);
+        Self {
+            cell,
+            positions: Vec::new(),
+            cell_of: Vec::new(),
+            store: BucketStore::with_extent(min, max, hosts),
         }
     }
 
@@ -65,6 +251,128 @@ impl NeighborGrid {
         self.positions[i]
     }
 
+    /// Brings the grid up to date with the fleet's current positions and
+    /// online flags, re-binning only hosts whose cell or online state
+    /// changed since the last refresh — the steady-state maintenance
+    /// path of the epoch loop. Positions are copied into the grid's
+    /// retained buffer (no allocation once sized); the result is
+    /// *identical* — same members, same per-cell id order, hence the
+    /// same [`NeighborGrid::neighbors_within`] output order — to a
+    /// from-scratch [`NeighborGrid::build_active`] over the same input,
+    /// which `debug_assert!`s verify on every refresh.
+    pub fn refresh_active(&mut self, positions: &[Point], online: &[bool]) {
+        assert_eq!(positions.len(), online.len(), "one flag per host");
+        assert!(positions.len() < u32::MAX as usize, "host ids must fit u32");
+        if self.positions.len() != positions.len() {
+            // Fleet size changed (first refresh, usually): evict
+            // everything and start over at the new size.
+            for i in 0..self.cell_of.len() {
+                let k = self.cell_of[i];
+                if k != NOT_INDEXED {
+                    self.store.clear_cell(k);
+                }
+            }
+            self.positions.clear();
+            self.positions.extend_from_slice(positions);
+            self.cell_of.clear();
+            self.cell_of.resize(positions.len(), NOT_INDEXED);
+            self.rebin_all(online);
+        } else {
+            self.positions.copy_from_slice(positions);
+            // A host drifting past the pre-sized extent forces a grown
+            // rebuild; world-clamped mobility never does.
+            let grow = online.iter().enumerate().any(|(i, &on)| {
+                on && !self.store.in_range(Self::key(self.positions[i], self.cell))
+            });
+            if grow {
+                for k in self.cell_of.iter_mut() {
+                    if *k != NOT_INDEXED {
+                        self.store.clear_cell(*k);
+                    }
+                    *k = NOT_INDEXED;
+                }
+                self.rebin_all(online);
+            } else {
+                for (i, &on) in online.iter().enumerate() {
+                    let new_key = if on {
+                        Self::key(self.positions[i], self.cell)
+                    } else {
+                        NOT_INDEXED
+                    };
+                    let old_key = self.cell_of[i];
+                    if old_key == new_key {
+                        continue;
+                    }
+                    if old_key != NOT_INDEXED {
+                        self.store.remove(old_key, i as u32);
+                    }
+                    if new_key != NOT_INDEXED {
+                        self.store.insert(new_key, i as u32);
+                    }
+                    self.cell_of[i] = new_key;
+                }
+            }
+        }
+        // Full-rebuild oracle: in debug builds, every refresh is checked
+        // against a from-scratch build over the same input.
+        debug_assert!(self.matches_full_rebuild(online));
+    }
+
+    /// Re-bins every online host from scratch into a store sized to the
+    /// current positions. `cell_of` must be all-[`NOT_INDEXED`] and the
+    /// store's occupied cells already cleared.
+    fn rebin_all(&mut self, online: &[bool]) {
+        let mut min = (i64::MAX, i64::MAX);
+        let mut max = (i64::MIN, i64::MIN);
+        for (i, p) in self.positions.iter().enumerate() {
+            if online[i] {
+                let k = Self::key(*p, self.cell);
+                min = (min.0.min(k.0), min.1.min(k.1));
+                max = (max.0.max(k.0), max.1.max(k.1));
+                self.cell_of[i] = k;
+            }
+        }
+        if !self
+            .cell_of
+            .iter()
+            .all(|&k| k == NOT_INDEXED || self.store.in_range(k))
+        {
+            self.store = BucketStore::with_extent(min, max, self.positions.len());
+        }
+        for (i, &k) in self.cell_of.iter().enumerate() {
+            if k != NOT_INDEXED {
+                self.store.push_ascending(k, i as u32);
+            }
+        }
+    }
+
+    /// Whether this grid is member-for-member identical (same cells,
+    /// same id order) to a fresh [`NeighborGrid::build_active`] over its
+    /// current positions. The incremental paths `debug_assert!` this.
+    fn matches_full_rebuild(&self, online: &[bool]) -> bool {
+        let fresh = Self::build_active(self.positions.clone(), self.cell, online);
+        let mut indexed = 0usize;
+        for (i, &k) in fresh.cell_of.iter().enumerate() {
+            if self.cell_of[i] != k {
+                return false;
+            }
+            if k != NOT_INDEXED {
+                indexed += 1;
+                if self.store.get(k) != fresh.store.get(k) {
+                    return false;
+                }
+            }
+        }
+        // No phantom members: every indexed host was visited above, so
+        // matching list contents plus a matching total rules out strays.
+        let total: usize = self
+            .cell_of
+            .iter()
+            .filter(|&&k| k != NOT_INDEXED)
+            .count();
+        total == indexed
+    }
+
     /// Host ids within Euclidean distance `range` of `center`, excluding
     /// `exclude` (the querying host itself). Order is unspecified.
     pub fn neighbors_within(
@@ -79,11 +387,10 @@ impl NeighborGrid {
         let (cx, cy) = Self::key(center, self.cell);
         for dx in -reach..=reach {
             for dy in -reach..=reach {
-                if let Some(ids) = self.buckets.get(&(cx + dx, cy + dy)) {
-                    for &i in ids {
-                        if Some(i) != exclude && self.positions[i].distance_sq(center) <= r_sq {
-                            out.push(i);
-                        }
+                for &i in self.store.get((cx.saturating_add(dx), cy.saturating_add(dy))) {
+                    let i = i as usize;
+                    if Some(i) != exclude && self.positions[i].distance_sq(center) <= r_sq {
+                        out.push(i);
                     }
                 }
             }
@@ -93,21 +400,54 @@ impl NeighborGrid {
 
     /// Moves one host to a new position (rebuilding its bucket links).
     pub fn update_position(&mut self, i: usize, new_pos: Point) {
-        let old_key = Self::key(self.positions[i], self.cell);
         let new_key = Self::key(new_pos, self.cell);
         self.positions[i] = new_pos;
+        let old_key = self.cell_of[i];
         if old_key == new_key {
             return;
         }
-        if let Some(v) = self.buckets.get_mut(&old_key) {
-            if let Some(pos) = v.iter().position(|&x| x == i) {
-                v.swap_remove(pos);
-            }
-            if v.is_empty() {
-                self.buckets.remove(&old_key);
-            }
+        if old_key != NOT_INDEXED {
+            self.store.remove(old_key, i as u32);
         }
-        self.buckets.entry(new_key).or_default().push(i);
+        if !self.store.in_range(new_key) {
+            self.grow_to(new_key);
+        }
+        self.store.insert(new_key, i as u32);
+        self.cell_of[i] = new_key;
+    }
+
+    /// Expands a dense store's extent to cover `key` (or degrades to
+    /// sparse past the cell cap), preserving every member list.
+    fn grow_to(&mut self, key: (i64, i64)) {
+        let BucketStore::Dense { base, nx, ny, cells } = &mut self.store else {
+            return;
+        };
+        let (min, max) = if *nx == 0 || *ny == 0 {
+            (key, key)
+        } else {
+            (
+                (base.0.min(key.0), base.1.min(key.1)),
+                (
+                    (base.0 + *nx - 1).max(key.0),
+                    (base.1 + *ny - 1).max(key.1),
+                ),
+            )
+        };
+        let old_cells = std::mem::take(cells);
+        let (old_base, old_nx, old_ny) = (*base, *nx, *ny);
+        let mut grown = BucketStore::with_extent(min, max, self.positions.len());
+        for (idx, members) in old_cells.into_iter().enumerate() {
+            if members.is_empty() {
+                continue;
+            }
+            let k = (
+                old_base.0 + (idx as i64 % old_nx.max(1)),
+                old_base.1 + (idx as i64 / old_nx.max(1)),
+            );
+            debug_assert!(idx as i64 / old_nx.max(1) < old_ny);
+            *grown.cell_mut(k) = members;
+        }
+        self.store = grown;
     }
 }
 
@@ -176,6 +516,18 @@ mod tests {
     }
 
     #[test]
+    fn update_position_can_leave_the_built_extent() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(3.0, 3.0)];
+        let mut g = NeighborGrid::build(pts, 1.0);
+        g.update_position(0, Point::new(-50.0, 120.0));
+        assert_eq!(
+            g.neighbors_within(Point::new(-50.0, 120.0), 0.5, None),
+            vec![0]
+        );
+        assert_eq!(g.neighbors_within(Point::new(3.0, 3.0), 0.5, None), vec![1]);
+    }
+
+    #[test]
     fn negative_coordinates_hash_correctly() {
         let pts = vec![Point::new(-0.5, -0.5), Point::new(0.5, 0.5)];
         let g = NeighborGrid::build(pts, 1.0);
@@ -210,5 +562,74 @@ mod tests {
         let g = NeighborGrid::build(Vec::new(), 1.0);
         assert!(g.is_empty());
         assert!(g.neighbors_within(Point::ORIGIN, 10.0, None).is_empty());
+    }
+
+    #[test]
+    fn refresh_matches_fresh_build() {
+        let mut pts = scatter(200);
+        let mut online = vec![true; 200];
+        let world = Rect::from_coords(0.0, 0.0, 10.0, 10.0);
+        let mut g = NeighborGrid::with_bounds(&world, 1.0, 200);
+        let mut state = 77u64;
+        let mut rng = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 16
+        };
+        for round in 0..12 {
+            // Drift some hosts, toggle some flags.
+            for _ in 0..40 {
+                let i = (rng() as usize) % pts.len();
+                pts[i] = Point::new((rng() % 10_000) as f64 / 1000.0, (rng() % 10_000) as f64 / 1000.0);
+            }
+            for _ in 0..10 {
+                let i = (rng() as usize) % online.len();
+                online[i] = !online[i];
+            }
+            g.refresh_active(&pts, &online);
+            let fresh = NeighborGrid::build_active(pts.clone(), 1.0, &online);
+            for probe in 0..20 {
+                let c = Point::new(
+                    (probe % 5) as f64 * 2.0 + 0.5,
+                    (probe / 5) as f64 * 2.0 + 0.5,
+                );
+                assert_eq!(
+                    g.neighbors_within(c, 1.5, Some(probe)),
+                    fresh.neighbors_within(c, 1.5, Some(probe)),
+                    "round {round}, probe {probe}: incremental grid diverged \
+                     from full rebuild (order included)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn refresh_grows_past_the_declared_bounds() {
+        let world = Rect::from_coords(0.0, 0.0, 4.0, 4.0);
+        let mut g = NeighborGrid::with_bounds(&world, 1.0, 3);
+        let pts = vec![Point::new(1.0, 1.0), Point::new(3.0, 3.0), Point::new(2.0, 2.0)];
+        g.refresh_active(&pts, &[true, true, true]);
+        // One host escapes the declared world; the grid must follow it.
+        let pts2 = vec![Point::new(1.0, 1.0), Point::new(90.0, -6.0), Point::new(2.0, 2.0)];
+        g.refresh_active(&pts2, &[true, true, true]);
+        assert_eq!(g.neighbors_within(Point::new(90.0, -6.0), 0.5, None), vec![1]);
+        assert_eq!(g.neighbors_within(Point::new(1.0, 1.0), 0.5, None), vec![0]);
+    }
+
+    #[test]
+    fn huge_extent_falls_back_to_sparse_storage() {
+        // Two points ~1e9 cells apart: a dense array would be absurd;
+        // the sparse fallback must answer identically.
+        let pts = vec![Point::new(0.0, 0.0), Point::new(1e9, 1e9)];
+        let g = NeighborGrid::build(pts, 1.0);
+        assert!(matches!(g.store, BucketStore::Sparse(_)));
+        assert_eq!(g.neighbors_within(Point::new(0.1, 0.1), 1.0, None), vec![0]);
+        assert_eq!(g.neighbors_within(Point::new(1e9, 1e9), 1.0, None), vec![1]);
+    }
+
+    #[test]
+    fn dense_layout_is_used_for_world_sized_extents() {
+        let pts = scatter(500);
+        let g = NeighborGrid::build(pts, 1.0);
+        assert!(matches!(g.store, BucketStore::Dense { .. }));
     }
 }

@@ -1,0 +1,158 @@
+//! Property tests: incremental neighbor-grid maintenance must be
+//! result-identical — members, *and enumeration order* — to a full
+//! `build_active` rebuild, across arbitrary churn/mobility sequences.
+//!
+//! Order matters as much as membership: the simulator's reply streams
+//! (and therefore its reports) depend on the order `neighbors_within`
+//! returns hosts in, so the incremental grid must reproduce the full
+//! rebuild's output byte for byte, not just set-for-set.
+
+use airshare_geom::{Point, Rect};
+use airshare_p2p::NeighborGrid;
+use proptest::prelude::*;
+
+/// One boundary's worth of fleet change.
+#[derive(Clone, Debug)]
+struct EpochDelta {
+    /// (host, new position) mobility steps.
+    moves: Vec<(usize, f64, f64)>,
+    /// Hosts whose online flag flips (crash or restart).
+    flips: Vec<usize>,
+}
+
+fn delta_strategy(hosts: usize) -> impl Strategy<Value = EpochDelta> {
+    (
+        prop::collection::vec(
+            (0..hosts, -2.0f64..12.0, -2.0f64..12.0),
+            0..hosts.max(1),
+        ),
+        prop::collection::vec(0..hosts, 0..hosts.max(1)),
+    )
+        .prop_map(|(moves, flips)| EpochDelta { moves, flips })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Drive a retained grid through random churn + mobility epochs and
+    /// compare every refresh against a from-scratch rebuild, probing
+    /// neighbor queries whose result order must match exactly.
+    #[test]
+    fn refresh_active_is_identical_to_full_rebuild(
+        hosts in 1usize..40,
+        seed_pts in prop::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..40),
+        epochs in prop::collection::vec(delta_strategy(40), 1..12),
+        cell in 0.25f64..3.0,
+    ) {
+        let n = hosts.min(seed_pts.len());
+        let mut positions: Vec<Point> = seed_pts[..n]
+            .iter()
+            .map(|&(x, y)| Point::new(x, y))
+            .collect();
+        let mut online = vec![true; n];
+        // Pre-sized to the nominal world; some moves deliberately land
+        // outside it to exercise the grow path.
+        let world = Rect::from_coords(0.0, 0.0, 10.0, 10.0);
+        let mut grid = NeighborGrid::with_bounds(&world, cell, n);
+
+        for (e, delta) in epochs.iter().enumerate() {
+            for &(h, x, y) in &delta.moves {
+                if h < n {
+                    positions[h] = Point::new(x, y);
+                }
+            }
+            for &h in &delta.flips {
+                if h < n {
+                    online[h] = !online[h];
+                }
+            }
+            grid.refresh_active(&positions, &online);
+            let fresh = NeighborGrid::build_active(positions.clone(), cell, &online);
+
+            // Probe from every host's position plus fixed grid points.
+            for (h, &p) in positions.iter().enumerate() {
+                for range in [cell * 0.6, cell * 1.4, cell * 3.0] {
+                    prop_assert_eq!(
+                        grid.neighbors_within(p, range, Some(h)),
+                        fresh.neighbors_within(p, range, Some(h)),
+                        "epoch {} host {} range {}: incremental != rebuild",
+                        e, h, range
+                    );
+                }
+            }
+            for gx in 0..4 {
+                for gy in 0..4 {
+                    let c = Point::new(gx as f64 * 3.0, gy as f64 * 3.0);
+                    prop_assert_eq!(
+                        grid.neighbors_within(c, cell * 2.0, None),
+                        fresh.neighbors_within(c, cell * 2.0, None),
+                        "epoch {} probe ({},{}): incremental != rebuild",
+                        e, gx, gy
+                    );
+                }
+            }
+            for (h, &p) in positions.iter().enumerate() {
+                prop_assert_eq!(grid.position(h), p);
+            }
+        }
+    }
+
+    /// A grid that starts empty (every host offline, the LiveWorld
+    /// case) and admits hosts one boundary at a time stays identical to
+    /// full rebuilds throughout.
+    #[test]
+    fn staged_admission_matches_rebuild(
+        pts in prop::collection::vec((0.0f64..8.0, 0.0f64..8.0), 1..30),
+        order in prop::collection::vec(0usize..30, 1..60),
+    ) {
+        let n = pts.len();
+        let positions: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let mut online = vec![false; n];
+        let world = Rect::from_coords(0.0, 0.0, 8.0, 8.0);
+        let mut grid = NeighborGrid::with_bounds(&world, 1.0, n);
+        grid.refresh_active(&positions, &online);
+        prop_assert!(grid.neighbors_within(Point::new(4.0, 4.0), 10.0, None).is_empty());
+
+        for &h in &order {
+            if h < n {
+                online[h] = true;
+            }
+            grid.refresh_active(&positions, &online);
+            let fresh = NeighborGrid::build_active(positions.clone(), 1.0, &online);
+            prop_assert_eq!(
+                grid.neighbors_within(Point::new(4.0, 4.0), 10.0, None),
+                fresh.neighbors_within(Point::new(4.0, 4.0), 10.0, None)
+            );
+        }
+    }
+}
+
+/// `update_position` composes with `refresh_active`: a mid-epoch manual
+/// move followed by a boundary refresh converges to the rebuilt state.
+#[test]
+fn manual_moves_then_refresh_converge() {
+    let mut positions = vec![
+        Point::new(1.0, 1.0),
+        Point::new(2.0, 2.0),
+        Point::new(3.0, 3.0),
+    ];
+    let online = vec![true, true, true];
+    let world = Rect::from_coords(0.0, 0.0, 4.0, 4.0);
+    let mut grid = NeighborGrid::with_bounds(&world, 1.0, 3);
+    grid.refresh_active(&positions, &online);
+
+    grid.update_position(0, Point::new(3.1, 3.1));
+    assert!(grid
+        .neighbors_within(Point::new(3.0, 3.0), 0.5, None)
+        .contains(&0));
+
+    positions[0] = Point::new(0.2, 0.2);
+    grid.refresh_active(&positions, &online);
+    let fresh = NeighborGrid::build_active(positions.clone(), 1.0, &online);
+    for probe in &positions {
+        assert_eq!(
+            grid.neighbors_within(*probe, 2.0, None),
+            fresh.neighbors_within(*probe, 2.0, None)
+        );
+    }
+}

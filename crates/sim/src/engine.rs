@@ -27,13 +27,15 @@ use airshare_mobility::{
     GridRoadWaypoint, Mobility, MobilityConfig, QueryEvent, QueryScheduler, RandomWaypoint,
 };
 use airshare_obs::{
-    AccessStats, AnswerQuality, MetricsRecorder, NoopRecorder, Recorder, ShareStats, TraceEvent,
+    AccessStats, AnswerQuality, MetricsRecorder, NoopRecorder, PhaseTimes, Recorder, ShareStats,
+    TraceEvent,
 };
 use airshare_p2p::{NeighborGrid, ShareFaults};
 use airshare_rtree::RTree;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 /// The single POI category the paper's experiments use (gas stations).
 const CAT: PoiCategory = PoiCategory::GAS_STATION;
@@ -293,6 +295,10 @@ pub struct Simulation {
     churn_cursor: usize,
     /// Base-station silence windows over epoch numbers.
     outage: OutageSchedule,
+    /// Wall-clock phase breakdown of the most recent run (advance /
+    /// grid / query / snapshot). Measurement only — never part of the
+    /// simulation's output.
+    phases: PhaseTimes,
 }
 
 impl Simulation {
@@ -307,8 +313,11 @@ impl Simulation {
         let mut mobility_cfg = MobilityConfig::vehicular(core.world);
         mobility_cfg.speed_min *= cfg.params.speed_scale;
         mobility_cfg.speed_max *= cfg.params.speed_scale;
-        let hosts: Vec<HostMobility> = (0..cfg.params.mh_number)
-            .map(|i| {
+        // Every stream is seeded per host, independent of construction
+        // order, so the fleet can be built in parallel chunks — the
+        // result is the same vector a sequential loop produces.
+        let hosts: Vec<HostMobility> =
+            par_init(&ExecPool::from_env(), cfg.params.mh_number, |i| {
                 let seed = cfg.seed ^ (0x9E3779B97F4A7C15u64.wrapping_mul(i as u64 + 1));
                 match cfg.mobility {
                     MobilityModel::RandomWaypoint => {
@@ -322,8 +331,7 @@ impl Simulation {
                         )))
                     }
                 }
-            })
-            .collect();
+            });
         let (online, churn_plan) = plan_churn(&cfg);
         core.fleet.online = online;
         Ok(Self {
@@ -339,6 +347,7 @@ impl Simulation {
             churn_plan,
             churn_cursor: 0,
             outage: core.outage,
+            phases: PhaseTimes::default(),
         })
     }
 
@@ -363,6 +372,15 @@ impl Simulation {
         &self.fleet
     }
 
+    /// Wall-clock breakdown of the most recent run's epoch loop
+    /// (advance / grid / query / snapshot), for perf attribution.
+    /// Zeroed until a run completes. Available after *any* entry point,
+    /// including the plain [`Simulation::run`]; the `run_*metrics`
+    /// variants additionally copy it into the report's snapshot.
+    pub fn phase_times(&self) -> PhaseTimes {
+        self.phases
+    }
+
     /// Runs the simulation to completion and returns the report.
     pub fn run(&mut self) -> SimReport {
         self.run_with(&mut NoopRecorder)
@@ -375,7 +393,9 @@ impl Simulation {
     pub fn run_metrics(&mut self) -> SimReport {
         let mut rec = MetricsRecorder::new();
         let mut report = self.run_engine(Driver::Sequential(&mut rec));
-        report.metrics = Some(rec.snapshot());
+        let mut snapshot = rec.snapshot();
+        snapshot.phases = self.phases;
+        report.metrics = Some(snapshot);
         report
     }
 
@@ -445,7 +465,9 @@ impl Simulation {
         for rec in &recorders {
             merged.merge(rec);
         }
-        report.metrics = Some(merged.snapshot());
+        let mut snapshot = merged.snapshot();
+        snapshot.phases = self.phases;
+        report.metrics = Some(snapshot);
         report
     }
 
@@ -467,6 +489,14 @@ impl Simulation {
             Parallel(&'d ExecPool, Vec<(NoopRecorder, QueryScratch)>),
             ParallelMetrics(&'d ExecPool, Vec<(&'d mut MetricsRecorder, QueryScratch)>),
         }
+        // The pool the *fleet* phases (advance, churn application) fan
+        // out on — the same pool the query shards use. Sequential and
+        // recording drivers advance inline.
+        let fleet_pool: Option<ExecPool> = match &driver {
+            Driver::Parallel { pool } => Some((*pool).clone()),
+            Driver::ParallelMetrics { pool, .. } => Some((*pool).clone()),
+            _ => None,
+        };
         let mut workers = match driver {
             Driver::Sequential(rec) => Workers::Sequential(rec, QueryScratch::new()),
             Driver::Recording { rec, trace } => {
@@ -503,6 +533,12 @@ impl Simulation {
         }
 
         let mut report = SimReport::default();
+        let mut phases = PhaseTimes::default();
+        // The neighbor grid is *retained* across epochs: pre-sized to
+        // the world's extent once, then delta-refreshed at each boundary
+        // (only hosts whose cell or online flag changed are re-binned).
+        // No per-epoch position clone, no from-scratch rebuild.
+        let mut grid = NeighborGrid::with_bounds(&self.world, cell, cfg.params.mh_number);
         // The committed cache state peers observe, maintained
         // *incrementally*: cloned whole once, then only hosts whose
         // cache changed (a commit or a crash wipe) are re-cloned at the
@@ -532,26 +568,22 @@ impl Simulation {
                 epoch_events.push(scheduler.next_query());
             }
 
-            // Apply churn transitions due at or before this epoch's
-            // boundary (epochs without events are caught up lazily).
-            // This runs in the main loop — identically under every
-            // driver — so churn costs the parallel engine nothing.
+            // Churn transitions due at or before this epoch's boundary
+            // (epochs without events are caught up lazily). This serial
+            // pass records events and counters in plan order —
+            // identically under every driver, so trace logs stay
+            // byte-identical — and *collects* the per-host state
+            // mutations for the chunked fleet-advance pass below.
+            let t_phase = Instant::now();
             let mut epoch_churn: Vec<(u32, u64, bool)> = Vec::new();
+            let mut transitions: Vec<(usize, u64, bool)> = Vec::new();
             while self.churn_cursor < self.churn_plan.len()
                 && self.churn_plan[self.churn_cursor].0 <= epoch
             {
                 let (e, h, up) = self.churn_plan[self.churn_cursor];
                 self.churn_cursor += 1;
+                transitions.push((h, e, up));
                 let event = if up {
-                    self.fleet.online[h] = true;
-                    // Came online cold: nothing cached, channel unheard.
-                    self.fleet.set_sync_state(
-                        h,
-                        SyncState {
-                            last_sync_min: e as f64 * epoch_len,
-                            needs_resync: true,
-                        },
-                    );
                     report.hosts_restarted += 1;
                     TraceEvent::HostRestarted {
                         host: h as u32,
@@ -560,9 +592,6 @@ impl Simulation {
                 } else {
                     // Crash wipes all volatile state; the peer-visible
                     // snapshot must reflect the wipe this epoch.
-                    self.fleet.online[h] = false;
-                    self.fleet.caches[h].clear();
-                    self.fleet.quarantines[h].clear();
                     dirty.push(h);
                     report.hosts_crashed += 1;
                     TraceEvent::HostCrashed {
@@ -590,14 +619,20 @@ impl Simulation {
 
             // Grid positions at the epoch boundary; clamped to the first
             // event so host clocks never run backwards on the boundary's
-            // floating-point edge. Positions are advanced for *every*
-            // host — offline ones included — so mobility streams stay
-            // aligned across churn configurations; offline hosts are
-            // merely undiscoverable.
+            // floating-point edge. The stable host sort keeps each
+            // host's transitions in plan (epoch) order, so the chunked
+            // pass lands on the same final state the in-order walk did.
             let t_build = (epoch as f64 * epoch_len).min(epoch_events[0].time);
-            for (h, m) in self.hosts.iter_mut().enumerate() {
-                self.fleet.positions[h] = m.position_at(t_build);
-            }
+            transitions.sort_by_key(|&(h, _, _)| h);
+            advance_fleet(
+                &mut self.hosts,
+                &mut self.fleet,
+                &transitions,
+                t_build,
+                epoch_len,
+                fleet_pool.as_ref(),
+            );
+            phases.advance_ns += t_phase.elapsed().as_nanos() as u64;
             if let Workers::Recording(_, _, trace) = &mut workers {
                 // Position deltas against the previous recorded epoch:
                 // the first record carries every host, later ones only
@@ -634,25 +669,29 @@ impl Simulation {
                     churn: std::mem::take(&mut epoch_churn),
                 });
             }
-            let grid =
-                NeighborGrid::build_active(self.fleet.positions.clone(), cell, &self.fleet.online);
+            let t_phase = Instant::now();
+            grid.refresh_active(&self.fleet.positions, &self.fleet.online);
+            phases.grid_ns += t_phase.elapsed().as_nanos() as u64;
 
             // Refresh the peer-visible snapshot: only hosts dirtied
             // since the last boundary (commits and crash wipes). A
             // host's *own* inserts stay visible to itself immediately;
             // everyone else sees them from the next epoch on.
+            let t_phase = Instant::now();
             dirty.sort_unstable();
             dirty.dedup();
             for &h in &dirty {
                 snapshot[h].clone_from(&self.fleet.caches[h]);
             }
             dirty.clear();
+            phases.snapshot_ns += t_phase.elapsed().as_nanos() as u64;
 
             // Shard by host: all of one host's events stay on one worker,
             // in time order. BTreeMap gives host-id task order. Offline
             // hosts pose no queries — their events vanish, but the
             // global index numbering `(i + k)` is untouched, so the
             // fold order of surviving outcomes is churn-independent.
+            let t_phase = Instant::now();
             let mut by_host: BTreeMap<usize, Vec<(u64, f64)>> = BTreeMap::new();
             for (k, ev) in epoch_events.iter().enumerate() {
                 if !self.fleet.online[ev.host] {
@@ -749,8 +788,10 @@ impl Simulation {
             for (_, o) in outcomes {
                 fold_outcome(&mut report, cfg.calibration_cap, o);
             }
+            phases.query_ns += t_phase.elapsed().as_nanos() as u64;
             next_index += epoch_events.len() as u64;
         }
+        self.phases = phases;
         report
     }
 }
@@ -1376,6 +1417,149 @@ impl EpochCtx<'_> {
     }
 }
 
+/// One contiguous host range of the fleet's columns, plus the churn
+/// transitions that fall inside it — the unit of work for the parallel
+/// fleet-advance pass.
+struct AdvanceChunk<'a> {
+    /// First host id in the chunk (columns below are `start`-offset).
+    start: usize,
+    mobility: &'a mut [HostMobility],
+    online: &'a mut [bool],
+    last_sync_min: &'a mut [f64],
+    needs_resync: &'a mut [bool],
+    caches: &'a mut [HostCache],
+    quarantines: &'a mut [QuarantineLedger],
+    positions: &'a mut [Point],
+    /// `(host, planned_epoch, comes_online)`, sorted by host with each
+    /// host's transitions in plan (epoch) order.
+    transitions: &'a [(usize, u64, bool)],
+}
+
+/// Applies one epoch boundary to the whole fleet: the collected churn
+/// transitions (state mutations only — events and counters were already
+/// recorded serially, in plan order, by the caller) and the mobility
+/// advance to `t_build`. Positions are advanced for *every* host —
+/// offline ones included — so mobility streams stay aligned across
+/// churn configurations; offline hosts are merely undiscoverable.
+///
+/// Hosts are mutually independent here: every mutation touches only
+/// host-indexed state, and each host's own transitions arrive in epoch
+/// order. The work is therefore chunked over contiguous host ranges and
+/// fanned out on `pool` when one is supplied — chunk scheduling cannot
+/// affect the result, which is bit-identical to the sequential column
+/// walk for any chunking and any thread count.
+fn advance_fleet(
+    hosts: &mut [HostMobility],
+    fleet: &mut FleetStore,
+    transitions: &[(usize, u64, bool)],
+    t_build: f64,
+    epoch_len: f64,
+    pool: Option<&ExecPool>,
+) {
+    let n = hosts.len();
+    let apply = |c: &mut AdvanceChunk<'_>| {
+        for &(h, e, up) in c.transitions {
+            let i = h - c.start;
+            if up {
+                // Came online cold: nothing cached, channel unheard.
+                c.online[i] = true;
+                c.last_sync_min[i] = e as f64 * epoch_len;
+                c.needs_resync[i] = true;
+            } else {
+                // Crash wipes all volatile state (the caller already
+                // marked the host dirty for the snapshot refresh).
+                c.online[i] = false;
+                c.caches[i].clear();
+                c.quarantines[i].clear();
+            }
+        }
+        for (i, m) in c.mobility.iter_mut().enumerate() {
+            c.positions[i] = m.position_at(t_build);
+        }
+    };
+
+    let threads = pool.map_or(1, ExecPool::threads);
+    if threads <= 1 || n < 4096 {
+        apply(&mut AdvanceChunk {
+            start: 0,
+            mobility: hosts,
+            online: &mut fleet.online,
+            last_sync_min: &mut fleet.last_sync_min,
+            needs_resync: &mut fleet.needs_resync,
+            caches: &mut fleet.caches,
+            quarantines: &mut fleet.quarantines,
+            positions: &mut fleet.positions,
+            transitions,
+        });
+        return;
+    }
+
+    // Oversplit ~4× past the worker count so stealing can level uneven
+    // chunks (waypoint hosts mid-pause advance much faster than ones
+    // mid-leg).
+    let chunk_len = n.div_ceil(threads * 4).max(1024);
+    let mut chunks: Vec<AdvanceChunk<'_>> = Vec::with_capacity(n.div_ceil(chunk_len));
+    let mut rest = (
+        hosts,
+        fleet.online.as_mut_slice(),
+        fleet.last_sync_min.as_mut_slice(),
+        fleet.needs_resync.as_mut_slice(),
+        fleet.caches.as_mut_slice(),
+        fleet.quarantines.as_mut_slice(),
+        fleet.positions.as_mut_slice(),
+    );
+    let mut tr = transitions;
+    let mut start = 0usize;
+    while start < n {
+        let len = chunk_len.min(n - start);
+        let (mob, mob_rest) = rest.0.split_at_mut(len);
+        let (onl, onl_rest) = rest.1.split_at_mut(len);
+        let (lsm, lsm_rest) = rest.2.split_at_mut(len);
+        let (nrs, nrs_rest) = rest.3.split_at_mut(len);
+        let (cch, cch_rest) = rest.4.split_at_mut(len);
+        let (qua, qua_rest) = rest.5.split_at_mut(len);
+        let (pos, pos_rest) = rest.6.split_at_mut(len);
+        let cut = tr.partition_point(|&(h, _, _)| h < start + len);
+        let (mine, later) = tr.split_at(cut);
+        tr = later;
+        chunks.push(AdvanceChunk {
+            start,
+            mobility: mob,
+            online: onl,
+            last_sync_min: lsm,
+            needs_resync: nrs,
+            caches: cch,
+            quarantines: qua,
+            positions: pos,
+            transitions: mine,
+        });
+        rest = (mob_rest, onl_rest, lsm_rest, nrs_rest, cch_rest, qua_rest, pos_rest);
+        start += len;
+    }
+    pool.expect("threads > 1 implies a pool")
+        .map(chunks, |_, mut c| apply(&mut c));
+}
+
+/// Order-preserving parallel initialization: `(0..n).map(f).collect()`
+/// fanned out over `pool` in contiguous chunks. `f` must be a pure
+/// function of the index (every per-host constructor in this crate is —
+/// seeds are split per host, never drawn from a shared stream), which
+/// makes the result independent of chunking and thread count.
+fn par_init<T: Send>(pool: &ExecPool, n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    if pool.threads() <= 1 || n < 4096 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(pool.threads() * 4).max(1024);
+    let ranges: Vec<(usize, usize)> = (0..n)
+        .step_by(chunk)
+        .map(|s| (s, (s + chunk).min(n)))
+        .collect();
+    pool.map(ranges, |_, (s, e)| (s..e).map(&f).collect::<Vec<T>>())
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
 /// Everything the base-station side of a run owns, minus the fleet's
 /// mobility. Built identically for the closed-loop [`Simulation`] and
 /// the serving layer's [`crate::LiveWorld`]: same POI draws, same
@@ -1417,33 +1601,44 @@ pub(crate) fn build_world_core(cfg: &SimConfig) -> Result<WorldCore, ConfigError
         hilbert_order: cfg.hilbert_order,
         bucket_capacity: cfg.bucket_capacity,
     };
+    // The two big POI structures — the air index and the ground-truth
+    // R-tree — are independent reads of the finished table, so they
+    // build concurrently. Each build is a pure function of the table,
+    // so the pool affects wall time only.
+    let pool = ExecPool::from_env();
     // cfg.check() already vetted the capacity, so a build error here
     // is unreachable; map it anyway rather than panic.
-    let index: Box<dyn AirIndexBackend> = match cfg.backend {
-        BackendKind::Hilbert => Box::new(
-            <AirIndex as AirIndexBackend>::try_build(&table, &build)
-                .map_err(|_| ConfigError::ZeroBucketCapacity)?,
-        ),
-        BackendKind::Rtree => Box::new(
-            <RtreeAirIndex as AirIndexBackend>::try_build(&table, &build)
-                .map_err(|_| ConfigError::ZeroBucketCapacity)?,
-        ),
-    };
+    let (index, oracle) = pool.join(
+        || -> Result<Box<dyn AirIndexBackend>, ConfigError> {
+            Ok(match cfg.backend {
+                BackendKind::Hilbert => Box::new(
+                    <AirIndex as AirIndexBackend>::try_build(&table, &build)
+                        .map_err(|_| ConfigError::ZeroBucketCapacity)?,
+                ),
+                BackendKind::Rtree => Box::new(
+                    <RtreeAirIndex as AirIndexBackend>::try_build(&table, &build)
+                        .map_err(|_| ConfigError::ZeroBucketCapacity)?,
+                ),
+            })
+        },
+        || RTree::bulk_load(table.iter().map(|p| (p.pos, p.id)).collect()),
+    );
+    let index = index?;
     let schedule = Schedule::try_for_backend(index.as_ref(), cfg.index_m)
         .map_err(|_| ConfigError::ZeroIndexReplication)?;
-    let oracle = RTree::bulk_load(table.iter().map(|p| (p.pos, p.id)).collect());
     let n = cfg.params.mh_number;
-    let caches = (0..n)
-        .map(|_| {
-            let c = HostCache::new(cfg.params.cache_size, cfg.policy)
-                .with_subsume_overlap(cfg.subsume_overlap);
-            if cfg.max_regions == usize::MAX {
-                c
-            } else {
-                c.with_max_regions(cfg.max_regions)
-            }
-        })
-        .collect();
+    // Per-host state is constructed in parallel chunks: caches take no
+    // seed at all, and quarantine seeds are split per host — both are
+    // pure functions of the host id, so chunking is invisible.
+    let caches = par_init(&pool, n, |_| {
+        let c = HostCache::new(cfg.params.cache_size, cfg.policy)
+            .with_subsume_overlap(cfg.subsume_overlap);
+        if cfg.max_regions == usize::MAX {
+            c
+        } else {
+            c.with_max_regions(cfg.max_regions)
+        }
+    });
     // Fault decisions are hashed from their own seed (derived from
     // the master seed), never drawn from an RNG stream: an inert
     // fault config leaves every other random stream untouched.
@@ -1454,14 +1649,12 @@ pub(crate) fn build_world_core(cfg: &SimConfig) -> Result<WorldCore, ConfigError
         )
     });
     let outage = OutageSchedule::new(cfg.outages.clone());
-    let quarantines = (0..n)
-        .map(|h| {
-            QuarantineLedger::new(
-                QuarantineConfig::default(),
-                split_seed(cfg.seed ^ QUARANTINE_SEED_SALT, h as u64, 0),
-            )
-        })
-        .collect();
+    let quarantines = par_init(&pool, n, |h| {
+        QuarantineLedger::new(
+            QuarantineConfig::default(),
+            split_seed(cfg.seed ^ QUARANTINE_SEED_SALT, h as u64, 0),
+        )
+    });
     let fleet = FleetStore {
         online: vec![true; n],
         positions: vec![Point::new(0.0, 0.0); n],

@@ -73,7 +73,6 @@ pub struct LiveWorld {
     /// The epoch currently being served.
     epoch: u64,
     range: f64,
-    cell: f64,
     report: SimReport,
 }
 
@@ -87,13 +86,12 @@ impl LiveWorld {
         let n = cfg.params.mh_number;
         let range = meters_to_miles(cfg.params.tx_range_m);
         let cell = range.max(1e-3);
-        // All sessions start offline; `connect` admits them.
+        // All sessions start offline; `connect` admits them. The grid
+        // is retained for the world's lifetime and delta-refreshed at
+        // each boundary — no per-epoch position clone.
         core.fleet.online = vec![false; n];
-        let grid = NeighborGrid::build_active(
-            core.fleet.positions.clone(),
-            cell,
-            &core.fleet.online,
-        );
+        let mut grid = NeighborGrid::with_bounds(&core.world, cell, n);
+        grid.refresh_active(&core.fleet.positions, &core.fleet.online);
         Ok(LiveWorld {
             cfg,
             world: core.world,
@@ -108,7 +106,6 @@ impl LiveWorld {
             snapshot: Vec::new(),
             epoch: 0,
             range,
-            cell,
             report: SimReport::default(),
         })
     }
@@ -184,16 +181,14 @@ impl LiveWorld {
         self.fleet.positions[host] = pos;
     }
 
-    /// Commits the epoch boundary: rebuilds the neighbor grid over the
-    /// online fleet at their reported positions and snapshots the
+    /// Commits the epoch boundary: refreshes the retained neighbor grid
+    /// over the online fleet at their reported positions (re-binning
+    /// only hosts whose cell or online flag changed) and snapshots the
     /// committed caches peers will see. Must run after this boundary's
     /// churn and position updates, before the epoch's batch.
     pub fn begin_epoch(&mut self, epoch: u64) {
-        self.grid = NeighborGrid::build_active(
-            self.fleet.positions.clone(),
-            self.cell,
-            &self.fleet.online,
-        );
+        self.grid
+            .refresh_active(&self.fleet.positions, &self.fleet.online);
         // Buffer-reusing refresh: `clone_from` keeps each snapshot
         // cache's arena allocations across epochs.
         if self.snapshot.len() == self.fleet.caches.len() {

@@ -90,6 +90,65 @@ fn window_workload_is_thread_count_invariant() {
 }
 
 #[test]
+fn chunked_fleet_advance_is_thread_count_invariant() {
+    // The parallel fleet-advance pass (chunked churn application +
+    // mobility stepping) only engages past its 4096-host threshold, so
+    // this config runs a fleet large enough to split into real chunks,
+    // with heavy churn so crash wipes, cold restarts, and late joins
+    // all land inside the chunked pass. The report must stay
+    // byte-identical to the sequential column walk at every thread
+    // count.
+    let cfg = |seed| {
+        let mut c = tiny(seed);
+        c.params.mh_number = 6000;
+        c.warmup_min = 2.0;
+        c.measure_min = 4.0;
+        c.validate = false;
+        c.churn.crash_prob = 0.05;
+        c.churn.restart_prob = 0.4;
+        c.churn.late_join_frac = 0.2;
+        c
+    };
+    let sequential = Simulation::try_new(cfg(5)).expect("valid config").run();
+    assert!(sequential.queries.total > 0, "nothing measured");
+    assert!(
+        sequential.hosts_crashed > 0 && sequential.hosts_restarted > 0,
+        "churn never fired — the chunked churn application went untested"
+    );
+    for threads in [1usize, 2, 4, 8] {
+        let parallel = Simulation::try_new(cfg(5))
+            .expect("valid config")
+            .run_parallel(&ExecPool::fixed(threads));
+        assert_eq!(parallel, sequential, "report diverged at {threads} threads");
+        assert_eq!(
+            format!("{parallel:?}"),
+            format!("{sequential:?}"),
+            "debug rendering diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn phase_times_are_populated_without_touching_the_report() {
+    // Phase timers are measurement, not simulation output: the report
+    // (and its metrics snapshot) must stay byte-identical whether or
+    // not anyone reads them, and the accessor must show real time
+    // after a run.
+    let mut sim = Simulation::try_new(tiny(13)).expect("valid config");
+    assert_eq!(sim.phase_times().total_ns(), 0, "phases start zeroed");
+    let report = sim.run_metrics();
+    let phases = sim.phase_times();
+    assert!(phases.total_ns() > 0, "a run must accumulate phase time");
+    assert!(phases.query_ns > 0, "queries ran, so query time is nonzero");
+    let snapshot = report.metrics.as_ref().expect("run_metrics fills this");
+    assert!(snapshot.phases.total_ns() > 0, "snapshot carries the phases");
+    // PhaseTimes comparison is identity-blind by design, so two runs
+    // with different wall clocks still produce equal snapshots.
+    let second = Simulation::try_new(tiny(13)).expect("valid config").run_metrics();
+    assert_eq!(second, report);
+}
+
+#[test]
 fn pool_from_env_matches_sequential_run() {
     // CI runs the whole suite under AIRSHARE_THREADS=1 and =8; the report
     // must not depend on which pool size the environment picked.
